@@ -1,0 +1,148 @@
+// Design-choice ablations for the decisions DESIGN.md calls out. Each section isolates
+// one mechanism of the ZygOS design and shows its effect on tail latency / throughput:
+//
+//   A. IPIs vs cooperative stealing (§4.5): the no-IPI variant reintroduces
+//      head-of-line blocking ahead of network processing.
+//   B. Steal-victim randomization (§5 "the order of access is randomized"): a linear
+//      scan convoys thieves onto the same victim.
+//   C. IX's adaptive batching bound B: throughput vs tail latency at tiny task sizes
+//      (why the paper runs IX with B=1 for latency experiments, §3.3).
+//   D. Connection placement skew: hashed (binomially imbalanced) vs balanced
+//      round-robin placement — persistent imbalance is fatal for shared-nothing IX,
+//      absorbed by ZygOS's stealing.
+//   E. Cost sensitivity: how IPI delivery latency and steal cost move the p99
+//      (calibration knobs of hw::CostModel).
+//
+// Usage: ablation_design_choices [--requests=N] [--quick]
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/common/distribution.h"
+#include "src/common/flags.h"
+#include "src/common/time_units.h"
+#include "src/sysmodel/experiment.h"
+#include "src/sysmodel/system_model.h"
+
+namespace zygos {
+namespace {
+
+SystemRunParams BaseParams(uint64_t requests) {
+  SystemRunParams params;
+  params.num_requests = requests;
+  params.warmup = requests / 10;
+  params.seed = 77;
+  return params;
+}
+
+void SectionIpi(uint64_t requests) {
+  std::printf("\n## A. IPIs vs cooperative stealing (exponential, 25 us)\n");
+  std::printf("variant,load,p99_us,steal_frac,ipis\n");
+  auto service = MakeDistribution("exponential", 25 * kMicrosecond);
+  for (bool ipis : {true, false}) {
+    for (double load : {0.5, 0.7, 0.85}) {
+      SystemRunParams params = BaseParams(requests);
+      params.load = load;
+      auto result = RunZygosModel(params, *service, ipis);
+      std::printf("%s,%.2f,%.1f,%.3f,%llu\n", ipis ? "zygos" : "zygos-noipi", load,
+                  ToMicros(result.latency.P99()), result.StealFraction(),
+                  static_cast<unsigned long long>(result.ipis));
+    }
+  }
+}
+
+void SectionVictimOrder(uint64_t requests) {
+  std::printf("\n## B. steal-victim randomization (exponential, 10 us)\n");
+  std::printf("variant,load,p99_us,steal_frac\n");
+  auto service = MakeDistribution("exponential", 10 * kMicrosecond);
+  for (bool randomize : {true, false}) {
+    for (double load : {0.6, 0.8}) {
+      SystemRunParams params = BaseParams(requests);
+      params.load = load;
+      params.randomize_steal_victims = randomize;
+      auto result = RunSystemModel(SystemKind::kZygos, params, *service);
+      std::printf("%s,%.2f,%.1f,%.3f\n", randomize ? "randomized" : "linear-scan", load,
+                  ToMicros(result.latency.P99()), result.StealFraction());
+    }
+  }
+}
+
+void SectionBatching(uint64_t requests) {
+  // At 2 us tasks IX's ~1.3 us per-request overhead puts saturation near load 0.6 of
+  // the zero-overhead ideal; the 0.35/0.5 points sit below it (tail effects visible),
+  // the batching gain shows up as throughput headroom.
+  std::printf("\n## C. IX adaptive batching bound (deterministic, 2 us tasks)\n");
+  std::printf("batch,load,throughput_mrps,p50_us,p99_us\n");
+  auto service = MakeDistribution("deterministic", 2 * kMicrosecond);
+  for (int batch : {1, 2, 8, 64}) {
+    for (double load : {0.35, 0.5, 0.62}) {
+      SystemRunParams params = BaseParams(requests);
+      params.load = load;
+      params.batch_bound = batch;
+      auto result = RunSystemModel(SystemKind::kIx, params, *service);
+      std::printf("B=%d,%.2f,%.4f,%.1f,%.1f\n", batch, load,
+                  result.ThroughputRps() / 1e6, ToMicros(result.latency.P50()),
+                  ToMicros(result.latency.P99()));
+    }
+  }
+}
+
+void SectionPlacement(uint64_t requests) {
+  std::printf("\n## D. connection placement: balanced vs hashed skew (exp, 10 us, "
+              "load 0.7)\n");
+  std::printf("system,placement,p99_us,steal_frac\n");
+  auto service = MakeDistribution("exponential", 10 * kMicrosecond);
+  for (auto kind : {SystemKind::kIx, SystemKind::kZygos}) {
+    for (bool balanced : {true, false}) {
+      SystemRunParams params = BaseParams(requests);
+      params.load = 0.7;
+      params.balanced_connection_placement = balanced;
+      auto result = RunSystemModel(kind, params, *service);
+      std::printf("%s,%s,%.1f,%.3f\n", SystemKindName(kind).c_str(),
+                  balanced ? "balanced" : "hashed-skew", ToMicros(result.latency.P99()),
+                  result.StealFraction());
+    }
+  }
+}
+
+void SectionCostSensitivity(uint64_t requests) {
+  std::printf("\n## E. cost sensitivity (exponential, 10 us, load 0.8)\n");
+  auto service = MakeDistribution("exponential", 10 * kMicrosecond);
+  std::printf("ipi_delivery_ns,p99_us\n");
+  for (Nanos delivery : {700, 1400, 2800, 5600, 11200}) {
+    SystemRunParams params = BaseParams(requests);
+    params.load = 0.8;
+    params.costs.ipi_delivery = delivery;
+    auto result = RunSystemModel(SystemKind::kZygos, params, *service);
+    std::printf("%lld,%.1f\n", static_cast<long long>(delivery),
+                ToMicros(result.latency.P99()));
+  }
+  std::printf("steal_success_ns,p99_us,steal_frac\n");
+  for (Nanos steal : {100, 250, 500, 1000, 2000}) {
+    SystemRunParams params = BaseParams(requests);
+    params.load = 0.8;
+    params.costs.steal_success = steal;
+    auto result = RunSystemModel(SystemKind::kZygos, params, *service);
+    std::printf("%lld,%.1f,%.3f\n", static_cast<long long>(steal),
+                ToMicros(result.latency.P99()), result.StealFraction());
+  }
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  bool quick = flags.GetBool("quick", false);
+  const auto requests =
+      static_cast<uint64_t>(flags.GetInt("requests", quick ? 60'000 : 150'000));
+  std::printf("# Design-choice ablations (DESIGN.md §4)\n");
+  SectionIpi(requests);
+  SectionVictimOrder(requests);
+  SectionBatching(requests);
+  SectionPlacement(requests);
+  SectionCostSensitivity(requests);
+  return 0;
+}
+
+}  // namespace
+}  // namespace zygos
+
+int main(int argc, char** argv) { return zygos::Main(argc, argv); }

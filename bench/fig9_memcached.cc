@@ -1,0 +1,104 @@
+// Figure 9 reproduction: memcached under the ETC and USR workloads — p99 latency vs
+// throughput for Linux, IX B=1, IX B=64 and ZygOS, with 4-deep client pipelining.
+//
+// Methodology (mirrors the paper's two-step approach for real applications): the
+// in-repo KV store is populated and its per-operation service times are *measured* on
+// this host; the resulting empirical distribution drives the system models. The paper's
+// findings to reproduce (§6.2):
+//   - ZygOS and IX both clearly outperform Linux;
+//   - ZygOS beats IX with batching disabled (B=1) at the 500 µs SLO;
+//   - IX with adaptive batching (B=64) reaches the highest throughput — batching is the
+//     one sweeping simplification ZygOS gives up (RX-side batching only);
+//   - ZygOS's curve is shaped differently: implicit per-flow batching of pipelined
+//     requests raises throughput at a tail-latency cost.
+//
+// Usage: fig9_memcached [--requests=N] [--points=P] [--samples=S] [--quick]
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/common/distribution.h"
+#include "src/common/flags.h"
+#include "src/common/time_units.h"
+#include "src/kvstore/service.h"
+#include "src/kvstore/workload.h"
+#include "src/sysmodel/experiment.h"
+#include "src/sysmodel/system_model.h"
+
+namespace zygos {
+namespace {
+
+struct SystemConfig {
+  const char* label;
+  SystemKind kind;
+  int batch_bound;
+  // Top of the offered-load sweep, as a fraction of the zero-overhead ideal. Linux's
+  // serialized shared-pool path saturates near 1.7 MRPS on sub-µs tasks — far below
+  // the dataplanes — so its sweep must cover the low-load region to show its real
+  // capacity under the SLO (cf. Fig. 9's Linux curve topping out early).
+  double max_load;
+};
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  bool quick = flags.GetBool("quick", false);
+  const auto requests =
+      static_cast<uint64_t>(flags.GetInt("requests", quick ? 60'000 : 200'000));
+  const int points = static_cast<int>(flags.GetInt("points", quick ? 8 : 14));
+  const int samples = static_cast<int>(flags.GetInt("samples", quick ? 20'000 : 100'000));
+
+  const std::vector<SystemConfig> systems = {
+      {"Linux", SystemKind::kLinuxFloating, 1, 0.10},
+      {"IX B=1", SystemKind::kIx, 1, 0.98},
+      {"IX B=64", SystemKind::kIx, 64, 0.98},
+      {"ZygOS", SystemKind::kZygos, 1, 0.98},
+  };
+
+  std::printf("# Figure 9: memcached p99 latency vs throughput (SLO = 500 us)\n");
+  std::printf("# service times measured from the in-repo KV store on this host\n");
+
+  for (auto spec : {KvWorkloadSpec::Etc(), KvWorkloadSpec::Usr()}) {
+    // Step 1: measure the real application's service-time distribution.
+    KvService service;
+    KvWorkload workload(spec, /*seed=*/17);
+    workload.Populate(service);
+    EmpiricalDistribution service_dist(workload.MeasureServiceTimes(service, samples));
+    std::printf("\n## workload=%s mean_service_us=%.3f\n", spec.Name(),
+                ToMicros(static_cast<Nanos>(service_dist.MeanNanos())));
+    std::printf("system,load,throughput_mrps,p50_us,p99_us\n");
+
+    // Step 2: drive the system models with it, 4-deep pipelining as in the paper.
+    constexpr Nanos kSlo = 500 * kMicrosecond;
+    std::string summary;
+    for (const auto& system : systems) {
+      SystemRunParams params;
+      params.num_requests = requests;
+      params.warmup = requests / 10;
+      params.seed = 91;
+      params.pipeline_depth = 4;
+      params.batch_bound = system.batch_bound;
+      auto sweep = LatencyThroughputSweep(system.kind, params, service_dist,
+                                          EvenLoads(points, system.max_load));
+      double best_mrps_at_slo = 0.0;
+      for (const auto& point : sweep) {
+        std::printf("%s,%.3f,%.4f,%.1f,%.1f\n", system.label, point.load,
+                    point.throughput_rps / 1e6, ToMicros(point.p50), ToMicros(point.p99));
+        if (point.p99 <= kSlo) {
+          best_mrps_at_slo = std::max(best_mrps_at_slo, point.throughput_rps / 1e6);
+        }
+      }
+      char line[128];
+      std::snprintf(line, sizeof(line), "#   %-8s %.2f MRPS\n", system.label,
+                    best_mrps_at_slo);
+      summary += line;
+    }
+    std::printf("# max throughput meeting the 500 us SLO (%s):\n%s", spec.Name(),
+                summary.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace zygos
+
+int main(int argc, char** argv) { return zygos::Main(argc, argv); }

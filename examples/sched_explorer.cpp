@@ -1,0 +1,92 @@
+// Scheduler explorer: an interactive CLI over the discrete-event system models.
+//
+// Pick a system (zygos, zygos-noipi, ix, linux-floating, linux-partitioned), a service
+// time distribution and mean, and a load range — the tool prints the latency profile,
+// achieved throughput, steal rate and IPI count at every point, next to the theoretical
+// M/G/n/FCFS bound. A fast way to rerun any slice of the paper's §6.1 design space.
+//
+// Run:  ./sched_explorer --system=zygos --dist=exponential --mean_us=10 \
+//           [--cores=16] [--points=10] [--max_load=0.98] [--requests=200000] [--batch=1]
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/common/distribution.h"
+#include "src/common/flags.h"
+#include "src/common/time_units.h"
+#include "src/queueing/models.h"
+#include "src/sysmodel/experiment.h"
+#include "src/sysmodel/system_model.h"
+
+namespace zygos {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string system_name = flags.GetString("system", "zygos");
+  const std::string dist_name = flags.GetString("dist", "exponential");
+  const Nanos mean = FromMicros(flags.GetDouble("mean_us", 10.0));
+  const int points = static_cast<int>(flags.GetInt("points", 10));
+  const double max_load = flags.GetDouble("max_load", 0.98);
+
+  SystemKind kind;
+  if (system_name == "zygos") {
+    kind = SystemKind::kZygos;
+  } else if (system_name == "zygos-noipi") {
+    kind = SystemKind::kZygosNoIpi;
+  } else if (system_name == "ix") {
+    kind = SystemKind::kIx;
+  } else if (system_name == "linux-floating") {
+    kind = SystemKind::kLinuxFloating;
+  } else if (system_name == "linux-partitioned") {
+    kind = SystemKind::kLinuxPartitioned;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --system=%s (zygos | zygos-noipi | ix | linux-floating | "
+                 "linux-partitioned)\n",
+                 system_name.c_str());
+    return 1;
+  }
+  auto service = MakeDistribution(dist_name, mean);
+  if (service == nullptr) {
+    std::fprintf(stderr, "unknown --dist=%s (deterministic | exponential | bimodal1 | "
+                         "bimodal2)\n",
+                 dist_name.c_str());
+    return 1;
+  }
+
+  SystemRunParams params;
+  params.num_cores = static_cast<int>(flags.GetInt("cores", 16));
+  params.num_requests = static_cast<uint64_t>(flags.GetInt("requests", 200'000));
+  params.warmup = params.num_requests / 10;
+  params.batch_bound = static_cast<int>(flags.GetInt("batch", 1));
+  params.pipeline_depth = static_cast<int>(flags.GetInt("pipeline", 1));
+  params.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  std::printf("# system=%s dist=%s mean=%.1fus cores=%d batch=%d\n",
+              SystemKindName(kind).c_str(), service->Name().c_str(), ToMicros(mean),
+              params.num_cores, params.batch_bound);
+  std::printf("load,throughput_mrps,p50_us,p99_us,steal_frac,ipis,ideal_p99_us\n");
+  for (const auto& point :
+       LatencyThroughputSweep(kind, params, *service, EvenLoads(points, max_load))) {
+    // Ideal M/G/n/FCFS reference at the same load.
+    QueueingRunParams ideal;
+    ideal.num_servers = params.num_cores;
+    ideal.load = point.load;
+    ideal.num_requests = params.num_requests;
+    ideal.warmup = params.warmup;
+    ideal.seed = params.seed;
+    auto bound =
+        RunQueueingModel({Discipline::kFcfs, Topology::kCentralized}, ideal, *service);
+    std::printf("%.3f,%.4f,%.1f,%.1f,%.3f,%llu,%.1f\n", point.load,
+                point.throughput_rps / 1e6, ToMicros(point.p50), ToMicros(point.p99),
+                point.steal_fraction, static_cast<unsigned long long>(point.ipis),
+                ToMicros(bound.sojourn.P99()));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace zygos
+
+int main(int argc, char** argv) { return zygos::Main(argc, argv); }

@@ -1,0 +1,113 @@
+#include "src/common/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace zygos {
+
+DeterministicDistribution::DeterministicDistribution(Nanos mean)
+    : mean_(mean), name_("deterministic") {}
+
+Nanos DeterministicDistribution::Sample(Rng&) const { return mean_; }
+double DeterministicDistribution::MeanNanos() const { return static_cast<double>(mean_); }
+const std::string& DeterministicDistribution::Name() const { return name_; }
+
+ExponentialDistribution::ExponentialDistribution(Nanos mean)
+    : mean_(static_cast<double>(mean)), name_("exponential") {}
+
+Nanos ExponentialDistribution::Sample(Rng& rng) const {
+  // Round (not truncate) so the integer-valued samples keep the requested mean.
+  return static_cast<Nanos>(rng.NextExponential(mean_) + 0.5);
+}
+double ExponentialDistribution::MeanNanos() const { return mean_; }
+const std::string& ExponentialDistribution::Name() const { return name_; }
+
+BimodalDistribution::BimodalDistribution(Nanos low, Nanos high, double p_low, std::string name)
+    : low_(low), high_(high), p_low_(p_low), name_(std::move(name)) {}
+
+BimodalDistribution BimodalDistribution::Bimodal1(Nanos mean) {
+  return BimodalDistribution(mean / 2, static_cast<Nanos>(5.5 * static_cast<double>(mean)), 0.9,
+                             "bimodal1");
+}
+
+BimodalDistribution BimodalDistribution::Bimodal2(Nanos mean) {
+  return BimodalDistribution(mean / 2, static_cast<Nanos>(500.5 * static_cast<double>(mean)),
+                             0.999, "bimodal2");
+}
+
+Nanos BimodalDistribution::Sample(Rng& rng) const { return rng.NextBool(p_low_) ? low_ : high_; }
+
+double BimodalDistribution::MeanNanos() const {
+  return p_low_ * static_cast<double>(low_) + (1.0 - p_low_) * static_cast<double>(high_);
+}
+const std::string& BimodalDistribution::Name() const { return name_; }
+
+LognormalDistribution::LognormalDistribution(Nanos mean, double sigma)
+    : sigma_(sigma), mean_(static_cast<double>(mean)), name_("lognormal") {
+  // E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+  mu_ = std::log(mean_) - sigma * sigma / 2.0;
+}
+
+Nanos LognormalDistribution::Sample(Rng& rng) const {
+  // Box-Muller transform; one normal draw per sample keeps the stream deterministic.
+  double u1 = rng.NextDouble();
+  double u2 = rng.NextDouble();
+  while (u1 <= 0.0) {
+    u1 = rng.NextDouble();
+  }
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return static_cast<Nanos>(std::exp(mu_ + sigma_ * z));
+}
+
+double LognormalDistribution::MeanNanos() const { return mean_; }
+const std::string& LognormalDistribution::Name() const { return name_; }
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<Nanos> samples, double scale)
+    : samples_(std::move(samples)), name_("empirical") {
+  if (scale != 1.0) {
+    for (auto& s : samples_) {
+      s = static_cast<Nanos>(static_cast<double>(s) * scale);
+    }
+  }
+  double sum = 0.0;
+  for (Nanos s : samples_) {
+    sum += static_cast<double>(s);
+  }
+  mean_ = samples_.empty() ? 0.0 : sum / static_cast<double>(samples_.size());
+}
+
+Nanos EmpiricalDistribution::Sample(Rng& rng) const {
+  return samples_[rng.NextBounded(samples_.size())];
+}
+double EmpiricalDistribution::MeanNanos() const { return mean_; }
+const std::string& EmpiricalDistribution::Name() const { return name_; }
+
+EmpiricalDistribution EmpiricalDistribution::RescaledToMean(Nanos target_mean) const {
+  double scale = static_cast<double>(target_mean) / mean_;
+  return EmpiricalDistribution(samples_, scale);
+}
+
+std::unique_ptr<ServiceTimeDistribution> MakeDistribution(const std::string& name, Nanos mean) {
+  if (name == "deterministic" || name == "fixed") {
+    return std::make_unique<DeterministicDistribution>(mean);
+  }
+  if (name == "exponential" || name == "exp") {
+    return std::make_unique<ExponentialDistribution>(mean);
+  }
+  if (name == "bimodal1") {
+    return std::make_unique<BimodalDistribution>(BimodalDistribution::Bimodal1(mean));
+  }
+  if (name == "bimodal2") {
+    return std::make_unique<BimodalDistribution>(BimodalDistribution::Bimodal2(mean));
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& SyntheticDistributionNames() {
+  static const std::vector<std::string> kNames = {"deterministic", "exponential", "bimodal1",
+                                                  "bimodal2"};
+  return kNames;
+}
+
+}  // namespace zygos

@@ -1,0 +1,136 @@
+// Service-time distributions used by the paper's methodology (§2.3, §3.1).
+//
+// The paper evaluates four synthetic distributions, all normalized to a mean service
+// time S̄:
+//   - deterministic:  P[X = S̄] = 1
+//   - exponential:    mean S̄
+//   - bimodal-1:      P[X = S̄/2] = 0.9,    P[X = 5.5·S̄]   = 0.1
+//   - bimodal-2:      P[X = S̄/2] = 0.999,  P[X = 500.5·S̄] = 0.001
+// plus empirical distributions measured from real applications (Silo/TPC-C, the KV
+// store), which drive Figures 9 and 10b.
+#ifndef ZYGOS_COMMON_DISTRIBUTION_H_
+#define ZYGOS_COMMON_DISTRIBUTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time_units.h"
+
+namespace zygos {
+
+// Abstract sampler for task service times. Implementations are immutable after
+// construction and therefore safe to share across threads (each caller passes its own
+// Rng).
+class ServiceTimeDistribution {
+ public:
+  virtual ~ServiceTimeDistribution() = default;
+
+  // Draws one service time in nanoseconds. Always returns a value >= 0.
+  virtual Nanos Sample(Rng& rng) const = 0;
+
+  // The distribution's exact mean in nanoseconds (S̄).
+  virtual double MeanNanos() const = 0;
+
+  // Human-readable name used in benchmark output (e.g. "exponential").
+  virtual const std::string& Name() const = 0;
+};
+
+// P[X = mean] = 1. The paper's "Fixed"/"Deterministic" workload.
+class DeterministicDistribution final : public ServiceTimeDistribution {
+ public:
+  explicit DeterministicDistribution(Nanos mean);
+  Nanos Sample(Rng& rng) const override;
+  double MeanNanos() const override;
+  const std::string& Name() const override;
+
+ private:
+  Nanos mean_;
+  std::string name_;
+};
+
+// Exponential with the given mean.
+class ExponentialDistribution final : public ServiceTimeDistribution {
+ public:
+  explicit ExponentialDistribution(Nanos mean);
+  Nanos Sample(Rng& rng) const override;
+  double MeanNanos() const override;
+  const std::string& Name() const override;
+
+ private:
+  double mean_;
+  std::string name_;
+};
+
+// Two-point distribution: value `low` with probability `p_low`, otherwise `high`.
+// BimodalDistribution::Bimodal1(mean) / Bimodal2(mean) build the paper's presets.
+class BimodalDistribution final : public ServiceTimeDistribution {
+ public:
+  BimodalDistribution(Nanos low, Nanos high, double p_low, std::string name);
+
+  // bimodal-1: P[X = S̄/2] = 0.9, P[X = 5.5·S̄] = 0.1 (mean = S̄).
+  static BimodalDistribution Bimodal1(Nanos mean);
+  // bimodal-2: P[X = S̄/2] = 0.999, P[X = 500.5·S̄] = 0.001 (mean = S̄).
+  static BimodalDistribution Bimodal2(Nanos mean);
+
+  Nanos Sample(Rng& rng) const override;
+  double MeanNanos() const override;
+  const std::string& Name() const override;
+
+ private:
+  Nanos low_;
+  Nanos high_;
+  double p_low_;
+  std::string name_;
+};
+
+// Lognormal distribution parameterized by its mean and the sigma of the underlying
+// normal. Used by extension benchmarks for high-dispersion sweeps.
+class LognormalDistribution final : public ServiceTimeDistribution {
+ public:
+  LognormalDistribution(Nanos mean, double sigma);
+  Nanos Sample(Rng& rng) const override;
+  double MeanNanos() const override;
+  const std::string& Name() const override;
+
+ private:
+  double mu_;     // location of the underlying normal
+  double sigma_;  // scale of the underlying normal
+  double mean_;
+  std::string name_;
+};
+
+// Resamples from a fixed set of observed values (bootstrap sampling). Used to drive the
+// system models with service times measured from the real Silo/TPC-C engine and the KV
+// store, mirroring the paper's Fig. 10 methodology.
+class EmpiricalDistribution final : public ServiceTimeDistribution {
+ public:
+  // `samples` must be non-empty. An optional `scale` rescales every sample (used to
+  // renormalize a measured distribution to a target mean).
+  explicit EmpiricalDistribution(std::vector<Nanos> samples, double scale = 1.0);
+
+  Nanos Sample(Rng& rng) const override;
+  double MeanNanos() const override;
+  const std::string& Name() const override;
+
+  // Returns a copy rescaled so that MeanNanos() == target_mean.
+  EmpiricalDistribution RescaledToMean(Nanos target_mean) const;
+
+ private:
+  std::vector<Nanos> samples_;
+  double mean_;
+  std::string name_;
+};
+
+// Builds one of the paper's four synthetic distributions by name:
+// "deterministic" (alias "fixed"), "exponential" (alias "exp"), "bimodal1", "bimodal2".
+// Returns nullptr for unknown names.
+std::unique_ptr<ServiceTimeDistribution> MakeDistribution(const std::string& name, Nanos mean);
+
+// Names accepted by MakeDistribution, in the order the paper presents them.
+const std::vector<std::string>& SyntheticDistributionNames();
+
+}  // namespace zygos
+
+#endif  // ZYGOS_COMMON_DISTRIBUTION_H_

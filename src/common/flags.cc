@@ -1,0 +1,51 @@
+#include "src/common/flags.h"
+
+#include <cstdlib>
+
+namespace zygos {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::string Flags::GetString(const std::string& name, const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return def;
+  }
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool Flags::Has(const std::string& name) const { return values_.count(name) > 0; }
+
+}  // namespace zygos

@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for benchmark and example binaries.
+//
+// Supports `--name=value` and `--name value` forms plus bare `--name` for booleans.
+// Benchmarks use this to expose the sweep parameters (service time, distribution, load
+// points, request counts) without pulling in a heavyweight dependency.
+#ifndef ZYGOS_COMMON_FLAGS_H_
+#define ZYGOS_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace zygos {
+
+class Flags {
+ public:
+  // Parses argv. Unrecognized positional arguments are collected in Positional().
+  Flags(int argc, char** argv);
+
+  // Typed getters; return `def` when the flag is absent.
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  bool Has(const std::string& name) const;
+  const std::vector<std::string>& Positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_COMMON_FLAGS_H_

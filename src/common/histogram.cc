@@ -1,0 +1,104 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace zygos {
+
+LatencyHistogram::LatencyHistogram()
+    : counts_(static_cast<size_t>(kBucketCount) * kSubBucketCount, 0) {}
+
+int LatencyHistogram::IndexFor(Nanos value) {
+  if (value < kSubBucketCount) {
+    return static_cast<int>(value);
+  }
+  auto v = static_cast<uint64_t>(value);
+  int msb = 63 - std::countl_zero(v);
+  int bucket = msb - kSubBucketBits + 1;  // >= 1 because v >= kSubBucketCount
+  int sub = static_cast<int>(v >> bucket) - kSubBucketCount / 2 + kSubBucketCount / 2;
+  // Sub-bucket within [kSubBucketCount/2, kSubBucketCount): top bit of the sub index is
+  // always set for bucket >= 1, so fold into the layout bucket*kSubBucketCount/2 regions.
+  int index = (bucket + 1) * (kSubBucketCount / 2) + (sub - kSubBucketCount / 2);
+  int max_index = kBucketCount * kSubBucketCount - 1;
+  return std::min(index, max_index);
+}
+
+Nanos LatencyHistogram::ValueFor(int index) {
+  int half = kSubBucketCount / 2;
+  if (index < kSubBucketCount) {
+    return index;
+  }
+  int bucket = index / half - 1;
+  int sub = index % half + half;
+  // Upper edge of the bucket: ((sub + 1) << bucket) - 1.
+  return ((static_cast<Nanos>(sub) + 1) << bucket) - 1;
+}
+
+void LatencyHistogram::Record(Nanos value) {
+  if (value < 0) {
+    value = 0;
+  }
+  counts_[static_cast<size_t>(IndexFor(value))]++;
+  count_++;
+  sum_ += static_cast<double>(value);
+  max_ = std::max(max_, value);
+  min_ = (count_ == 1) ? value : std::min(min_, value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.count_ > 0) {
+    min_ = (count_ == 0) ? other.min_ : std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+Nanos LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  auto target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (target >= count_) {
+    target = count_ - 1;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) {
+      return std::min(ValueFor(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  max_ = 0;
+  min_ = 0;
+}
+
+double LatencyHistogram::Ccdf(Nanos value) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  uint64_t greater = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (ValueFor(static_cast<int>(i)) > value) {
+      greater += counts_[i];
+    }
+  }
+  return static_cast<double>(greater) / static_cast<double>(count_);
+}
+
+}  // namespace zygos

@@ -1,0 +1,75 @@
+// Log-linear latency histogram (HdrHistogram-style).
+//
+// Records nanosecond latencies between 1 ns and ~17 minutes with a bounded relative
+// error (~0.8% with the default 7 sub-bucket bits), in O(1) per record, using a fixed
+// ~64 KiB footprint. Used by every benchmark and by the simulator to compute the 99th
+// percentile tail latencies the paper reports.
+#ifndef ZYGOS_COMMON_HISTOGRAM_H_
+#define ZYGOS_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time_units.h"
+
+namespace zygos {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  // Records one latency observation. Negative values are clamped to zero; values beyond
+  // the trackable maximum are clamped to the top bucket.
+  void Record(Nanos value);
+
+  // Merges another histogram's counts into this one.
+  void Merge(const LatencyHistogram& other);
+
+  // Returns the latency at quantile q in [0, 1] (e.g. 0.99 for p99). Returns 0 for an
+  // empty histogram. The result is the upper edge of the matching bucket, so it is an
+  // upper bound with the histogram's relative precision.
+  Nanos Quantile(double q) const;
+
+  // Convenience accessors for the percentiles the paper plots.
+  Nanos P50() const { return Quantile(0.50); }
+  Nanos P99() const { return Quantile(0.99); }
+  Nanos P999() const { return Quantile(0.999); }
+
+  // Total number of recorded observations.
+  uint64_t Count() const { return count_; }
+
+  // Arithmetic mean of recorded values (exact, kept as a running sum).
+  double Mean() const;
+
+  // Largest recorded value (exact).
+  Nanos Max() const { return max_; }
+  // Smallest recorded value (exact). Returns 0 for an empty histogram.
+  Nanos Min() const { return count_ == 0 ? 0 : min_; }
+
+  // Resets all counts.
+  void Reset();
+
+  // Complementary CDF: fraction of samples strictly greater than `value` (bucket
+  // precision). Used for the Fig. 10a CCDF plot.
+  double Ccdf(Nanos value) const;
+
+ private:
+  static constexpr int kSubBucketBits = 7;  // 128 linear sub-buckets per power of two
+  static constexpr int kSubBucketCount = 1 << kSubBucketBits;
+  static constexpr int kBucketCount = 40;  // covers up to ~2^(40+7) ns
+
+  // Maps a value to its bucket index.
+  static int IndexFor(Nanos value);
+  // Upper edge (inclusive representative) of bucket i.
+  static Nanos ValueFor(int index);
+
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  Nanos max_ = 0;
+  Nanos min_ = 0;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_COMMON_HISTOGRAM_H_

@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the reproduction (arrival processes, service-time
+// sampling, steal-victim randomization, workload generators) draws from an explicitly
+// seeded Rng so that experiments are reproducible run-to-run. The generator is
+// xoshiro256++, seeded through SplitMix64 — the standard recipe recommended by its
+// authors — which is far faster than std::mt19937_64 and has no observable bias for our
+// use cases.
+#ifndef ZYGOS_COMMON_RNG_H_
+#define ZYGOS_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace zygos {
+
+// xoshiro256++ generator with convenience sampling methods. Not thread-safe; use one
+// instance per thread / simulated entity.
+class Rng {
+ public:
+  // Seeds the state by running SplitMix64 on `seed`. Any seed (including 0) is valid.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      // SplitMix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Returns the next raw 64-bit output.
+  uint64_t NextU64() {
+    uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Returns a double uniformly distributed in [0, 1) with 53 bits of precision.
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Returns an integer uniformly distributed in [0, bound). `bound` must be > 0.
+  // Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound) {
+    __uint128_t m = static_cast<__uint128_t>(NextU64()) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>(NextU64()) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Returns an integer uniformly distributed in the inclusive range [lo, hi].
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Samples an exponential random variable with the given mean (> 0).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    // 1 - u is in (0, 1], so log() is finite.
+    return -mean * std::log(1.0 - u);
+  }
+
+  // Returns true with probability `p` (clamped to [0, 1]).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Forks an independent generator; useful to give each simulated entity its own stream.
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_COMMON_RNG_H_

@@ -1,0 +1,46 @@
+// Small numeric helpers: running mean/variance and simple aggregates.
+#ifndef ZYGOS_COMMON_STATS_H_
+#define ZYGOS_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace zygos {
+
+// Welford's online algorithm for mean and variance. Numerically stable for long runs.
+class RunningStats {
+ public:
+  void Add(double x) {
+    count_++;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  uint64_t Count() const { return count_; }
+  double Mean() const { return mean_; }
+  // Population variance; 0 for fewer than two samples.
+  double Variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+  double StdDev() const { return std::sqrt(Variance()); }
+  // Squared coefficient of variation (the dispersion measure queueing formulas use).
+  double Scv() const { return mean_ == 0.0 ? 0.0 : Variance() / (mean_ * mean_); }
+  double Min() const { return count_ == 0 ? 0.0 : min_; }
+  double Max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_COMMON_STATS_H_

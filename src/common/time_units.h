@@ -1,0 +1,30 @@
+// Time units used throughout the ZygOS reproduction.
+//
+// All simulated and measured times are signed 64-bit nanosecond counts. A plain integer
+// (rather than std::chrono) keeps the discrete-event simulator hot path branch-free and
+// trivially serializable; helper constants make call sites read naturally
+// (e.g. `25 * kMicrosecond`).
+#ifndef ZYGOS_COMMON_TIME_UNITS_H_
+#define ZYGOS_COMMON_TIME_UNITS_H_
+
+#include <cstdint>
+
+namespace zygos {
+
+// Nanosecond count. Used for both virtual (simulated) time and wall-clock measurements.
+using Nanos = int64_t;
+
+inline constexpr Nanos kNanosecond = 1;
+inline constexpr Nanos kMicrosecond = 1000;
+inline constexpr Nanos kMillisecond = 1000 * kMicrosecond;
+inline constexpr Nanos kSecond = 1000 * kMillisecond;
+
+// Converts nanoseconds to (double) microseconds, the unit the paper plots.
+constexpr double ToMicros(Nanos ns) { return static_cast<double>(ns) / 1e3; }
+
+// Converts (double) microseconds to nanoseconds, rounding to the nearest integer.
+constexpr Nanos FromMicros(double us) { return static_cast<Nanos>(us * 1e3 + 0.5); }
+
+}  // namespace zygos
+
+#endif  // ZYGOS_COMMON_TIME_UNITS_H_

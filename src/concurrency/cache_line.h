@@ -1,0 +1,25 @@
+// Cache-line utilities shared by the lock-free / locked data structures.
+#ifndef ZYGOS_CONCURRENCY_CACHE_LINE_H_
+#define ZYGOS_CONCURRENCY_CACHE_LINE_H_
+
+#include <cstddef>
+
+namespace zygos {
+
+// x86-64 cache lines are 64 bytes; we pad shared data to this to avoid false sharing
+// between cores, which matters at the microsecond scale the system targets.
+inline constexpr size_t kCacheLineSize = 64;
+
+// Emits a CPU pause/yield hint inside spin loops (reduces pipeline flush cost and
+// hyperthread contention while spinning).
+inline void CpuRelax() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+}  // namespace zygos
+
+#endif  // ZYGOS_CONCURRENCY_CACHE_LINE_H_

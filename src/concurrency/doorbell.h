@@ -1,0 +1,54 @@
+// Doorbell: the software analogue of the exit-less IPI (§4.5, §5).
+//
+// ZygOS sends an IPI as a *hint* to a home core: "you have pending packets / remote
+// syscalls; run your kernel path". Delivery is allowed to be unreliable; correctness
+// never depends on it. This type models that contract: senders set reason bits with a
+// release RMW, the receiver drains all bits at its next kernel entry. In the real-thread
+// runtime the doorbell is paired with a POSIX signal to get genuine asynchronous
+// preemption of "user" code; in the discrete-event models delivery latency is simulated.
+#ifndef ZYGOS_CONCURRENCY_DOORBELL_H_
+#define ZYGOS_CONCURRENCY_DOORBELL_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/concurrency/cache_line.h"
+
+namespace zygos {
+
+// Reasons a core may be interrupted, mirroring the two duties of the shared IPI handler
+// (§4.5): replenish the shuffle queue from pending packets, and execute remote syscalls.
+enum class IpiReason : uint32_t {
+  kPendingPackets = 1u << 0,
+  kRemoteSyscalls = 1u << 1,
+};
+
+class alignas(kCacheLineSize) Doorbell {
+ public:
+  // Sets the reason bit; returns true if the doorbell was previously idle (i.e. this
+  // call would be the one actually raising the interrupt — senders can use this to
+  // avoid duplicate signals).
+  bool Ring(IpiReason reason) {
+    uint32_t bit = static_cast<uint32_t>(reason);
+    uint32_t prev = bits_.fetch_or(bit, std::memory_order_release);
+    return prev == 0;
+  }
+
+  // Atomically fetches and clears all pending reasons. Called by the receiving core at
+  // kernel entry.
+  uint32_t Drain() { return bits_.exchange(0, std::memory_order_acquire); }
+
+  // Racy peek (the receiver polls this in its main loop).
+  bool AnyPending() const { return bits_.load(std::memory_order_acquire) != 0; }
+
+  bool IsPending(IpiReason reason) const {
+    return (bits_.load(std::memory_order_acquire) & static_cast<uint32_t>(reason)) != 0;
+  }
+
+ private:
+  std::atomic<uint32_t> bits_{0};
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_CONCURRENCY_DOORBELL_H_

@@ -1,0 +1,109 @@
+// Bounded multi-producer / multi-consumer queue (Vyukov-style sequenced array).
+//
+// Used for the remote batched-syscall path: when a remote core steals a connection and
+// executes its events, the resulting system calls are shipped back to the connection's
+// home core through this queue (multiple thieves produce, the home core consumes — the
+// paper's "multiple-producer, single-consumer queue", step (b) of Fig. 4). The full MPMC
+// form also backs test harnesses and the runtime's completion plumbing.
+//
+// Each slot carries a sequence number; producers claim a ticket with a CAS on the
+// enqueue cursor and publish by bumping the slot sequence, so producers never block
+// consumers and vice versa.
+#ifndef ZYGOS_CONCURRENCY_MPMC_QUEUE_H_
+#define ZYGOS_CONCURRENCY_MPMC_QUEUE_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/concurrency/cache_line.h"
+
+namespace zygos {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity) : mask_(std::bit_ceil(capacity) - 1) {
+    slots_ = std::vector<Slot>(mask_ + 1);
+    for (size_t i = 0; i <= mask_; ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  // Returns false if the queue is full (the value argument is consumed either way).
+  bool TryPush(T value) { return TryPushRef(value); }
+
+  // Like TryPush, but moves from `value` only on success — on a full queue the caller
+  // keeps the value and may retry (back-pressure loops need this).
+  bool TryPushRef(T& value) {
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    while (true) {
+      Slot& slot = slots_[pos & mask_];
+      size_t seq = slot.sequence.load(std::memory_order_acquire);
+      auto dif = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Returns nullopt if the queue is empty.
+  std::optional<T> TryPop() {
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    while (true) {
+      Slot& slot = slots_[pos & mask_];
+      size_t seq = slot.sequence.load(std::memory_order_acquire);
+      auto dif = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          T value = std::move(slot.value);
+          slot.sequence.store(pos + mask_ + 1, std::memory_order_release);
+          return value;
+        }
+      } else if (dif < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Racy estimate for idle-loop peeking.
+  size_t ApproxSize() const {
+    size_t e = enqueue_pos_.load(std::memory_order_acquire);
+    size_t d = dequeue_pos_.load(std::memory_order_acquire);
+    return e >= d ? e - d : 0;
+  }
+
+  bool ApproxEmpty() const { return ApproxSize() == 0; }
+
+  size_t Capacity() const { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    std::atomic<size_t> sequence{0};
+    T value{};
+  };
+
+  const size_t mask_;
+  std::vector<Slot> slots_;
+  alignas(kCacheLineSize) std::atomic<size_t> enqueue_pos_{0};
+  alignas(kCacheLineSize) std::atomic<size_t> dequeue_pos_{0};
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_CONCURRENCY_MPMC_QUEUE_H_

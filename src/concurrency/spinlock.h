@@ -1,0 +1,61 @@
+// Test-and-test-and-set spinlock with TryLock.
+//
+// The ZygOS shuffle layer uses exactly this locking discipline (§5): one spinlock per
+// core protects the core's shuffle queue and the state-machine transitions of sockets
+// homed on that core; remote cores use try-lock for steal attempts so contention never
+// blocks a thief — it simply moves on to the next victim.
+#ifndef ZYGOS_CONCURRENCY_SPINLOCK_H_
+#define ZYGOS_CONCURRENCY_SPINLOCK_H_
+
+#include <atomic>
+
+#include "src/concurrency/cache_line.h"
+
+namespace zygos {
+
+class alignas(kCacheLineSize) Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void Lock() {
+    while (true) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      // Spin on a plain load until the lock looks free (TTAS): avoids hammering the
+      // cache line with RMW traffic.
+      while (locked_.load(std::memory_order_relaxed)) {
+        CpuRelax();
+      }
+    }
+  }
+
+  // Single attempt; returns true if the lock was acquired.
+  bool TryLock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void Unlock() { locked_.store(false, std::memory_order_release); }
+
+  // RAII guard.
+  class Guard {
+   public:
+    explicit Guard(Spinlock& lock) : lock_(lock) { lock_.Lock(); }
+    ~Guard() { lock_.Unlock(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Spinlock& lock_;
+  };
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_CONCURRENCY_SPINLOCK_H_

@@ -1,0 +1,52 @@
+#include "src/core/idle_policy.h"
+
+namespace zygos {
+
+void IdlePolicy::RandomVictimOrder(int self, int num_cores, Rng& rng,
+                                   std::vector<int>& order) {
+  order.clear();
+  for (int c = 0; c < num_cores; ++c) {
+    if (c != self) {
+      order.push_back(c);
+    }
+  }
+  // Fisher-Yates shuffle.
+  for (size_t i = order.size(); i > 1; --i) {
+    size_t j = rng.NextBounded(i);
+    std::swap(order[i - 1], order[j]);
+  }
+}
+
+IdleAction IdlePolicy::Next(int self, const IdleLoopView& view, Rng& rng) const {
+  // (a) Own hardware ring has the highest priority: local work needs no communication.
+  if (view.OwnHwRingNonEmpty(self)) {
+    return {IdleActionKind::kProcessOwnRing, self};
+  }
+
+  std::vector<int> order;
+  RandomVictimOrder(self, view.NumCores(), rng, order);
+
+  // (b) Remote shuffle queues: ready-to-execute work, stealable directly.
+  for (int victim : order) {
+    if (view.ShuffleNonEmpty(victim)) {
+      return {IdleActionKind::kSteal, victim};
+    }
+  }
+
+  // (c) Remote software packet queues, then (d) remote hardware rings: raw packets that
+  // only the home core may process. Interrupt the home core if it is stuck in user code;
+  // if it is already in the kernel it will drain them on its own shortly.
+  for (int victim : order) {
+    if (view.SoftwareQueueNonEmpty(victim) && view.InUserMode(victim)) {
+      return {IdleActionKind::kSendIpi, victim};
+    }
+  }
+  for (int victim : order) {
+    if (view.HwRingNonEmpty(victim) && view.InUserMode(victim)) {
+      return {IdleActionKind::kSendIpi, victim};
+    }
+  }
+  return {IdleActionKind::kNone, -1};
+}
+
+}  // namespace zygos

@@ -1,0 +1,64 @@
+// Idle-loop polling policy (§5 "Idle loop polling logic").
+//
+// A core is idle when its shuffle queue, remote-syscall queue and raw packet queues are
+// all empty. It then scans, in strict priority order:
+//   (a) the head of its own NIC hardware descriptor ring,
+//   (b) the shuffle queues of all other cores,
+//   (c) the unprocessed software packet queues of all other cores,
+//   (d) the NIC hardware descriptor rings of all other cores,
+// with the visit order inside (b)-(d) randomized to avoid convoying. Finding work in
+// (b) triggers a steal; finding work in (c)/(d) cannot be serviced remotely (network
+// processing is home-core-only), so the idle core sends an IPI if the home core is
+// executing user code — forcing it into the kernel to replenish its shuffle queue.
+//
+// The policy is pure decision logic over a snapshot interface, shared verbatim by the
+// discrete-event models and the real-thread runtime, and unit-testable in isolation.
+#ifndef ZYGOS_CORE_IDLE_POLICY_H_
+#define ZYGOS_CORE_IDLE_POLICY_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace zygos {
+
+// Snapshot of the remotely observable state the idle loop reads. Implementations are
+// the DES core model and the runtime worker.
+class IdleLoopView {
+ public:
+  virtual ~IdleLoopView() = default;
+  virtual int NumCores() const = 0;
+  virtual bool OwnHwRingNonEmpty(int self) const = 0;
+  virtual bool ShuffleNonEmpty(int core) const = 0;
+  virtual bool SoftwareQueueNonEmpty(int core) const = 0;
+  virtual bool HwRingNonEmpty(int core) const = 0;
+  // True if `core` is currently executing application (user-level) code; IPIs are only
+  // delivered then (§4.5: the kernel runs with interrupts disabled).
+  virtual bool InUserMode(int core) const = 0;
+};
+
+enum class IdleActionKind {
+  kNone,            // nothing found anywhere: keep polling
+  kProcessOwnRing,  // (a) packets in our own HW ring: run the local netstack
+  kSteal,           // (b) a remote shuffle queue has a ready connection
+  kSendIpi,         // (c)/(d) a remote core has unprocessed packets and runs user code
+};
+
+struct IdleAction {
+  IdleActionKind kind = IdleActionKind::kNone;
+  int target_core = -1;  // victim (kSteal) or IPI destination (kSendIpi)
+};
+
+class IdlePolicy {
+ public:
+  // `self` is the polling core; `rng` drives the victim-order randomization.
+  IdleAction Next(int self, const IdleLoopView& view, Rng& rng) const;
+
+ private:
+  // Fills `order` with all cores except `self`, randomly shuffled.
+  static void RandomVictimOrder(int self, int num_cores, Rng& rng, std::vector<int>& order);
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_CORE_IDLE_POLICY_H_

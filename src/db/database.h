@@ -1,0 +1,52 @@
+// Database catalog: named tables (each an OrderedIndex of versioned records) plus the
+// epoch clock shared by all transactions.
+#ifndef ZYGOS_DB_DATABASE_H_
+#define ZYGOS_DB_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/db/epoch.h"
+#include "src/db/index.h"
+
+namespace zygos {
+
+using TableId = uint32_t;
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Creates a table and returns its id. Must not be called concurrently with
+  // transaction execution (schema is fixed before the benchmark runs, as in Silo).
+  TableId CreateTable(std::string name) {
+    tables_.push_back(std::make_unique<OrderedIndex>());
+    auto id = static_cast<TableId>(tables_.size() - 1);
+    names_.emplace(std::move(name), id);
+    return id;
+  }
+
+  OrderedIndex& table(TableId id) { return *tables_[id]; }
+  const OrderedIndex& table(TableId id) const { return *tables_[id]; }
+
+  // Returns the id for `name`; the table must exist.
+  TableId TableByName(const std::string& name) const { return names_.at(name); }
+  size_t TableCount() const { return tables_.size(); }
+
+  EpochManager& epochs() { return epochs_; }
+  const EpochManager& epochs() const { return epochs_; }
+
+ private:
+  std::vector<std::unique_ptr<OrderedIndex>> tables_;
+  std::unordered_map<std::string, TableId> names_;
+  EpochManager epochs_;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_DB_DATABASE_H_

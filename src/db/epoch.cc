@@ -1,0 +1,33 @@
+#include "src/db/epoch.h"
+
+namespace zygos {
+
+void EpochManager::StartAdvancer() {
+  if (advancer_.joinable()) {
+    return;
+  }
+  stop_ = false;
+  advancer_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, period_, [this] { return stop_; })) {
+        return;
+      }
+      Advance();
+    }
+  });
+}
+
+void EpochManager::StopAdvancer() {
+  if (!advancer_.joinable()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  advancer_.join();
+}
+
+}  // namespace zygos

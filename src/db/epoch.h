@@ -1,0 +1,54 @@
+// Epoch management (Silo §4.1).
+//
+// A global epoch number advances periodically (Silo: every 40 ms); commit TIDs embed
+// the epoch current at their serialization point, which gives cross-thread commit
+// ordering without a shared counter on the commit fast path. The paper's evaluation
+// disables the garbage-collection work tied to epochs ("we disabled garbage collection
+// for our measurements", §6.3.1); we keep the epoch clock because TIDs need it, but no
+// reclamation runs.
+#ifndef ZYGOS_DB_EPOCH_H_
+#define ZYGOS_DB_EPOCH_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace zygos {
+
+class EpochManager {
+ public:
+  // `period` is the wall-clock epoch length when the background advancer runs.
+  explicit EpochManager(std::chrono::milliseconds period = std::chrono::milliseconds(40))
+      : period_(period) {}
+
+  ~EpochManager() { StopAdvancer(); }
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  uint64_t Current() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Manually advances the epoch (tests, single-threaded drivers).
+  uint64_t Advance() { return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1; }
+
+  // Starts/stops the background advancer thread. Idempotent.
+  void StartAdvancer();
+  void StopAdvancer();
+
+  bool AdvancerRunning() const { return advancer_.joinable(); }
+
+ private:
+  std::atomic<uint64_t> epoch_{1};
+  std::chrono::milliseconds period_;
+  std::thread advancer_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_DB_EPOCH_H_

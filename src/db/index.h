@@ -1,0 +1,135 @@
+// Ordered in-memory index: the Masstree substitute.
+//
+// Silo stores records in Masstree, a trie/B+-tree hybrid supporting lock-free readers.
+// Reimplementing Masstree is out of scope (and immaterial to the paper's Fig. 10, which
+// depends on transaction *service times*, not index internals); instead the index is a
+// std::map guarded by a readers-writer lock:
+//
+//   - lookups and scans take the lock shared — concurrent readers never block each other;
+//   - structural inserts take it exclusive (record *values* are versioned in the Record
+//     itself, so updates never touch the index).
+//
+// Keys are byte strings whose lexicographic order encodes the schema order (see
+// tpcc_schema.h's big-endian key builders). Record pointers are stable for the life of
+// the index (map nodes are never moved, deletes are logical via the TID absent bit — GC
+// is disabled, as in the paper's Silo measurements).
+#ifndef ZYGOS_DB_INDEX_H_
+#define ZYGOS_DB_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/db/record.h"
+
+namespace zygos {
+
+class OrderedIndex {
+ public:
+  OrderedIndex() = default;
+  OrderedIndex(const OrderedIndex&) = delete;
+  OrderedIndex& operator=(const OrderedIndex&) = delete;
+
+  // Returns the record for `key`, or nullptr. The record may be logically absent —
+  // callers check the TID.
+  Record* Get(std::string_view key) const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : it->second.get();
+  }
+
+  // Returns the record for `key`, inserting a fresh absent record if none exists.
+  // `second` is true iff this call created the record.
+  std::pair<Record*, bool> GetOrInsert(const std::string& key) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        return {it->second.get(), false};
+      }
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto [it, inserted] = map_.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_unique<Record>();
+    }
+    return {it->second.get(), inserted};
+  }
+
+  // Visits records with lo <= key <= hi in key order (descending if requested) until
+  // `fn` returns false. Absent records are visited too — the transaction layer decides
+  // visibility. Holds the shared lock for the duration of the walk.
+  void Scan(std::string_view lo, std::string_view hi, bool descending,
+            const std::function<bool(const std::string&, Record*)>& fn) const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (lo > hi) {
+      return;
+    }
+    auto first = map_.lower_bound(lo);
+    auto last = map_.upper_bound(hi);
+    if (!descending) {
+      for (auto it = first; it != last; ++it) {
+        if (!fn(it->first, it->second.get())) {
+          return;
+        }
+      }
+      return;
+    }
+    while (last != first) {
+      --last;
+      if (!fn(last->first, last->second.get())) {
+        return;
+      }
+    }
+  }
+
+  // Number of keys (including logically absent ones).
+  size_t KeyCount() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return map_.size();
+  }
+
+  // Structurally unlinks `key` from the map, as Masstree's delete does. The record is
+  // moved to a graveyard (never freed — the paper benchmarks with GC disabled), so
+  // pointers held in concurrent read/write sets stay valid and still validate against
+  // the record's TID.
+  //
+  // Semantics caveat (why this is opt-in, see Transaction::Delete): a *point read* of
+  // an erased key that observed the absent record cannot detect a later fresh insert
+  // of the same key (the new key creates a new record). Range scans remain fully
+  // protected by their key fingerprints. Callers must erase only keys that are never
+  // blind-point-read again — e.g. TPC-C NEW-ORDER rows, whose o_id space is never
+  // revisited. Callers must not hold any record lock (a concurrent scanner may spin on
+  // a locked record while holding the shared index lock).
+  bool Erase(std::string_view key) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      return false;
+    }
+    graveyard_.push_back(std::move(it->second));
+    map_.erase(it);
+    return true;
+  }
+
+  // Tombstones awaiting the (disabled) garbage collector; exposed for tests.
+  size_t GraveyardSize() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return graveyard_.size();
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Record>, std::less<>> map_;
+  std::vector<std::unique_ptr<Record>> graveyard_;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_DB_INDEX_H_

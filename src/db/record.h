@@ -1,0 +1,102 @@
+// Versioned record: one row version with a Silo-style TID word and an atomically
+// swappable value.
+//
+// Readers use an optimistic seqlock-like protocol: read the TID, load the value
+// snapshot, re-read the TID, and retry if it moved or was locked. The value lives
+// behind std::atomic<std::shared_ptr<...>> so a concurrent install can never produce a
+// torn read — the reader either sees the old snapshot or the new one, and the TID
+// re-check tells it which version it observed.
+#ifndef ZYGOS_DB_RECORD_H_
+#define ZYGOS_DB_RECORD_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/db/tid.h"
+
+namespace zygos {
+
+class Record {
+ public:
+  // A new record starts absent (uncommitted insert); the inserting transaction's commit
+  // makes it visible.
+  Record() : tid_(TidWord::kAbsentBit) {}
+
+  Record(const Record&) = delete;
+  Record& operator=(const Record&) = delete;
+
+  // --- Optimistic read ----------------------------------------------------------------
+
+  struct ReadResult {
+    uint64_t tid = 0;  // observed version (unlocked; may carry the absent bit)
+    std::shared_ptr<const std::string> value;  // null iff absent
+  };
+
+  // Returns a consistent (tid, value) snapshot, spinning across in-flight writers.
+  ReadResult StableRead() const {
+    while (true) {
+      uint64_t t1 = tid_.load(std::memory_order_acquire);
+      if (TidWord::Locked(t1)) {
+        continue;
+      }
+      std::shared_ptr<const std::string> value = value_.load(std::memory_order_acquire);
+      uint64_t t2 = tid_.load(std::memory_order_acquire);
+      if (t1 == t2) {
+        if (TidWord::Absent(t1)) {
+          value.reset();
+        }
+        return ReadResult{t1, std::move(value)};
+      }
+    }
+  }
+
+  // Raw TID peek (validation path).
+  uint64_t LoadTid() const { return tid_.load(std::memory_order_acquire); }
+
+  // --- Write locking (commit protocol) -------------------------------------------------
+
+  // Spins until the lock bit is acquired. Safe against deadlock because committers lock
+  // their write sets in a global order.
+  void Lock() {
+    while (true) {
+      uint64_t t = tid_.load(std::memory_order_relaxed);
+      if (!TidWord::Locked(t) &&
+          tid_.compare_exchange_weak(t, t | TidWord::kLockBit,
+                                     std::memory_order_acquire)) {
+        return;
+      }
+    }
+  }
+
+  // Single attempt; true on success.
+  bool TryLock() {
+    uint64_t t = tid_.load(std::memory_order_relaxed);
+    return !TidWord::Locked(t) &&
+           tid_.compare_exchange_strong(t, t | TidWord::kLockBit,
+                                        std::memory_order_acquire);
+  }
+
+  // Releases the lock without changing the version (abort path).
+  void Unlock() {
+    tid_.fetch_and(~TidWord::kLockBit, std::memory_order_release);
+  }
+
+  // Installs a new committed version and releases the lock. Caller must hold the lock.
+  // `value` may be null only together with `absent` (logical delete).
+  void Install(uint64_t commit_tid, std::shared_ptr<const std::string> value,
+               bool absent = false) {
+    value_.store(std::move(value), std::memory_order_release);
+    uint64_t tid = TidWord::Version(commit_tid) | (absent ? TidWord::kAbsentBit : 0);
+    tid_.store(tid, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<uint64_t> tid_;
+  std::atomic<std::shared_ptr<const std::string>> value_;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_DB_RECORD_H_

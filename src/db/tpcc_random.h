@@ -1,0 +1,90 @@
+// TPC-C random input generation (clause 2.1.5 / 4.3): NURand, last-name construction,
+// and the alphanumeric/numeric string helpers used by the loader.
+#ifndef ZYGOS_DB_TPCC_RANDOM_H_
+#define ZYGOS_DB_TPCC_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace zygos {
+
+class TpccRandom {
+ public:
+  explicit TpccRandom(uint64_t seed) : rng_(seed) {}
+
+  // Uniform integer in [lo, hi].
+  int32_t Uniform(int32_t lo, int32_t hi) {
+    return static_cast<int32_t>(rng_.NextInRange(lo, hi));
+  }
+
+  // Non-uniform random (clause 2.1.6): NURand(A, x, y) with the standard constant C.
+  // Used with A=1023 for customer ids, A=8191 for item ids, A=255 for last names.
+  int32_t NuRand(int32_t a, int32_t x, int32_t y) {
+    int32_t c = 0;
+    switch (a) {
+      case 255:
+        c = 173;  // C-load for last names (any constant in range is spec-legal)
+        break;
+      case 1023:
+        c = 259;
+        break;
+      case 8191:
+        c = 7911;
+        break;
+      default:
+        c = 0;
+        break;
+    }
+    return (((Uniform(0, a) | Uniform(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  // Customer last name from the spec's ten syllables (clause 4.3.2.3). `num` in 0..999.
+  static std::string LastName(int32_t num) {
+    static const char* kSyllables[] = {"BAR", "OUGHT", "ABLE",  "PRI",   "PRES",
+                                       "ESE", "ANTI",  "CALLY", "ATION", "EING"};
+    std::string name;
+    name += kSyllables[(num / 100) % 10];
+    name += kSyllables[(num / 10) % 10];
+    name += kSyllables[num % 10];
+    return name;
+  }
+
+  // Last name for the *run* phase: NURand(255, 0, 999).
+  std::string RandomLastName() { return LastName(NuRand(255, 0, 999)); }
+
+  // Random alphanumeric string with length in [lo, hi] (a-string).
+  std::string AString(int32_t lo, int32_t hi) {
+    static const char kAlnum[] =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    int32_t len = Uniform(lo, hi);
+    std::string s;
+    s.reserve(static_cast<size_t>(len));
+    for (int32_t i = 0; i < len; ++i) {
+      s.push_back(kAlnum[rng_.NextBounded(sizeof(kAlnum) - 1)]);
+    }
+    return s;
+  }
+
+  // Random numeric string of exactly `len` digits (n-string).
+  std::string NString(int32_t len) {
+    std::string s;
+    s.reserve(static_cast<size_t>(len));
+    for (int32_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('0' + rng_.NextBounded(10)));
+    }
+    return s;
+  }
+
+  bool Chance(double p) { return rng_.NextBool(p); }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_DB_TPCC_RANDOM_H_

@@ -1,0 +1,65 @@
+// The five TPC-C transactions (clauses 2.4–2.8) over the OCC engine, with the standard
+// input-generation rules (NURand customer/item selection, 1% NewOrder rollbacks, 60%
+// customer-by-last-name, 15% remote Payment customers, 1% remote NewOrder stock).
+//
+// The standard mix is 45% NewOrder, 43% Payment, 4% each OrderStatus / Delivery /
+// StockLevel — the workload of the paper's Fig. 10 ("Each remote procedure call
+// generates one transaction from the TPC-C mix").
+#ifndef ZYGOS_DB_TPCC_TXNS_H_
+#define ZYGOS_DB_TPCC_TXNS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/db/database.h"
+#include "src/db/tpcc_loader.h"
+#include "src/db/tpcc_random.h"
+#include "src/db/tpcc_schema.h"
+#include "src/db/txn.h"
+
+namespace zygos {
+
+enum class TpccTxnType { kNewOrder, kPayment, kOrderStatus, kDelivery, kStockLevel };
+
+constexpr int kTpccTxnTypes = 5;
+const char* TpccTxnTypeName(TpccTxnType type);
+
+// Shared, thread-safe workload object (per-thread state lives in TxnExecutor +
+// TpccRandom, which callers own).
+class TpccWorkload {
+ public:
+  TpccWorkload(Database& db, TpccTables tables, LoaderOptions scale)
+      : db_(db), tables_(tables), scale_(scale) {}
+
+  // Samples a transaction type from the standard mix deck.
+  TpccTxnType SampleType(TpccRandom& random) const;
+
+  // Runs one transaction of `type` to completion (internal OCC retries included).
+  // Returns kCommitted, or kAborted for NewOrder's intentional 1% rollback.
+  TxnStatus Run(TpccTxnType type, TxnExecutor& executor, TpccRandom& random);
+
+  TxnStatus NewOrder(TxnExecutor& executor, TpccRandom& random);
+  TxnStatus Payment(TxnExecutor& executor, TpccRandom& random);
+  TxnStatus OrderStatus(TxnExecutor& executor, TpccRandom& random);
+  TxnStatus Delivery(TxnExecutor& executor, TpccRandom& random);
+  TxnStatus StockLevel(TxnExecutor& executor, TpccRandom& random);
+
+  const TpccTables& tables() const { return tables_; }
+  const LoaderOptions& scale() const { return scale_; }
+
+ private:
+  // Resolves a customer id by last name: the spec's midpoint rule over the name index.
+  // Returns 0 if the name matched nothing (possible only at reduced test scales).
+  int32_t CustomerByLastName(Transaction& txn, int32_t w, int32_t d,
+                             const std::string& last);
+
+  Database& db_;
+  TpccTables tables_;
+  LoaderOptions scale_;
+  std::atomic<uint64_t> history_seq_{1u << 20};  // above any loader-assigned key
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_DB_TPCC_TXNS_H_

@@ -1,0 +1,320 @@
+#include "src/db/txn.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/db/tid.h"
+
+namespace zygos {
+
+namespace {
+
+// FNV-1a step used for scan fingerprints (order-dependent combination).
+uint64_t Fnv1aMix(uint64_t h, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t Transaction::HashKey(uint64_t h, std::string_view key) {
+  // Mix in the length first so ("ab","c") and ("a","bc") sequences differ.
+  uint64_t len = key.size();
+  h = Fnv1aMix(h, &len, sizeof(len));
+  return Fnv1aMix(h, key.data(), key.size());
+}
+
+Transaction::WriteEntry* Transaction::FindWrite(TableId table, std::string_view key) {
+  for (auto& write : writes_) {
+    if (write.table == table && write.key == key) {
+      return &write;
+    }
+  }
+  return nullptr;
+}
+
+void Transaction::AddRead(Record* record, uint64_t observed_tid) {
+  reads_.push_back(ReadEntry{record, observed_tid});
+}
+
+std::optional<std::string> Transaction::Read(TableId table, std::string_view key) {
+  // Read-own-writes.
+  if (WriteEntry* write = FindWrite(table, key)) {
+    if (write->is_delete || write->value == nullptr) {
+      return std::nullopt;
+    }
+    return *write->value;
+  }
+  Record* record = db_.table(table).Get(key);
+  if (record == nullptr) {
+    // Structurally missing keys cannot be version-validated; they are covered only by
+    // scan fingerprints. TPC-C reads always target loaded keys, so this is a miss path
+    // for genuinely unknown keys.
+    return std::nullopt;
+  }
+  Record::ReadResult snapshot = record->StableRead();
+  AddRead(record, snapshot.tid);
+  if (snapshot.value == nullptr) {
+    return std::nullopt;  // logically absent; the TID is validated so the miss is stable
+  }
+  return *snapshot.value;
+}
+
+void Transaction::Write(TableId table, std::string key, std::string value) {
+  if (WriteEntry* write = FindWrite(table, key)) {
+    write->value = std::make_shared<const std::string>(std::move(value));
+    write->is_delete = false;
+    return;
+  }
+  WriteEntry entry;
+  entry.table = table;
+  entry.key = std::move(key);
+  entry.value = std::make_shared<const std::string>(std::move(value));
+  writes_.push_back(std::move(entry));
+}
+
+bool Transaction::Insert(TableId table, std::string key, std::string value) {
+  auto [record, created] = db_.table(table).GetOrInsert(key);
+  if (!created) {
+    uint64_t tid = record->LoadTid();
+    if (!TidWord::Absent(tid)) {
+      poisoned_duplicate_ = true;
+      return false;
+    }
+    // Reusing a dead/claimed slot: validate it is still absent at commit.
+    AddRead(record, TidWord::Version(tid) | TidWord::kAbsentBit);
+  }
+  WriteEntry entry;
+  entry.table = table;
+  entry.key = std::move(key);
+  entry.value = std::make_shared<const std::string>(std::move(value));
+  entry.record = record;
+  writes_.push_back(std::move(entry));
+  return true;
+}
+
+void Transaction::Delete(TableId table, std::string key, bool erase) {
+  if (WriteEntry* write = FindWrite(table, key)) {
+    write->value = nullptr;
+    write->is_delete = true;
+    write->erase_after = erase;
+    return;
+  }
+  WriteEntry entry;
+  entry.table = table;
+  entry.key = std::move(key);
+  entry.is_delete = true;
+  entry.erase_after = erase;
+  writes_.push_back(std::move(entry));
+}
+
+void Transaction::Scan(
+    TableId table, std::string_view lo, std::string_view hi, bool descending,
+    uint64_t limit,
+    const std::function<bool(const std::string& key, const std::string& value)>& fn) {
+  ScanEntry scan;
+  scan.table = table;
+  scan.lo = std::string(lo);
+  scan.hi = std::string(hi);
+  scan.descending = descending;
+  uint64_t fingerprint = 14695981039346656037ull;
+  uint64_t visited = 0;
+  std::string effective_bound;
+  bool stopped_early = false;
+
+  db_.table(table).Scan(lo, hi, descending, [&](const std::string& key, Record* record) {
+    Record::ReadResult snapshot = record->StableRead();
+    AddRead(record, snapshot.tid);
+    const WriteEntry* own = nullptr;
+    for (const auto& write : writes_) {
+      if (write.record == record ||
+          (write.table == table && write.key == key)) {
+        own = &write;
+        break;
+      }
+    }
+    // Fingerprint the *committed-visible* key set (own pending inserts stay absent
+    // until commit, so validation recomputes the same set).
+    if (snapshot.value != nullptr) {
+      fingerprint = HashKey(fingerprint, key);
+    }
+    // Row visibility for the callback applies own writes on top.
+    const std::string* row = nullptr;
+    if (own != nullptr) {
+      row = own->is_delete ? nullptr : own->value.get();
+    } else if (snapshot.value != nullptr) {
+      row = snapshot.value.get();
+    }
+    if (row == nullptr) {
+      return true;  // not visible; keep walking
+    }
+    visited++;
+    bool keep_going = fn(key, *row);
+    if (!keep_going || (limit != 0 && visited >= limit)) {
+      stopped_early = true;
+      effective_bound = key;
+      return false;
+    }
+    return true;
+  });
+
+  if (stopped_early) {
+    // Shrink the validated range to what was actually observed: phantoms beyond the
+    // stopping point cannot have affected this transaction.
+    if (descending) {
+      scan.lo = effective_bound;
+    } else {
+      scan.hi = effective_bound;
+    }
+  }
+  scan.fingerprint = fingerprint;
+  scan.count = visited;
+  scans_.push_back(std::move(scan));
+}
+
+bool Transaction::ValidateScan(const ScanEntry& scan,
+                               const std::vector<Record*>& locked_by_us) const {
+  uint64_t fingerprint = 14695981039346656037ull;
+  bool conflict = false;
+  db_.table(scan.table)
+      .Scan(scan.lo, scan.hi, scan.descending, [&](const std::string& key, Record* record) {
+        uint64_t tid = record->LoadTid();
+        if (TidWord::Locked(tid) &&
+            std::find(locked_by_us.begin(), locked_by_us.end(), record) ==
+                locked_by_us.end()) {
+          conflict = true;  // another committer is mutating the range
+          return false;
+        }
+        if (!TidWord::Absent(tid)) {
+          fingerprint = HashKey(fingerprint, key);
+        }
+        return true;
+      });
+  return !conflict && fingerprint == scan.fingerprint;
+}
+
+TxnStatus Transaction::Commit(uint64_t* last_tid) {
+  if (poisoned_duplicate_) {
+    Abort();
+    return TxnStatus::kDuplicate;
+  }
+  // Read-only fast path: validate reads and scans without locking anything.
+  // Phase 1: resolve and lock the write set in global (record-address) order.
+  for (auto& write : writes_) {
+    if (write.record == nullptr) {
+      auto [record, created] = db_.table(write.table).GetOrInsert(write.key);
+      write.record = record;
+      (void)created;
+    }
+  }
+  std::vector<Record*> locked;
+  locked.reserve(writes_.size());
+  for (const auto& write : writes_) {
+    locked.push_back(write.record);
+  }
+  std::sort(locked.begin(), locked.end());
+  locked.erase(std::unique(locked.begin(), locked.end()), locked.end());
+  for (Record* record : locked) {
+    record->Lock();
+  }
+
+  // Phase 2: serialization point + validation.
+  uint64_t epoch = db_.epochs().Current();
+  std::unordered_set<const Record*> own(locked.begin(), locked.end());
+  bool valid = true;
+  for (const auto& read : reads_) {
+    uint64_t current = read.record->LoadTid();
+    if (TidWord::Locked(current) && own.find(read.record) == own.end()) {
+      valid = false;  // locked by a concurrent committer
+      break;
+    }
+    // Both version and absent-bit must match what execution observed.
+    uint64_t current_cmp = current & ~TidWord::kLockBit;
+    uint64_t observed_cmp = read.observed_tid & ~TidWord::kLockBit;
+    if (current_cmp != observed_cmp) {
+      valid = false;
+      break;
+    }
+  }
+  if (valid) {
+    for (const auto& scan : scans_) {
+      if (!ValidateScan(scan, locked)) {
+        valid = false;
+        break;
+      }
+    }
+  }
+  if (!valid) {
+    for (Record* record : locked) {
+      record->Unlock();
+    }
+    Abort();
+    return TxnStatus::kAborted;
+  }
+
+  // Phase 3: pick the commit TID and install.
+  uint64_t max_seen = *last_tid;
+  for (const auto& read : reads_) {
+    max_seen = std::max(max_seen, TidWord::Version(read.observed_tid));
+  }
+  for (Record* record : locked) {
+    max_seen = std::max(max_seen, TidWord::Version(record->LoadTid()));
+  }
+  uint64_t commit_tid = TidWord::NextAfter(max_seen, epoch);
+  *last_tid = commit_tid;
+  committed_tid_ = commit_tid;
+
+  // A record may have several write entries (write-after-write); install the last one.
+  // Walk in reverse, installing the first entry seen per record.
+  std::unordered_set<const Record*> installed;
+  for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+    if (!installed.insert(it->record).second) {
+      continue;
+    }
+    it->record->Install(commit_tid, it->is_delete ? nullptr : it->value, it->is_delete);
+  }
+  // Structural unlinks happen only after every record lock has been released by
+  // Install: a concurrent scanner may spin on a locked record while holding the shared
+  // index lock, which Erase's unique lock would deadlock against.
+  for (const auto& write : writes_) {
+    if (write.is_delete && write.erase_after) {
+      db_.table(write.table).Erase(write.key);
+    }
+  }
+  reads_.clear();
+  writes_.clear();
+  scans_.clear();
+  return TxnStatus::kCommitted;
+}
+
+void Transaction::Abort() {
+  reads_.clear();
+  writes_.clear();
+  scans_.clear();
+}
+
+TxnStatus TxnExecutor::Run(const std::function<bool(Transaction&)>& body) {
+  while (true) {
+    Transaction txn(db_);
+    if (!body(txn)) {
+      txn.Abort();
+      user_aborts_++;
+      return TxnStatus::kAborted;
+    }
+    TxnStatus status = txn.Commit(&last_tid_);
+    if (status == TxnStatus::kCommitted) {
+      commits_++;
+      return status;
+    }
+    if (status == TxnStatus::kDuplicate) {
+      return status;
+    }
+    retries_++;  // validation conflict: re-execute from scratch
+  }
+}
+
+}  // namespace zygos

@@ -1,0 +1,159 @@
+// Optimistic concurrency control transaction, following Silo's commit protocol
+// (Tu et al., SOSP'13 §4):
+//
+//   execution   — reads record versions optimistically (TID-validated snapshots) into a
+//                 read set; writes are buffered in a write set; inserts place absent
+//                 records into the index immediately and claim them via the read set;
+//                 range scans additionally capture a key fingerprint for phantom checks.
+//   commit (1)  — lock the write set in a global order (record address), spin locks are
+//                 deadlock-free under the ordering;
+//   commit (2)  — serialization point: read the global epoch; validate that every read
+//                 record's TID is unchanged (and not locked by others) and that every
+//                 scanned key range still fingerprints identically (no phantoms);
+//   commit (3)  — pick the commit TID (greater than everything observed, the thread's
+//                 previous TID, and within the current epoch), install the new values,
+//                 and release the locks.
+//
+// Aborts release locks and leave claimed-but-absent inserts in the index (harmless,
+// equivalent to Silo's pre-GC state; the paper benchmarks with GC disabled).
+#ifndef ZYGOS_DB_TXN_H_
+#define ZYGOS_DB_TXN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/db/record.h"
+
+namespace zygos {
+
+enum class TxnStatus {
+  kCommitted,
+  kAborted,    // validation or write-write conflict; caller should retry
+  kDuplicate,  // insert hit an existing live key; caller decides (TPC-C treats as error)
+};
+
+class Transaction {
+ public:
+  explicit Transaction(Database& db) : db_(db) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  // Reads the committed value of `key` (applying this transaction's own pending
+  // writes). Returns nullopt if the key is missing or logically deleted. Records the
+  // observed version for validation even on misses that found an absent record.
+  std::optional<std::string> Read(TableId table, std::string_view key);
+
+  // Buffers an update. The key should exist (Read/Scan normally precedes it); writing a
+  // missing key silently upgrades to an insert at commit.
+  void Write(TableId table, std::string key, std::string value);
+
+  // Inserts a new key. Returns false (and poisons the transaction into kDuplicate) if
+  // the key already exists live.
+  bool Insert(TableId table, std::string key, std::string value);
+
+  // Logically deletes `key` (absent bit install at commit). With `erase` set, the key
+  // is additionally unlinked from the index after the commit installs (Masstree-style
+  // structural delete; see OrderedIndex::Erase for the semantics caveat — only use for
+  // keys that are never blind-point-read again, like TPC-C NEW-ORDER rows).
+  void Delete(TableId table, std::string key, bool erase = false);
+
+  // Ordered scan of lo..hi (inclusive, descending optional), visiting at most `limit`
+  // visible rows (0 = unlimited). `fn` returns false to stop early. Rows reflect this
+  // transaction's own pending writes. The visited range is fingerprinted for phantom
+  // validation at commit.
+  void Scan(TableId table, std::string_view lo, std::string_view hi, bool descending,
+            uint64_t limit,
+            const std::function<bool(const std::string& key, const std::string& value)>& fn);
+
+  // Runs the commit protocol. `last_tid` is the calling thread's most recent commit TID
+  // (in/out — threads own one, see TxnExecutor). After kCommitted, committed_tid() is
+  // valid. After any result the transaction object is finished (create a new one).
+  TxnStatus Commit(uint64_t* last_tid);
+
+  // Discards all buffered state (user abort / rollback). No locks are held outside
+  // Commit, so this only clears the sets.
+  void Abort();
+
+  uint64_t committed_tid() const { return committed_tid_; }
+
+  // Introspection for tests.
+  size_t ReadSetSize() const { return reads_.size(); }
+  size_t WriteSetSize() const { return writes_.size(); }
+  size_t ScanSetSize() const { return scans_.size(); }
+
+ private:
+  struct ReadEntry {
+    Record* record = nullptr;
+    uint64_t observed_tid = 0;
+  };
+  struct WriteEntry {
+    TableId table = 0;
+    std::string key;
+    std::shared_ptr<const std::string> value;  // null for delete
+    Record* record = nullptr;                  // resolved at buffering or commit time
+    bool is_delete = false;
+    bool erase_after = false;  // structural unlink after install (deletes only)
+  };
+  struct ScanEntry {
+    TableId table = 0;
+    std::string lo;
+    std::string hi;  // effective upper bound (shrunk when a limit stopped the walk)
+    bool descending = false;
+    uint64_t fingerprint = 0;
+    uint64_t count = 0;
+  };
+
+  WriteEntry* FindWrite(TableId table, std::string_view key);
+  void AddRead(Record* record, uint64_t observed_tid);
+
+  // Order-dependent hash of the visible keys in a range (phantom detection).
+  static uint64_t HashKey(uint64_t h, std::string_view key);
+
+  // Re-walks a scanned range and returns false if its visible-key fingerprint changed.
+  bool ValidateScan(const ScanEntry& scan,
+                    const std::vector<Record*>& locked_by_us) const;
+
+  Database& db_;
+  std::vector<ReadEntry> reads_;
+  std::vector<WriteEntry> writes_;
+  std::vector<ScanEntry> scans_;
+  uint64_t committed_tid_ = 0;
+  bool poisoned_duplicate_ = false;
+};
+
+// Per-thread transaction runner: owns the thread's last-commit TID and the retry loop.
+class TxnExecutor {
+ public:
+  explicit TxnExecutor(Database& db) : db_(db) {}
+
+  // Runs `body` in a fresh transaction, retrying on validation aborts until it commits
+  // or `body` requests rollback by returning false (user abort, e.g. TPC-C's 1%
+  // NewOrder rollback). Returns the final status: kCommitted, or kAborted for a user
+  // abort, or kDuplicate if an insert failed.
+  TxnStatus Run(const std::function<bool(Transaction&)>& body);
+
+  uint64_t last_tid() const { return last_tid_; }
+  uint64_t commits() const { return commits_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t user_aborts() const { return user_aborts_; }
+
+  Database& db() { return db_; }
+
+ private:
+  Database& db_;
+  uint64_t last_tid_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t user_aborts_ = 0;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_DB_TXN_H_

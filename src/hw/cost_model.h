@@ -1,0 +1,100 @@
+// Cost model: the per-operation overheads (in nanoseconds) that the discrete-event
+// system models charge for kernel/dataplane work.
+//
+// The paper measures real systems on a Xeon E5-2665; we cannot. Instead, every source of
+// overhead the paper discusses is an explicit, documented parameter here, with defaults
+// chosen so the *baseline* systems land near the paper's reported efficiency points
+// (Fig. 3: IX reaches 90% of the partitioned bound at >=25 µs tasks; Linux needs
+// >=90-120 µs; Fig. 7: ZygOS reaches 90% of the centralized bound at 30-40 µs).
+// The ablation bench sweeps the interesting knobs so readers can see how each cost
+// shifts the curves.
+#ifndef ZYGOS_HW_COST_MODEL_H_
+#define ZYGOS_HW_COST_MODEL_H_
+
+#include "src/common/time_units.h"
+
+namespace zygos {
+
+struct CostModel {
+  // --- Dataplane path (IX and the ZygOS lower layer) --------------------------------
+  // Per-packet RX work: driver dequeue + TCP/IP input processing (lwIP-grade stack).
+  Nanos rx_per_packet = 450;
+  // Fixed cost to enter the network-processing path once (poll, ring doorbells, batch
+  // bookkeeping); amortized over a batch.
+  Nanos rx_batch_fixed = 300;
+  // Per-response TX work: TCP/IP output + descriptor writeback (charged on the home core).
+  Nanos tx_per_packet = 350;
+  // Application dispatch: event-condition generation + syscall-batch turnaround per
+  // request (the libix boundary crossing).
+  Nanos app_dispatch = 250;
+
+  // --- ZygOS shuffle layer (§4.4, §5) ------------------------------------------------
+  // Enqueue a ready connection into the home shuffle queue (lock + push).
+  Nanos shuffle_enqueue = 80;
+  // Dequeue from the local shuffle queue (lock + pop + READY->BUSY transition).
+  Nanos shuffle_dequeue = 80;
+  // A successful steal: remote trylock, pop, PCB event-queue lock (cold cache lines).
+  Nanos steal_success = 250;
+  // A failed probe of one victim in the idle loop (read remote cache line).
+  Nanos steal_probe = 60;
+  // One full sweep of the idle polling loop (own ring + all remote shuffle queues,
+  // software queues and rings; §5 lists ~3(n-1)+1 cacheable locations). A newly
+  // published item is discovered by an idle core after a uniformly distributed fraction
+  // of this sweep. Setting it to 0 makes discovery instantaneous.
+  Nanos idle_poll_sweep = 2000;
+  // Shipping one batched syscall to the home core and executing it there (enqueue to
+  // MPSC + home-core dequeue + execution), excluding the TX work itself.
+  Nanos remote_syscall = 450;
+
+  // --- Inter-processor interrupts (§4.5) ---------------------------------------------
+  // Latency from sender decision to handler running on the destination core.
+  Nanos ipi_delivery = 1800;
+  // Handler entry/exit overhead charged to the interrupted core (on top of the kernel
+  // work the handler performs).
+  Nanos ipi_handler = 700;
+
+  // --- Linux baselines (§3.3) --------------------------------------------------------
+  // Per-request overhead of the partitioned epoll server: epoll_wait + read + write
+  // syscalls, socket locking, softirq share.
+  Nanos linux_partitioned_per_request = 5200;
+  // Per-request overhead of the floating-connection server; higher: shared epoll set,
+  // EPOLLEXCLUSIVE wakeups, cross-core socket locks.
+  Nanos linux_floating_per_request = 6800;
+  // Serialized (one-at-a-time) portion of the floating dequeue path: models the
+  // contention on the shared accept/poll structures. This term bounds the floating
+  // server's peak throughput at small task sizes.
+  Nanos linux_floating_serialized = 600;
+  // Wakeup latency when an idle Linux thread must be woken for a new event.
+  Nanos linux_wakeup = 2000;
+
+  // Built-in presets -------------------------------------------------------------------
+  // Default model, used by all headline experiments.
+  static CostModel Default() { return CostModel{}; }
+
+  // Zero-overhead model: turns the system simulators into their idealized queueing
+  // counterparts (used by validation tests: ZygOS -> ~M/G/n/FCFS, IX -> ~n x M/G/1).
+  static CostModel ZeroOverhead() {
+    CostModel m;
+    m.rx_per_packet = 0;
+    m.rx_batch_fixed = 0;
+    m.tx_per_packet = 0;
+    m.app_dispatch = 0;
+    m.shuffle_enqueue = 0;
+    m.shuffle_dequeue = 0;
+    m.steal_success = 0;
+    m.steal_probe = 0;
+    m.idle_poll_sweep = 0;
+    m.remote_syscall = 0;
+    m.ipi_delivery = 0;
+    m.ipi_handler = 0;
+    m.linux_partitioned_per_request = 0;
+    m.linux_floating_per_request = 0;
+    m.linux_floating_serialized = 0;
+    m.linux_wakeup = 0;
+    return m;
+  }
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_HW_COST_MODEL_H_

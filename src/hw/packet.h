@@ -1,0 +1,24 @@
+// Packet descriptor used by the simulated NIC paths.
+//
+// One packet carries one complete RPC request in the system models (the synthetic
+// microbenchmark requests fit one MTU, as in the paper). The runtime's loopback NIC
+// uses byte-stream segments instead (src/net); this struct is the DES-side counterpart.
+#ifndef ZYGOS_HW_PACKET_H_
+#define ZYGOS_HW_PACKET_H_
+
+#include <cstdint>
+
+#include "src/common/time_units.h"
+
+namespace zygos {
+
+struct Packet {
+  uint64_t request_id = 0;
+  uint64_t flow_id = 0;   // connection identifier; RSS hashes this
+  Nanos arrival = 0;      // client-side send time == NIC arrival (propagation ignored)
+  Nanos service = 0;      // pre-sampled service demand for synthetic workloads
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_HW_PACKET_H_

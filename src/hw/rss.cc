@@ -1,0 +1,46 @@
+#include "src/hw/rss.h"
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+namespace zygos {
+
+RssTable::RssTable(int num_flow_groups, int num_cores)
+    : num_flow_groups_(num_flow_groups), num_cores_(num_cores) {
+  assert(num_flow_groups > 0 && num_cores > 0);
+  indirection_.resize(static_cast<size_t>(num_flow_groups));
+  for (int g = 0; g < num_flow_groups; ++g) {
+    indirection_[static_cast<size_t>(g)] = g % num_cores;
+  }
+}
+
+uint32_t RssTable::HashFlow(uint64_t flow_id) const {
+  // SplitMix64 finalizer: full-avalanche mixing, a good stand-in for Toeplitz.
+  uint64_t z = flow_id + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<uint32_t>(z);
+}
+
+void RssTable::SetGroupCore(int flow_group, int core) {
+  assert(flow_group >= 0 && flow_group < num_flow_groups_);
+  assert(core >= 0 && core < num_cores_);
+  indirection_[static_cast<size_t>(flow_group)] = core;
+}
+
+void RssTable::SetIndirection(std::vector<int> table) {
+  assert(static_cast<int>(table.size()) == num_flow_groups_);
+  indirection_ = std::move(table);
+}
+
+std::vector<double> RssTable::CoreShares() const {
+  std::vector<double> shares(static_cast<size_t>(num_cores_), 0.0);
+  for (int core : indirection_) {
+    shares[static_cast<size_t>(core)] += 1.0 / num_flow_groups_;
+  }
+  return shares;
+}
+
+}  // namespace zygos

@@ -1,0 +1,59 @@
+// Receive-side scaling (RSS): flow-consistent dispatch of connections to cores.
+//
+// Real NICs hash the 5-tuple (Toeplitz) into a flow group and look the group up in an
+// indirection table that maps groups to receive queues (one per core). ZygOS keeps this
+// layer untouched — every packet of a connection always lands in its *home core's*
+// queue — and builds work stealing above it. We reproduce the same structure: a 64-bit
+// mixing hash stands in for Toeplitz (only distribution quality matters), and the
+// indirection table is reprogrammable so tests and ablations can create skewed layouts
+// (the persistent-imbalance scenarios of §2.3).
+#ifndef ZYGOS_HW_RSS_H_
+#define ZYGOS_HW_RSS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace zygos {
+
+class RssTable {
+ public:
+  // `num_flow_groups` plays the role of the NIC's indirection table size (128 entries
+  // for the 82599 NIC the paper uses); groups are assigned to cores round-robin by
+  // default.
+  RssTable(int num_flow_groups, int num_cores);
+
+  // Stateless hash of a flow identifier (stand-in for the Toeplitz hash of the 5-tuple).
+  uint32_t HashFlow(uint64_t flow_id) const;
+
+  int FlowGroupOf(uint64_t flow_id) const {
+    return static_cast<int>(HashFlow(flow_id) % static_cast<uint32_t>(num_flow_groups_));
+  }
+
+  // The home core of a flow: indirection[flow_group].
+  int HomeCoreOf(uint64_t flow_id) const { return indirection_[FlowGroupOf(flow_id)]; }
+
+  // Direct indirection-table lookup (for balanced round-robin connection placement,
+  // where the caller assigns flow groups without hashing).
+  int GroupCore(int flow_group) const { return indirection_[flow_group]; }
+
+  // Reprograms one indirection entry (the control-plane hook IX/ZygOS expose).
+  void SetGroupCore(int flow_group, int core);
+
+  // Replaces the whole table; `table.size()` must equal NumFlowGroups().
+  void SetIndirection(std::vector<int> table);
+
+  int NumFlowGroups() const { return num_flow_groups_; }
+  int NumCores() const { return num_cores_; }
+
+  // Fraction of flow groups homed on each core (diagnostics for imbalance tests).
+  std::vector<double> CoreShares() const;
+
+ private:
+  int num_flow_groups_;
+  int num_cores_;
+  std::vector<int> indirection_;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_HW_RSS_H_

@@ -1,0 +1,70 @@
+#include "src/kvstore/hash_table.h"
+
+#include <atomic>
+#include <bit>
+
+namespace zygos {
+
+HashTable::HashTable(size_t bucket_count, size_t stripes)
+    : bucket_mask_(std::bit_ceil(bucket_count) - 1),
+      buckets_(bucket_mask_ + 1),
+      stripe_mask_(std::bit_ceil(stripes) - 1),
+      locks_(stripe_mask_ + 1) {}
+
+uint64_t HashTable::Hash(const std::string& key) {
+  // FNV-1a, finished with a mix step: fast and adequate for short memcached keys.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  return h;
+}
+
+Spinlock& HashTable::LockFor(uint64_t hash) const { return locks_[hash & stripe_mask_]; }
+
+bool HashTable::Set(const std::string& key, const std::string& value) {
+  uint64_t h = Hash(key);
+  Spinlock::Guard guard(LockFor(h));
+  Bucket& bucket = buckets_[h & bucket_mask_];
+  for (Entry& entry : bucket.entries) {
+    if (entry.key == key) {
+      entry.value = value;
+      return false;
+    }
+  }
+  bucket.entries.push_back(Entry{key, value});
+  size_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<std::string> HashTable::Get(const std::string& key) const {
+  uint64_t h = Hash(key);
+  Spinlock::Guard guard(LockFor(h));
+  const Bucket& bucket = buckets_[h & bucket_mask_];
+  for (const Entry& entry : bucket.entries) {
+    if (entry.key == key) {
+      return entry.value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool HashTable::Delete(const std::string& key) {
+  uint64_t h = Hash(key);
+  Spinlock::Guard guard(LockFor(h));
+  Bucket& bucket = buckets_[h & bucket_mask_];
+  for (size_t i = 0; i < bucket.entries.size(); ++i) {
+    if (bucket.entries[i].key == key) {
+      bucket.entries[i] = std::move(bucket.entries.back());
+      bucket.entries.pop_back();
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t HashTable::Size() const { return size_.load(std::memory_order_relaxed); }
+
+}  // namespace zygos

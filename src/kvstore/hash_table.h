@@ -1,0 +1,57 @@
+// Striped-lock chained hash table: the storage engine of the memcached-style KV store.
+//
+// memcached itself is a big hash table behind a slab allocator; for the Fig. 9
+// experiments only the operation cost profile matters (sub-microsecond lookups with
+// a short lock hold). The table uses per-stripe spinlocks so the multi-core runtime can
+// serve concurrent GET/SET traffic, and chains collisions in per-bucket vectors.
+#ifndef ZYGOS_KVSTORE_HASH_TABLE_H_
+#define ZYGOS_KVSTORE_HASH_TABLE_H_
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/concurrency/spinlock.h"
+
+namespace zygos {
+
+class HashTable {
+ public:
+  // `bucket_count` is rounded up to a power of two. `stripes` locks guard disjoint
+  // bucket ranges (must also be a power of two <= bucket_count).
+  explicit HashTable(size_t bucket_count = 1 << 16, size_t stripes = 64);
+
+  // Inserts or overwrites. Returns true if the key was newly inserted.
+  bool Set(const std::string& key, const std::string& value);
+
+  // Returns the value or nullopt.
+  std::optional<std::string> Get(const std::string& key) const;
+
+  // Removes the key; returns true if it existed.
+  bool Delete(const std::string& key);
+
+  size_t Size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  struct Bucket {
+    std::vector<Entry> entries;
+  };
+
+  static uint64_t Hash(const std::string& key);
+  Spinlock& LockFor(uint64_t hash) const;
+
+  size_t bucket_mask_;
+  std::vector<Bucket> buckets_;
+  size_t stripe_mask_;
+  mutable std::vector<Spinlock> locks_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_KVSTORE_HASH_TABLE_H_

@@ -1,0 +1,60 @@
+#include "src/kvstore/protocol.h"
+
+#include <cstring>
+
+namespace zygos {
+
+std::string EncodeKvRequest(const KvRequest& request) {
+  std::string out;
+  out.reserve(3 + request.key.size() + request.value.size());
+  out.push_back(static_cast<char>(request.op));
+  auto key_len = static_cast<uint16_t>(request.key.size());
+  out.append(reinterpret_cast<const char*>(&key_len), 2);
+  out.append(request.key);
+  out.append(request.value);
+  return out;
+}
+
+std::optional<KvRequest> DecodeKvRequest(const std::string& payload) {
+  if (payload.size() < 3) {
+    return std::nullopt;
+  }
+  KvRequest request;
+  auto op = static_cast<uint8_t>(payload[0]);
+  if (op > static_cast<uint8_t>(KvOp::kDelete)) {
+    return std::nullopt;
+  }
+  request.op = static_cast<KvOp>(op);
+  uint16_t key_len;
+  std::memcpy(&key_len, payload.data() + 1, 2);
+  if (payload.size() < 3u + key_len) {
+    return std::nullopt;
+  }
+  request.key.assign(payload.data() + 3, key_len);
+  request.value.assign(payload.data() + 3 + key_len, payload.size() - 3 - key_len);
+  return request;
+}
+
+std::string EncodeKvResponse(const KvResponse& response) {
+  std::string out;
+  out.reserve(1 + response.value.size());
+  out.push_back(static_cast<char>(response.status));
+  out.append(response.value);
+  return out;
+}
+
+std::optional<KvResponse> DecodeKvResponse(const std::string& payload) {
+  if (payload.empty()) {
+    return std::nullopt;
+  }
+  auto status = static_cast<uint8_t>(payload[0]);
+  if (status > static_cast<uint8_t>(KvStatus::kError)) {
+    return std::nullopt;
+  }
+  KvResponse response;
+  response.status = static_cast<KvStatus>(status);
+  response.value.assign(payload.data() + 1, payload.size() - 1);
+  return response;
+}
+
+}  // namespace zygos

@@ -1,0 +1,43 @@
+// Binary GET/SET protocol for the memcached-style service.
+//
+// Requests and responses travel as the payload of the framed RPC messages
+// (src/net/message.h). Layout (little-endian):
+//
+//   request:  [u8 op][u16 key_len][key bytes][value bytes...]   (value for SET only)
+//   response: [u8 status][value bytes...]                        (value for GET hits)
+//
+// This stands in for the memcached binary protocol: same information content, same
+// parse cost profile (a header read plus bounded copies).
+#ifndef ZYGOS_KVSTORE_PROTOCOL_H_
+#define ZYGOS_KVSTORE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace zygos {
+
+enum class KvOp : uint8_t { kGet = 0, kSet = 1, kDelete = 2 };
+enum class KvStatus : uint8_t { kOk = 0, kMiss = 1, kError = 2 };
+
+struct KvRequest {
+  KvOp op = KvOp::kGet;
+  std::string key;
+  std::string value;  // SET only
+};
+
+struct KvResponse {
+  KvStatus status = KvStatus::kError;
+  std::string value;  // GET hits only
+};
+
+std::string EncodeKvRequest(const KvRequest& request);
+// Returns nullopt on malformed input.
+std::optional<KvRequest> DecodeKvRequest(const std::string& payload);
+
+std::string EncodeKvResponse(const KvResponse& response);
+std::optional<KvResponse> DecodeKvResponse(const std::string& payload);
+
+}  // namespace zygos
+
+#endif  // ZYGOS_KVSTORE_PROTOCOL_H_

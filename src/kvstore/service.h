@@ -1,0 +1,52 @@
+// The KV service: request payload in, response payload out.
+//
+// This is the application-layer callback plugged into both the real-thread runtime and
+// the service-time measurement harness that feeds Fig. 9's system-model runs.
+#ifndef ZYGOS_KVSTORE_SERVICE_H_
+#define ZYGOS_KVSTORE_SERVICE_H_
+
+#include <string>
+
+#include "src/kvstore/hash_table.h"
+#include "src/kvstore/protocol.h"
+
+namespace zygos {
+
+class KvService {
+ public:
+  explicit KvService(size_t bucket_count = 1 << 16) : table_(bucket_count) {}
+
+  // Executes one request; always produces a well-formed response payload.
+  std::string Handle(const std::string& request_payload) {
+    auto request = DecodeKvRequest(request_payload);
+    if (!request.has_value()) {
+      return EncodeKvResponse({KvStatus::kError, ""});
+    }
+    switch (request->op) {
+      case KvOp::kGet: {
+        auto value = table_.Get(request->key);
+        if (value.has_value()) {
+          return EncodeKvResponse({KvStatus::kOk, *std::move(value)});
+        }
+        return EncodeKvResponse({KvStatus::kMiss, ""});
+      }
+      case KvOp::kSet:
+        table_.Set(request->key, request->value);
+        return EncodeKvResponse({KvStatus::kOk, ""});
+      case KvOp::kDelete:
+        return EncodeKvResponse(
+            {table_.Delete(request->key) ? KvStatus::kOk : KvStatus::kMiss, ""});
+    }
+    return EncodeKvResponse({KvStatus::kError, ""});
+  }
+
+  HashTable& table() { return table_; }
+  const HashTable& table() const { return table_; }
+
+ private:
+  HashTable table_;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_KVSTORE_SERVICE_H_

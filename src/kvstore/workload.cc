@@ -1,0 +1,87 @@
+#include "src/kvstore/workload.h"
+
+#include <chrono>
+
+#include "src/kvstore/protocol.h"
+
+namespace zygos {
+
+KvWorkload::KvWorkload(KvWorkloadSpec spec, uint64_t seed)
+    : spec_(spec), seed_(seed), rng_(seed) {}
+
+std::string KvWorkload::KeyAt(uint64_t index) const {
+  // USR keys are short and near-fixed (19-21 B in the trace); ETC keys span 20-45 B.
+  // A numeric core plus deterministic padding derived from the index gives stable,
+  // unique keys with the right length profile.
+  std::string key = "k" + std::to_string(index);
+  size_t target;
+  if (spec_.kind == KvWorkloadKind::kUsr) {
+    target = 19 + index % 3;  // 19-21 bytes
+  } else {
+    target = 20 + (index * 2654435761u) % 26;  // 20-45 bytes
+  }
+  while (key.size() < target) {
+    key.push_back(static_cast<char>('a' + (key.size() * 7 + index) % 26));
+  }
+  return key;
+}
+
+std::string KvWorkload::SampleValue(Rng& rng) const {
+  if (spec_.kind == KvWorkloadKind::kUsr) {
+    return std::string(2, 'v');  // USR: 2-byte values
+  }
+  // ETC value sizes: a discretized approximation of the published distribution —
+  // a spike of tiny values, a body of a-few-hundred-byte values, and a tail to ~1 KB.
+  double u = rng.NextDouble();
+  size_t size;
+  if (u < 0.4) {
+    size = 2 + rng.NextBounded(10);  // tiny values are ~40% of the pool
+  } else if (u < 0.9) {
+    size = 64 + rng.NextBounded(448);  // body: 64-512 B
+  } else {
+    size = 512 + rng.NextBounded(512);  // tail to 1 KB
+  }
+  return std::string(size, 'v');
+}
+
+std::string KvWorkload::SampleRequest(Rng& rng) const {
+  KvRequest request;
+  uint64_t index = rng.NextBounded(spec_.num_keys);
+  request.key = KeyAt(index);
+  if (rng.NextBool(spec_.get_fraction)) {
+    request.op = KvOp::kGet;
+  } else {
+    request.op = KvOp::kSet;
+    request.value = SampleValue(rng);
+  }
+  return EncodeKvRequest(request);
+}
+
+void KvWorkload::Populate(KvService& service) {
+  Rng rng(seed_ ^ 0x5eed);
+  for (uint64_t i = 0; i < spec_.num_keys; ++i) {
+    service.table().Set(KeyAt(i), SampleValue(rng));
+  }
+}
+
+std::vector<Nanos> KvWorkload::MeasureServiceTimes(KvService& service, int samples) {
+  Rng rng(seed_ ^ 0x7157);
+  std::vector<Nanos> times;
+  times.reserve(static_cast<size_t>(samples));
+  // Warm the caches with a few hundred untimed ops.
+  for (int i = 0; i < 512; ++i) {
+    service.Handle(SampleRequest(rng));
+  }
+  for (int i = 0; i < samples; ++i) {
+    std::string request = SampleRequest(rng);
+    auto start = std::chrono::steady_clock::now();
+    std::string response = service.Handle(request);
+    auto end = std::chrono::steady_clock::now();
+    (void)response;
+    times.push_back(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+  }
+  return times;
+}
+
+}  // namespace zygos

@@ -1,0 +1,70 @@
+// The ETC and USR workloads (Atikoglu et al. [1], as modelled by mutilate [34]).
+//
+// Fig. 9 evaluates memcached under two Facebook traces:
+//   - USR: tiny fixed-size records (short keys, 2-byte values), overwhelmingly GETs.
+//     Near-deterministic sub-microsecond service times.
+//   - ETC: the general-purpose pool: 20-45 byte keys, value sizes spread to ~1 KB
+//     (we use a discretized approximation of the published size distribution), ~97% GET.
+//
+// The generator pre-populates a KvService and then produces a request stream; it also
+// measures the service's per-operation cost to build the empirical service-time
+// distribution that drives the Fig. 9 system-model runs.
+#ifndef ZYGOS_KVSTORE_WORKLOAD_H_
+#define ZYGOS_KVSTORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/distribution.h"
+#include "src/common/rng.h"
+#include "src/kvstore/service.h"
+
+namespace zygos {
+
+enum class KvWorkloadKind { kUsr, kEtc };
+
+struct KvWorkloadSpec {
+  KvWorkloadKind kind = KvWorkloadKind::kUsr;
+  uint64_t num_keys = 100'000;
+  double get_fraction = 0.998;
+
+  static KvWorkloadSpec Usr() {
+    return KvWorkloadSpec{KvWorkloadKind::kUsr, 100'000, 0.998};
+  }
+  static KvWorkloadSpec Etc() {
+    return KvWorkloadSpec{KvWorkloadKind::kEtc, 100'000, 0.97};
+  }
+  const char* Name() const { return kind == KvWorkloadKind::kUsr ? "USR" : "ETC"; }
+};
+
+class KvWorkload {
+ public:
+  KvWorkload(KvWorkloadSpec spec, uint64_t seed);
+
+  // Key for index i (stable; used for population and request generation).
+  std::string KeyAt(uint64_t index) const;
+  // Samples a value for SETs / population, per the workload's size distribution.
+  std::string SampleValue(Rng& rng) const;
+  // Builds one request payload (GET or SET per the mix, uniform key popularity).
+  std::string SampleRequest(Rng& rng) const;
+
+  // Inserts every key with a sampled value.
+  void Populate(KvService& service);
+
+  // Runs `samples` operations against the populated service, timing each with the
+  // steady clock, and returns the measured per-op service times in nanoseconds. This is
+  // the measured-substrate step of the Fig. 9 methodology.
+  std::vector<Nanos> MeasureServiceTimes(KvService& service, int samples);
+
+  const KvWorkloadSpec& spec() const { return spec_; }
+
+ private:
+  KvWorkloadSpec spec_;
+  uint64_t seed_;
+  mutable Rng rng_;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_KVSTORE_WORKLOAD_H_

@@ -1,0 +1,58 @@
+#include "src/net/message.h"
+
+namespace zygos {
+
+namespace {
+
+void PutU32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+}  // namespace
+
+void EncodeMessage(const Message& msg, std::string& out) {
+  PutU32(out, static_cast<uint32_t>(msg.payload.size()));
+  PutU64(out, msg.request_id);
+  out.append(msg.payload);
+}
+
+bool FrameParser::Feed(const char* data, size_t len) {
+  if (poisoned_) {
+    return false;
+  }
+  buffer_.append(data, len);
+  while (buffer_.size() >= kHeaderSize) {
+    uint32_t payload_len;
+    std::memcpy(&payload_len, buffer_.data(), 4);
+    if (payload_len > kMaxPayload) {
+      poisoned_ = true;
+      return false;
+    }
+    size_t frame = kHeaderSize + payload_len;
+    if (buffer_.size() < frame) {
+      break;
+    }
+    Message msg;
+    std::memcpy(&msg.request_id, buffer_.data() + 4, 8);
+    msg.payload.assign(buffer_.data() + kHeaderSize, payload_len);
+    messages_.push_back(std::move(msg));
+    buffer_.erase(0, frame);
+  }
+  return true;
+}
+
+std::vector<Message> FrameParser::TakeMessages() {
+  std::vector<Message> out;
+  out.swap(messages_);
+  return out;
+}
+
+}  // namespace zygos

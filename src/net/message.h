@@ -1,0 +1,60 @@
+// RPC message framing over an ordered byte stream.
+//
+// The synthetic benchmark, the KV store and the networked Silo port all speak
+// length-prefixed messages over "TCP" (an ordered, reliable byte stream — provided by
+// the loopback NIC in the runtime and assumed by the DES). The frame layout is:
+//
+//   [u32 payload_len][u64 request_id][payload bytes]
+//
+// request_id is chosen by the client and echoed in the response so an open-loop client
+// can match completions to send timestamps. The parser is incremental: bytes may arrive
+// in arbitrary segment boundaries (back-to-back requests in one segment, one request
+// split across many), which is exactly the condition that makes socket stealing unsafe
+// without ZygOS's ordering guarantees (§4.3).
+#ifndef ZYGOS_NET_MESSAGE_H_
+#define ZYGOS_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace zygos {
+
+struct Message {
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+// Appends the wire encoding of `msg` to `out`.
+void EncodeMessage(const Message& msg, std::string& out);
+
+// Incremental frame parser. Feed() consumes any number of bytes; complete messages are
+// appended to an internal queue drained with TakeMessages().
+class FrameParser {
+ public:
+  static constexpr size_t kHeaderSize = 4 + 8;
+  // Frames larger than this indicate a corrupt stream; Feed() returns false.
+  static constexpr size_t kMaxPayload = 16 * 1024 * 1024;
+
+  // Returns false on a malformed frame (oversized length); the parser is then poisoned
+  // and ignores further input.
+  bool Feed(const char* data, size_t len);
+
+  // Moves out all fully parsed messages, in stream order.
+  std::vector<Message> TakeMessages();
+
+  bool HasMessages() const { return !messages_.empty(); }
+  bool Poisoned() const { return poisoned_; }
+  // Bytes buffered waiting for the rest of a frame.
+  size_t PendingBytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  std::vector<Message> messages_;
+  bool poisoned_ = false;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_NET_MESSAGE_H_

@@ -1,0 +1,192 @@
+#include "src/queueing/models.h"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/poisson_source.h"
+#include "src/sim/simulator.h"
+
+namespace zygos {
+
+std::string QueueingModelId::Label(int num_servers) const {
+  std::string policy = discipline == Discipline::kFcfs ? "FCFS" : "PS";
+  if (topology == Topology::kCentralized) {
+    return "M/G/" + std::to_string(num_servers) + "/" + policy;
+  }
+  return std::to_string(num_servers) + "xM/G/1/" + policy;
+}
+
+namespace {
+
+struct Job {
+  Nanos arrival;
+  Nanos service;
+};
+
+// ---------------------------------------------------------------------------
+// FCFS models. A single implementation covers both topologies: the centralized model is
+// one station with n servers; the partitioned model is n stations with one server each
+// and uniformly random assignment (the paper's "random selector").
+// ---------------------------------------------------------------------------
+class FcfsStation {
+ public:
+  FcfsStation(Simulator& sim, int servers, QueueingRunResult& result, uint64_t warmup)
+      : sim_(sim), free_servers_(servers), result_(result), warmup_(warmup) {}
+
+  void Arrive(Job job, uint64_t index) {
+    if (free_servers_ > 0) {
+      free_servers_--;
+      Start(job, index);
+    } else {
+      queue_.push_back({job, index});
+    }
+  }
+
+ private:
+  void Start(Job job, uint64_t index) {
+    Nanos wait = sim_.Now() - job.arrival;
+    if (index >= warmup_) {
+      result_.wait.Record(wait);
+    }
+    sim_.Schedule(job.service, [this, job, index] { Complete(job, index); });
+  }
+
+  void Complete(Job job, uint64_t index) {
+    if (index >= warmup_) {
+      result_.sojourn.Record(sim_.Now() - job.arrival);
+    }
+    if (!queue_.empty()) {
+      auto [next, next_index] = queue_.front();
+      queue_.pop_front();
+      Start(next, next_index);
+    } else {
+      free_servers_++;
+    }
+  }
+
+  Simulator& sim_;
+  int free_servers_;
+  std::deque<std::pair<Job, uint64_t>> queue_;
+  QueueingRunResult& result_;
+  uint64_t warmup_;
+};
+
+// ---------------------------------------------------------------------------
+// Processor-sharing models.
+//
+// Egalitarian PS with k jobs in the station: each job receives service at rate
+//   r(k) = min(1, c / k)        (c = processors in the station)
+// i.e. a job can use at most one full processor, and total capacity c is split equally
+// once k > c. Implemented with the classic attained-service ladder: a virtual quantity A
+// advances at rate r(k); a job arriving at A0 with size s departs when A reaches A0 + s.
+// Only the smallest outstanding threshold needs an event; arrivals and departures
+// reschedule it.
+// ---------------------------------------------------------------------------
+class PsStation {
+ public:
+  PsStation(Simulator& sim, int processors, QueueingRunResult& result, uint64_t warmup)
+      : sim_(sim), processors_(processors), result_(result), warmup_(warmup) {}
+
+  void Arrive(Job job, uint64_t index) {
+    AdvanceAttained();
+    double threshold = attained_ + static_cast<double>(job.service);
+    jobs_.emplace(threshold, std::make_pair(job.arrival, index));
+    RescheduleDeparture();
+  }
+
+ private:
+  double Rate() const {
+    auto k = jobs_.size();
+    if (k == 0) {
+      return 0.0;
+    }
+    return k <= static_cast<size_t>(processors_)
+               ? 1.0
+               : static_cast<double>(processors_) / static_cast<double>(k);
+  }
+
+  void AdvanceAttained() {
+    Nanos now = sim_.Now();
+    attained_ += static_cast<double>(now - last_update_) * Rate();
+    last_update_ = now;
+  }
+
+  void RescheduleDeparture() {
+    pending_departure_.Cancel();
+    if (jobs_.empty()) {
+      return;
+    }
+    double gap = jobs_.begin()->first - attained_;
+    auto delay = static_cast<Nanos>(gap / Rate());
+    if (delay < 0) {
+      delay = 0;
+    }
+    pending_departure_ = sim_.Schedule(delay, [this] { Depart(); });
+  }
+
+  void Depart() {
+    AdvanceAttained();
+    auto it = jobs_.begin();
+    auto [arrival, index] = it->second;
+    jobs_.erase(it);
+    if (index >= warmup_) {
+      result_.sojourn.Record(sim_.Now() - arrival);
+    }
+    RescheduleDeparture();
+  }
+
+  Simulator& sim_;
+  int processors_;
+  // threshold -> (arrival time, request index); multimap tolerates equal thresholds.
+  std::multimap<double, std::pair<Nanos, uint64_t>> jobs_;
+  double attained_ = 0.0;
+  Nanos last_update_ = 0;
+  EventHandle pending_departure_;
+  QueueingRunResult& result_;
+  uint64_t warmup_;
+};
+
+}  // namespace
+
+QueueingRunResult RunQueueingModel(QueueingModelId id, const QueueingRunParams& params,
+                                   const ServiceTimeDistribution& service) {
+  Simulator sim;
+  QueueingRunResult result;
+  Rng rng(params.seed);
+  Rng service_rng = rng.Fork();
+  Rng routing_rng = rng.Fork();
+
+  int stations = id.topology == Topology::kCentralized ? 1 : params.num_servers;
+  int servers_per_station = id.topology == Topology::kCentralized ? params.num_servers : 1;
+
+  std::vector<std::unique_ptr<FcfsStation>> fcfs;
+  std::vector<std::unique_ptr<PsStation>> ps;
+  for (int i = 0; i < stations; ++i) {
+    if (id.discipline == Discipline::kFcfs) {
+      fcfs.push_back(
+          std::make_unique<FcfsStation>(sim, servers_per_station, result, params.warmup));
+    } else {
+      ps.push_back(std::make_unique<PsStation>(sim, servers_per_station, result, params.warmup));
+    }
+  }
+
+  // λ = load · n / S̄ (requests per ns).
+  double rate = params.load * params.num_servers / service.MeanNanos();
+  PoissonSource source(sim, rng.Fork(), rate, params.num_requests, [&](uint64_t index) {
+    Job job{sim.Now(), service.Sample(service_rng)};
+    size_t station =
+        stations == 1 ? 0 : routing_rng.NextBounded(static_cast<uint64_t>(stations));
+    if (id.discipline == Discipline::kFcfs) {
+      fcfs[station]->Arrive(job, index);
+    } else {
+      ps[station]->Arrive(job, index);
+    }
+  });
+  source.Start();
+  sim.Run();
+  return result;
+}
+
+}  // namespace zygos

@@ -1,0 +1,58 @@
+// Idealized queueing models from the paper's §2.3 (Figure 2).
+//
+// Four open-loop models in Kendall notation, all with Poisson arrivals (A = M) and a
+// configurable service-time distribution (S = G):
+//   - centralized-FCFS   M/G/n/FCFS    : one global FIFO feeding n servers
+//   - partitioned-FCFS   n×M/G/1/FCFS  : random assignment to n private FIFOs
+//   - centralized-PS     M/G/n/PS      : egalitarian processor sharing over n processors
+//                                        (each job capped at one full processor)
+//   - partitioned-PS     n×M/G/1/PS    : random assignment to n single-processor PS queues
+//
+// These are *zero-overhead* models: no network stack, no scheduling cost, no
+// propagation delay. They provide the theoretical upper bounds (grey lines) in
+// Figures 3 and 7 and the full content of Figure 2.
+#ifndef ZYGOS_QUEUEING_MODELS_H_
+#define ZYGOS_QUEUEING_MODELS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/distribution.h"
+#include "src/common/histogram.h"
+#include "src/common/time_units.h"
+
+namespace zygos {
+
+enum class Discipline { kFcfs, kProcessorSharing };
+enum class Topology { kCentralized, kPartitioned };
+
+// Identifies one of the four models; Label() renders the paper's notation,
+// e.g. "M/G/16/FCFS" or "16xM/G/1/PS".
+struct QueueingModelId {
+  Discipline discipline;
+  Topology topology;
+  std::string Label(int num_servers) const;
+};
+
+struct QueueingRunParams {
+  int num_servers = 16;
+  // Offered load ρ = λ·S̄/n, in (0, 1).
+  double load = 0.5;
+  // Total requests to simulate; the first `warmup` are excluded from the histogram.
+  uint64_t num_requests = 400'000;
+  uint64_t warmup = 20'000;
+  uint64_t seed = 1;
+};
+
+struct QueueingRunResult {
+  LatencyHistogram sojourn;  // end-to-end latency: queueing delay + service
+  LatencyHistogram wait;     // queueing delay only (FCFS models; empty for PS)
+};
+
+// Simulates the requested model to completion and returns latency histograms.
+QueueingRunResult RunQueueingModel(QueueingModelId id, const QueueingRunParams& params,
+                                   const ServiceTimeDistribution& service);
+
+}  // namespace zygos
+
+#endif  // ZYGOS_QUEUEING_MODELS_H_

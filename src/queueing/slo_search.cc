@@ -1,0 +1,24 @@
+#include "src/queueing/slo_search.h"
+
+namespace zygos {
+
+double FindMaxLoadAtSlo(const std::function<Nanos(double)>& p99_of_load, Nanos slo,
+                        const SloSearchOptions& options) {
+  double lo = options.min_load;
+  double hi = options.max_load;
+  if (p99_of_load(lo) > slo) {
+    return 0.0;
+  }
+  // Invariant: p99(lo) <= slo. `hi` may or may not violate; bisect towards the boundary.
+  for (int i = 0; i < options.iterations; ++i) {
+    double mid = (lo + hi) / 2.0;
+    if (p99_of_load(mid) <= slo) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace zygos

@@ -1,0 +1,31 @@
+// Max-load-at-SLO search (the paper's second metric, §3.1).
+//
+// Given a (stochastically monotone) mapping load -> p99 latency and an SLO expressed as
+// an absolute latency bound, finds the largest load whose p99 still meets the SLO by
+// bisection. This is the machinery behind Figures 3 and 7 and Table 1's
+// "Max load@SLO" column.
+#ifndef ZYGOS_QUEUEING_SLO_SEARCH_H_
+#define ZYGOS_QUEUEING_SLO_SEARCH_H_
+
+#include <functional>
+
+#include "src/common/time_units.h"
+
+namespace zygos {
+
+struct SloSearchOptions {
+  double min_load = 0.01;
+  double max_load = 0.99;
+  // Bisection iterations; 10 gives ~0.001 resolution on [0.01, 0.99].
+  int iterations = 10;
+};
+
+// Returns the largest load in [min_load, max_load] for which `p99_of_load(load) <= slo`,
+// or 0 if even min_load violates the SLO. `p99_of_load` may be expensive (it usually
+// runs a full simulation); it is invoked `iterations + 1` times at most.
+double FindMaxLoadAtSlo(const std::function<Nanos(double)>& p99_of_load, Nanos slo,
+                        const SloSearchOptions& options = {});
+
+}  // namespace zygos
+
+#endif  // ZYGOS_QUEUEING_SLO_SEARCH_H_

@@ -1,0 +1,105 @@
+// In-process open-loop client for the real-thread runtime: Poisson arrivals paced in
+// wall-clock time over a population of flows (the mutilate role), plus a thread-safe
+// latency collector wired to the runtime's completion callback.
+//
+// On hosts with fewer hardware threads than workers the wall-clock latencies include
+// OS scheduling noise — the examples print them as illustrations; the reproducible
+// latency *experiments* all run on the discrete-event models (src/sysmodel).
+#ifndef ZYGOS_RUNTIME_CLIENT_H_
+#define ZYGOS_RUNTIME_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/time_units.h"
+#include "src/concurrency/spinlock.h"
+#include "src/runtime/runtime.h"
+
+namespace zygos {
+
+// Thread-safe latency sink; pass Handler() as the Runtime's completion callback.
+class LatencyCollector {
+ public:
+  void Record(Nanos arrival) {
+    Nanos now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+    Spinlock::Guard guard(lock_);
+    histogram_.Record(now - arrival);
+  }
+
+  CompletionHandler Handler() {
+    return [this](uint64_t flow_id, uint64_t request_id, const std::string& response,
+                  Nanos arrival) {
+      (void)flow_id;
+      (void)request_id;
+      (void)response;
+      Record(arrival);
+    };
+  }
+
+  // Copy of the histogram (safe while traffic is running).
+  LatencyHistogram Snapshot() const {
+    Spinlock::Guard guard(lock_);
+    return histogram_;
+  }
+
+ private:
+  mutable Spinlock lock_;
+  LatencyHistogram histogram_;
+};
+
+struct ClientOptions {
+  double rate_rps = 50'000;      // aggregate offered load
+  uint64_t total_requests = 100'000;
+  size_t payload_size = 32;
+  uint64_t seed = 1;
+};
+
+// Blocking open-loop generator: call Run() from a dedicated thread.
+class OpenLoopClient {
+ public:
+  OpenLoopClient(Runtime& runtime, ClientOptions options)
+      : runtime_(runtime), options_(options), rng_(options.seed) {}
+
+  void Run() {
+    const std::string payload(options_.payload_size, 'x');
+    const double mean_gap_ns = 1e9 / options_.rate_rps;
+    auto next = std::chrono::steady_clock::now();
+    const auto num_flows = static_cast<uint64_t>(runtime_.options().num_flows);
+    for (uint64_t i = 0; i < options_.total_requests; ++i) {
+      next += std::chrono::nanoseconds(
+          static_cast<int64_t>(rng_.NextExponential(mean_gap_ns)));
+      // Hybrid wait: sleep for the bulk, spin the last ~50 µs for pacing accuracy.
+      while (std::chrono::steady_clock::now() < next) {
+        auto remaining = next - std::chrono::steady_clock::now();
+        if (remaining > std::chrono::microseconds(100)) {
+          std::this_thread::sleep_for(remaining - std::chrono::microseconds(50));
+        }
+      }
+      if (runtime_.Inject(rng_.NextBounded(num_flows), i, payload)) {
+        sent_++;
+      } else {
+        dropped_++;
+      }
+    }
+  }
+
+  uint64_t sent() const { return sent_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  Runtime& runtime_;
+  ClientOptions options_;
+  Rng rng_;
+  uint64_t sent_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_RUNTIME_CLIENT_H_

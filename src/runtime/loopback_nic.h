@@ -1,0 +1,79 @@
+// Loopback NIC: the real-thread runtime's stand-in for a multi-queue 10GbE NIC.
+//
+// Clients inject byte segments tagged with a flow id; RSS (src/hw/rss.h) maps the flow
+// to its home core's receive ring, exactly like hardware flow steering. Rings are
+// bounded (a full ring drops the segment and counts it, as a NIC would) and
+// multi-producer (any client thread) / multi-consumer (the home core in the normal
+// path — but any core may *poll* occupancy, which is what the ZygOS idle loop does).
+#ifndef ZYGOS_RUNTIME_LOOPBACK_NIC_H_
+#define ZYGOS_RUNTIME_LOOPBACK_NIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/time_units.h"
+#include "src/concurrency/mpmc_queue.h"
+#include "src/hw/rss.h"
+
+namespace zygos {
+
+// One unit of arriving bytes for a flow. Segment boundaries are arbitrary relative to
+// message frames — reassembly is the netstack layer's job (FrameParser).
+struct Segment {
+  uint64_t flow_id = 0;
+  std::string bytes;
+  Nanos arrival = 0;  // client timestamp (latency accounting)
+};
+
+class LoopbackNic {
+ public:
+  LoopbackNic(int num_queues, int num_flow_groups, size_t ring_capacity)
+      : rss_(num_flow_groups, num_queues) {
+    rings_.reserve(static_cast<size_t>(num_queues));
+    for (int q = 0; q < num_queues; ++q) {
+      rings_.push_back(std::make_unique<MpmcQueue<Segment>>(ring_capacity));
+    }
+  }
+
+  int num_queues() const { return static_cast<int>(rings_.size()); }
+  const RssTable& rss() const { return rss_; }
+  RssTable& mutable_rss() { return rss_; }
+
+  // Queue (home core) serving `flow_id` under the current RSS programming.
+  int QueueOf(uint64_t flow_id) const { return rss_.HomeCoreOf(flow_id); }
+
+  // Injects a segment; returns false (and counts a drop) when the ring is full.
+  bool Inject(Segment segment) {
+    int queue = QueueOf(segment.flow_id);
+    if (!rings_[static_cast<size_t>(queue)]->TryPush(std::move(segment))) {
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  // Dequeues one segment from `queue`; nullopt when empty.
+  std::optional<Segment> Poll(int queue) {
+    return rings_[static_cast<size_t>(queue)]->TryPop();
+  }
+
+  // Racy occupancy peek: the remote-ring polling step of the ZygOS idle loop.
+  bool ApproxNonEmpty(int queue) const {
+    return !rings_[static_cast<size_t>(queue)]->ApproxEmpty();
+  }
+
+  uint64_t Drops() const { return drops_.load(std::memory_order_relaxed); }
+
+ private:
+  RssTable rss_;
+  std::vector<std::unique_ptr<MpmcQueue<Segment>>> rings_;
+  std::atomic<uint64_t> drops_{0};
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_RUNTIME_LOOPBACK_NIC_H_

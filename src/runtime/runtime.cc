@@ -1,0 +1,287 @@
+#include "src/runtime/runtime.h"
+
+#include <chrono>
+
+#include "src/core/idle_policy.h"
+
+namespace zygos {
+
+namespace {
+
+Nanos NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// Snapshot of remotely observable state for the shared idle-loop policy.
+class Runtime::WorkerView final : public IdleLoopView {
+ public:
+  explicit WorkerView(const Runtime& runtime) : runtime_(runtime) {}
+
+  int NumCores() const override { return runtime_.options_.num_workers; }
+  bool OwnHwRingNonEmpty(int self) const override {
+    return runtime_.nic_.ApproxNonEmpty(self);
+  }
+  bool ShuffleNonEmpty(int core) const override {
+    return !runtime_.shuffle_.ApproxEmpty(core);
+  }
+  bool SoftwareQueueNonEmpty(int core) const override {
+    (void)core;
+    return false;  // the runtime parses segments immediately; no staging queue
+  }
+  bool HwRingNonEmpty(int core) const override {
+    return runtime_.nic_.ApproxNonEmpty(core);
+  }
+  bool InUserMode(int core) const override {
+    return runtime_.in_user_mode_[static_cast<size_t>(core)]->load(
+        std::memory_order_acquire);
+  }
+
+ private:
+  const Runtime& runtime_;
+};
+
+Runtime::Runtime(RuntimeOptions options, RequestHandler handler,
+                 CompletionHandler on_complete)
+    : options_(options),
+      handler_(std::move(handler)),
+      on_complete_(std::move(on_complete)),
+      nic_(options.num_workers, options.num_flow_groups, options.ring_capacity),
+      shuffle_(options.num_workers) {
+  Rng seeder(0x2e67a5u);
+  for (int c = 0; c < options_.num_workers; ++c) {
+    remote_queues_.push_back(std::make_unique<MpmcQueue<RemoteSyscall>>(
+        options_.ring_capacity));
+    doorbells_.push_back(std::make_unique<Doorbell>());
+    stats_.push_back(std::make_unique<WorkerStats>());
+    in_user_mode_.push_back(std::make_unique<std::atomic<bool>>(false));
+    worker_rngs_.push_back(seeder.Fork());
+  }
+}
+
+Runtime::~Runtime() {
+  if (started_.load() && !stop_.load()) {
+    Shutdown();
+  }
+}
+
+void Runtime::Start() {
+  // Connections are built here (not in the constructor) so tests may reprogram the RSS
+  // indirection table first; the PCB home core is fixed for the connection's lifetime,
+  // as in the paper (flow-group reprogramming migrates *future* connections).
+  connections_.reserve(static_cast<size_t>(options_.num_flows));
+  for (int flow = 0; flow < options_.num_flows; ++flow) {
+    auto id = static_cast<uint64_t>(flow);
+    connections_.push_back(std::make_unique<Connection>(id, nic_.QueueOf(id)));
+  }
+  started_.store(true);
+  for (int c = 0; c < options_.num_workers; ++c) {
+    workers_.emplace_back([this, c] { WorkerLoop(c); });
+  }
+}
+
+void Runtime::Shutdown() {
+  // Drain: every accepted request must complete (work conservation makes this finite).
+  while (completed_.load(std::memory_order_acquire) <
+         injected_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  stop_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+}
+
+bool Runtime::Inject(uint64_t flow_id, uint64_t request_id, const std::string& payload) {
+  std::string bytes;
+  EncodeMessage(Message{request_id, payload}, bytes);
+  return InjectBytes(flow_id, std::move(bytes), 1);
+}
+
+bool Runtime::InjectBytes(uint64_t flow_id, std::string bytes,
+                          uint64_t expected_messages) {
+  Segment segment;
+  segment.flow_id = flow_id;
+  segment.bytes = std::move(bytes);
+  segment.arrival = NowNanos();
+  if (!nic_.Inject(std::move(segment))) {
+    return false;
+  }
+  injected_.fetch_add(expected_messages, std::memory_order_release);
+  return true;
+}
+
+WorkerStats Runtime::TotalStats() const {
+  WorkerStats total;
+  for (const auto& stats : stats_) {
+    total.rx_segments += stats->rx_segments;
+    total.app_events += stats->app_events;
+    total.stolen_events += stats->stolen_events;
+    total.remote_syscalls += stats->remote_syscalls;
+    total.doorbells_sent += stats->doorbells_sent;
+    total.doorbells_received += stats->doorbells_received;
+  }
+  return total;
+}
+
+ShuffleStats Runtime::TotalShuffleStats() const { return shuffle_.TotalStats(); }
+
+void Runtime::WorkerLoop(int core) {
+  WorkerStats& stats = *stats_[static_cast<size_t>(core)];
+  WorkerView view(*this);
+  IdlePolicy policy;
+  Rng& rng = worker_rngs_[static_cast<size_t>(core)];
+
+  while (true) {
+    if (doorbells_[static_cast<size_t>(core)]->Drain() != 0) {
+      stats.doorbells_received++;
+    }
+    bool worked = false;
+    // Priority 1: remote batched syscalls (they hold socket ownership and directly
+    // add to RPC latency, §4.5).
+    worked |= DrainRemoteSyscalls(core) > 0;
+    // Priority 2: own ring through the netstack.
+    worked |= NetstackRx(core, /*budget=*/64) > 0;
+    // Priority 3: local shuffle queue.
+    if (Pcb* pcb = shuffle_.DequeueLocal(core)) {
+      ExecuteConnection(core, pcb, /*stolen=*/false);
+      worked = true;
+    }
+    if (worked) {
+      continue;
+    }
+    // Priority 4: the idle loop (ZygOS mode only; partitioned cores just spin on
+    // their own work sources, the shared-nothing baseline).
+    if (options_.mode == RuntimeMode::kZygos) {
+      IdleAction action = policy.Next(core, view, rng);
+      switch (action.kind) {
+        case IdleActionKind::kProcessOwnRing:
+          continue;  // top of loop will pick it up at priority 2
+        case IdleActionKind::kSteal:
+          if (Pcb* pcb = shuffle_.TrySteal(core, action.target_core)) {
+            ExecuteConnection(core, pcb, /*stolen=*/true);
+            continue;
+          }
+          break;  // lost the race; fall through to park
+        case IdleActionKind::kSendIpi:
+          if (doorbells_[static_cast<size_t>(action.target_core)]->Ring(
+                  IpiReason::kPendingPackets)) {
+            stats.doorbells_sent++;
+          }
+          break;
+        case IdleActionKind::kNone:
+          break;
+      }
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if (options_.yield_when_idle) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+uint64_t Runtime::DrainRemoteSyscalls(int core) {
+  WorkerStats& stats = *stats_[static_cast<size_t>(core)];
+  uint64_t executed = 0;
+  while (auto call = remote_queues_[static_cast<size_t>(core)]->TryPop()) {
+    Transmit(core, *call);
+    stats.remote_syscalls++;
+    executed++;
+    if (call->pcb != nullptr) {
+      // Final syscall of a stolen batch: release exclusive ownership (busy -> ready
+      // or idle); a re-enqueue becomes visible to this core and to thieves.
+      shuffle_.CompleteExecution(call->pcb);
+    }
+  }
+  return executed;
+}
+
+uint64_t Runtime::NetstackRx(int core, int budget) {
+  WorkerStats& stats = *stats_[static_cast<size_t>(core)];
+  uint64_t consumed = 0;
+  for (int i = 0; i < budget; ++i) {
+    auto segment = nic_.Poll(core);
+    if (!segment.has_value()) {
+      break;
+    }
+    consumed++;
+    stats.rx_segments++;
+    Connection& conn = *connections_[static_cast<size_t>(segment->flow_id)];
+    conn.parser.Feed(segment->bytes.data(), segment->bytes.size());
+    for (Message& message : conn.parser.TakeMessages()) {
+      conn.pcb.PushEvent(PcbEvent{message.request_id, segment->arrival, 0,
+                                  std::move(message.payload)});
+    }
+    if (conn.pcb.HasPendingEvents()) {
+      shuffle_.NotifyPending(&conn.pcb);
+    }
+  }
+  return consumed;
+}
+
+uint64_t Runtime::ExecuteConnection(int core, Pcb* pcb, bool stolen) {
+  WorkerStats& stats = *stats_[static_cast<size_t>(core)];
+  // Grab every pending event: exclusive ownership covers the whole pipelined batch
+  // (the paper's implicit per-flow batching, §6.2).
+  std::vector<PcbEvent> events;
+  while (auto event = pcb->PopEvent()) {
+    events.push_back(std::move(*event));
+  }
+  in_user_mode_[static_cast<size_t>(core)]->store(true, std::memory_order_release);
+  std::vector<RemoteSyscall> responses;
+  responses.reserve(events.size());
+  for (PcbEvent& event : events) {
+    RemoteSyscall response;
+    response.flow_id = pcb->flow_id();
+    response.request_id = event.request_id;
+    response.arrival = event.arrival;
+    response.response = handler_(pcb->flow_id(), event.payload);
+    responses.push_back(std::move(response));
+    stats.app_events++;
+    if (stolen) {
+      stats.stolen_events++;
+    }
+  }
+  in_user_mode_[static_cast<size_t>(core)]->store(false, std::memory_order_release);
+
+  if (!stolen || responses.empty()) {
+    // Home-core path (or a raced-to-empty claim): transmit directly, release ownership.
+    for (const RemoteSyscall& response : responses) {
+      Transmit(core, response);
+    }
+    shuffle_.CompleteExecution(pcb);
+    return events.size();
+  }
+  // Stolen path: ship response syscalls to the home core; the last one releases
+  // ownership there, after its TX (§4.4's state machine discipline).
+  int home = pcb->home_core();
+  for (size_t i = 0; i < responses.size(); ++i) {
+    responses[i].pcb = (i + 1 == responses.size()) ? pcb : nullptr;
+    // The remote queue is bounded; a full queue back-pressures the thief (responses
+    // must not be dropped).
+    while (!remote_queues_[static_cast<size_t>(home)]->TryPushRef(responses[i])) {
+      std::this_thread::yield();
+    }
+  }
+  if (doorbells_[static_cast<size_t>(home)]->Ring(IpiReason::kRemoteSyscalls)) {
+    stats.doorbells_sent++;
+  }
+  return events.size();
+}
+
+void Runtime::Transmit(int core, const RemoteSyscall& response) {
+  (void)core;
+  if (on_complete_) {
+    on_complete_(response.flow_id, response.request_id, response.response,
+                 response.arrival);
+  }
+  completed_.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace zygos

@@ -1,0 +1,171 @@
+// The ZygOS runtime: the paper's three-layer architecture (§4.2) executed by real
+// threads.
+//
+//   layer 1  per-core "netstack": each worker drains its own loopback-NIC ring and
+//            reassembles message frames into per-connection (PCB) event queues —
+//            coherency-free, home-core-only, like the paper's lwIP-on-RSS layer 1.
+//   layer 2  shuffle layer: ready connections enter the home core's shuffle queue
+//            (src/core/shuffle_layer.h); the home core or any idle remote core
+//            atomically claims exclusive socket ownership (idle→ready→busy machine).
+//   layer 3  execution layer: the claimed connection's pending requests are handed to
+//            the application handler; responses from a *stolen* connection are shipped
+//            back to the home core over an MPSC queue ("remote batched syscalls",
+//            Fig. 4 step (b)) and transmitted there, keeping TX home-core-only.
+//
+// Work conservation comes from the idle loop (§5): an idle worker scans — own ring,
+// remote shuffle queues (steal), remote rings (doorbell the home core). IPIs are
+// modelled by Doorbells: a software substitute for Dune's posted interrupts that the
+// receiving worker notices at its next scheduling boundary rather than mid-handler
+// (documented substitution — user-mode code cannot be preempted safely in-process;
+// the DES models true preemption, this runtime demonstrates the mechanism).
+//
+// Modes:
+//   kZygos        — full design: stealing + doorbells.
+//   kPartitioned  — layer 2 disabled across cores (every core serves only its own
+//                   flows, run-to-completion): the IX/shared-nothing baseline.
+#ifndef ZYGOS_RUNTIME_RUNTIME_H_
+#define ZYGOS_RUNTIME_RUNTIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time_units.h"
+#include "src/concurrency/doorbell.h"
+#include "src/concurrency/mpmc_queue.h"
+#include "src/core/shuffle_layer.h"
+#include "src/net/message.h"
+#include "src/net/pcb.h"
+#include "src/runtime/loopback_nic.h"
+
+namespace zygos {
+
+enum class RuntimeMode { kZygos, kPartitioned };
+
+// Application request handler: body of one RPC. Runs on whichever core claimed the
+// connection; per-connection calls are serialized by socket ownership, so handlers for
+// the same flow never run concurrently (the §4.3 ordering guarantee).
+using RequestHandler =
+    std::function<std::string(uint64_t flow_id, const std::string& request)>;
+
+// Completion hook: response leaving the "NIC". Runs on the connection's home core.
+// `arrival` is the client inject timestamp (latency = now - arrival).
+using CompletionHandler = std::function<void(uint64_t flow_id, uint64_t request_id,
+                                             const std::string& response, Nanos arrival)>;
+
+struct RuntimeOptions {
+  int num_workers = 4;
+  RuntimeMode mode = RuntimeMode::kZygos;
+  int num_flows = 64;
+  int num_flow_groups = 128;
+  size_t ring_capacity = 4096;
+  // Yield the OS thread inside the idle loop (essential on machines with fewer
+  // hardware threads than workers; harmless elsewhere).
+  bool yield_when_idle = true;
+};
+
+struct WorkerStats {
+  uint64_t rx_segments = 0;
+  uint64_t app_events = 0;        // requests executed on this core
+  uint64_t stolen_events = 0;     // requests this core executed for another home core
+  uint64_t remote_syscalls = 0;   // responses executed here on behalf of thieves
+  uint64_t doorbells_sent = 0;
+  uint64_t doorbells_received = 0;
+};
+
+class Runtime {
+ public:
+  Runtime(RuntimeOptions options, RequestHandler handler, CompletionHandler on_complete);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Launches the worker threads. Must be called once before Inject.
+  void Start();
+
+  // Waits until every injected request has completed, then stops the workers.
+  void Shutdown();
+
+  // Client-side entry: frames `payload` as one RPC message on `flow_id` and delivers
+  // the bytes to the flow's home ring. Returns false on a full ring (dropped).
+  bool Inject(uint64_t flow_id, uint64_t request_id, const std::string& payload);
+
+  // Raw-bytes entry for tests: delivers exactly `bytes` (which may contain partial or
+  // multiple frames) to the flow's home ring. `expected_messages` is the number of
+  // complete messages the bytes will eventually complete (for Shutdown accounting).
+  bool InjectBytes(uint64_t flow_id, std::string bytes, uint64_t expected_messages);
+
+  // Statistics (stable after Shutdown; racy-but-safe snapshots while running).
+  const WorkerStats& StatsFor(int worker) const { return *stats_[static_cast<size_t>(worker)]; }
+  WorkerStats TotalStats() const;
+  ShuffleStats TotalShuffleStats() const;
+  uint64_t NicDrops() const { return nic_.Drops(); }
+  uint64_t Injected() const { return injected_.load(std::memory_order_relaxed); }
+  uint64_t Completed() const { return completed_.load(std::memory_order_relaxed); }
+
+  // Home core of a flow under the current RSS programming (tests use this to build
+  // skewed layouts).
+  int HomeCoreOf(uint64_t flow_id) const { return nic_.QueueOf(flow_id); }
+  RssTable& mutable_rss() { return nic_.mutable_rss(); }
+
+  const RuntimeOptions& options() const { return options_; }
+
+ private:
+  // One response shipped from a thief back to the home core (Fig. 4 step (b)).
+  struct RemoteSyscall {
+    Pcb* pcb = nullptr;  // non-null on the batch's last response: releases ownership
+    uint64_t request_id = 0;
+    Nanos arrival = 0;
+    std::string response;
+    uint64_t flow_id = 0;
+  };
+
+  struct Connection {
+    explicit Connection(uint64_t flow_id, int home_core) : pcb(flow_id, home_core) {}
+    Pcb pcb;
+    FrameParser parser;  // touched only by the home core (layer-1 isolation)
+  };
+
+  class WorkerView;
+
+  void WorkerLoop(int core);
+  // Drains this core's remote-syscall queue; returns the number executed.
+  uint64_t DrainRemoteSyscalls(int core);
+  // Pulls up to `budget` segments from the core's ring through the parser into PCB
+  // event queues; returns segments consumed.
+  uint64_t NetstackRx(int core, int budget);
+  // Executes every pending event of a claimed connection; handles home vs stolen
+  // response paths. Returns events executed.
+  uint64_t ExecuteConnection(int core, Pcb* pcb, bool stolen);
+  // Transmits one response on the home core and records completion.
+  void Transmit(int core, const RemoteSyscall& response);
+  // Idle-loop body; returns true if any work was found.
+  bool IdleScan(int core);
+
+  RuntimeOptions options_;
+  RequestHandler handler_;
+  CompletionHandler on_complete_;
+  LoopbackNic nic_;
+  ShuffleLayer shuffle_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::unique_ptr<MpmcQueue<RemoteSyscall>>> remote_queues_;
+  std::vector<std::unique_ptr<Doorbell>> doorbells_;
+  std::vector<std::unique_ptr<WorkerStats>> stats_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> in_user_mode_;
+  std::vector<std::thread> workers_;
+  std::vector<Rng> worker_rngs_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<uint64_t> injected_{0};
+  std::atomic<uint64_t> completed_{0};
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_RUNTIME_RUNTIME_H_

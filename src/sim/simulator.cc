@@ -1,0 +1,52 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+
+namespace zygos {
+
+EventHandle Simulator::ScheduleAt(Nanos time, std::function<void()> fn) {
+  assert(time >= now_ && "cannot schedule in the past");
+  auto state = std::make_shared<EventHandle::State>();
+  state->fn = std::move(fn);
+  queue_.push(QueueItem{time, next_seq_++, state});
+  return EventHandle(std::move(state));
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    QueueItem item = queue_.top();
+    queue_.pop();
+    if (item.state->cancelled) {
+      continue;
+    }
+    now_ = item.time;
+    item.state->fired = true;
+    auto fn = std::move(item.state->fn);
+    item.state->fn = nullptr;
+    events_processed_++;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && Step()) {
+  }
+}
+
+void Simulator::RunUntil(Nanos deadline) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty()) {
+    if (queue_.top().time > deadline) {
+      break;
+    }
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace zygos

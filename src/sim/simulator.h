@@ -1,0 +1,106 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop over virtual nanosecond time. This is the substrate on
+// which both the idealized queueing models (§2.3 / Fig. 2) and the full system models
+// (ZygOS, IX, Linux — §3, §6) execute. Events may be cancelled after scheduling, which
+// the system models use to model preemption (an IPI arriving mid-task postpones the
+// task's completion event).
+#ifndef ZYGOS_SIM_SIMULATOR_H_
+#define ZYGOS_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/time_units.h"
+
+namespace zygos {
+
+// Handle to a scheduled event; allows cancellation. Handles are cheap to copy and may
+// outlive the event (Cancel() after the event fired is a no-op).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Prevents the event from firing. Safe to call repeatedly or after the event fired.
+  void Cancel() {
+    if (state_) {
+      state_->cancelled = true;
+      state_->fn = nullptr;  // release captured resources eagerly
+    }
+  }
+
+  // True if the event is still scheduled and will fire.
+  bool Pending() const { return state_ && !state_->cancelled && !state_->fired; }
+
+ private:
+  friend class Simulator;
+  struct State {
+    std::function<void()> fn;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current virtual time.
+  Nanos Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` ns from now (delay >= 0). Events scheduled for the
+  // same instant fire in scheduling order (stable FIFO tie-break).
+  EventHandle Schedule(Nanos delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Schedules `fn` at absolute virtual time `time` (>= Now()).
+  EventHandle ScheduleAt(Nanos time, std::function<void()> fn);
+
+  // Runs a single event. Returns false if the queue was empty (time unchanged).
+  bool Step();
+
+  // Runs until the event queue is empty.
+  void Run();
+
+  // Runs events with time <= `deadline`; afterwards Now() == deadline unless the queue
+  // emptied earlier.
+  void RunUntil(Nanos deadline);
+
+  // Requests that Run()/RunUntil() return after the current event completes. The queue
+  // is left intact; execution can resume.
+  void Stop() { stop_requested_ = true; }
+
+  // Number of (non-cancelled) events executed so far.
+  uint64_t EventsProcessed() const { return events_processed_; }
+
+ private:
+  struct QueueItem {
+    Nanos time;
+    uint64_t seq;
+    std::shared_ptr<EventHandle::State> state;
+    bool operator>(const QueueItem& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue_;
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_SIM_SIMULATOR_H_

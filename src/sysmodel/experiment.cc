@@ -1,0 +1,44 @@
+#include "src/sysmodel/experiment.h"
+
+namespace zygos {
+
+std::vector<SweepPoint> LatencyThroughputSweep(SystemKind kind, SystemRunParams params,
+                                               const ServiceTimeDistribution& service,
+                                               const std::vector<double>& loads) {
+  std::vector<SweepPoint> points;
+  points.reserve(loads.size());
+  for (double load : loads) {
+    params.load = load;
+    SystemRunResult result = RunSystemModel(kind, params, service);
+    SweepPoint point;
+    point.load = load;
+    point.throughput_rps = result.ThroughputRps();
+    point.p50 = result.latency.P50();
+    point.p99 = result.latency.P99();
+    point.steal_fraction = result.StealFraction();
+    point.ipis = result.ipis;
+    points.push_back(point);
+  }
+  return points;
+}
+
+double MaxLoadAtSlo(SystemKind kind, SystemRunParams params,
+                    const ServiceTimeDistribution& service, Nanos slo,
+                    const SloSearchOptions& options) {
+  auto p99_of_load = [&](double load) -> Nanos {
+    params.load = load;
+    return RunSystemModel(kind, params, service).latency.P99();
+  };
+  return FindMaxLoadAtSlo(p99_of_load, slo, options);
+}
+
+std::vector<double> EvenLoads(int points, double max_load) {
+  std::vector<double> loads;
+  loads.reserve(static_cast<size_t>(points));
+  for (int i = 1; i <= points; ++i) {
+    loads.push_back(max_load * static_cast<double>(i) / static_cast<double>(points));
+  }
+  return loads;
+}
+
+}  // namespace zygos

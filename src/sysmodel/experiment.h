@@ -1,0 +1,41 @@
+// Experiment drivers shared by the benchmark binaries: latency-vs-throughput sweeps
+// (Figs. 6, 9, 10b, 11), max-load-at-SLO searches (Figs. 3, 7, Table 1) and steal-rate
+// accounting (Fig. 8).
+#ifndef ZYGOS_SYSMODEL_EXPERIMENT_H_
+#define ZYGOS_SYSMODEL_EXPERIMENT_H_
+
+#include <vector>
+
+#include "src/common/distribution.h"
+#include "src/common/time_units.h"
+#include "src/queueing/slo_search.h"
+#include "src/sysmodel/system_model.h"
+
+namespace zygos {
+
+struct SweepPoint {
+  double load = 0.0;            // offered load (fraction of ideal saturation)
+  double throughput_rps = 0.0;  // achieved
+  Nanos p50 = 0;
+  Nanos p99 = 0;
+  double steal_fraction = 0.0;
+  uint64_t ipis = 0;
+};
+
+// Runs `kind` at each offered load in `loads` and reports one point per load.
+std::vector<SweepPoint> LatencyThroughputSweep(SystemKind kind, SystemRunParams params,
+                                               const ServiceTimeDistribution& service,
+                                               const std::vector<double>& loads);
+
+// Finds the maximum load whose p99 meets `slo`. Wraps the bisection search around full
+// system-model runs.
+double MaxLoadAtSlo(SystemKind kind, SystemRunParams params,
+                    const ServiceTimeDistribution& service, Nanos slo,
+                    const SloSearchOptions& options = {});
+
+// Convenience: evenly spaced loads in (0, max_load].
+std::vector<double> EvenLoads(int points, double max_load);
+
+}  // namespace zygos
+
+#endif  // ZYGOS_SYSMODEL_EXPERIMENT_H_

@@ -1,0 +1,116 @@
+// IX-style shared-nothing dataplane model (§3.3, Belay et al. [5]).
+//
+// Each core owns its RSS flow groups outright: packets are pulled from the core's ring
+// in adaptive bounded batches (B = min(ring occupancy, batch_bound)), carried through
+// the network stack, processed to completion by the application, and transmitted as a
+// batch. No stealing, no interrupts, no cross-core communication — the sweeping
+// simplifications that buy throughput but leave the system as n independent FCFS queues
+// with head-of-line blocking (the paper's partitioned-FCFS idealization plus overheads
+// plus batching effects).
+#include <deque>
+#include <vector>
+
+#include "src/hw/packet.h"
+#include "src/sim/simulator.h"
+#include "src/sysmodel/system_model.h"
+#include "src/sysmodel/workload.h"
+
+namespace zygos {
+
+namespace {
+
+class IxSim {
+ public:
+  IxSim(const SystemRunParams& params, const ServiceTimeDistribution& service)
+      : params_(params),
+        workload_(sim_, params, service,
+                  [this](const Packet& pkt, int home) { OnPacketArrival(pkt, home); }) {
+    cores_.resize(static_cast<size_t>(params.num_cores));
+  }
+
+  SystemRunResult Run() {
+    workload_.Start();
+    sim_.Run();
+    result_.measured_end = last_completion_;
+    return std::move(result_);
+  }
+
+ private:
+  struct CoreSim {
+    std::deque<Packet> ring;
+    bool busy = false;
+  };
+
+  void OnPacketArrival(const Packet& pkt, int home) {
+    CoreSim& core = cores_[static_cast<size_t>(home)];
+    core.ring.push_back(pkt);
+    if (!core.busy) {
+      core.busy = true;
+      sim_.Schedule(0, [this, home] { RunBatch(home); });
+    }
+  }
+
+  // One run-to-completion iteration: RX batch -> app processes each event -> TX batch.
+  // Responses leave the NIC only when the whole batch has been processed (bounded
+  // batching holds completions to the end, the latency cost Fig. 11 exposes).
+  void RunBatch(int c) {
+    CoreSim& core = cores_[static_cast<size_t>(c)];
+    if (core.ring.empty()) {
+      core.busy = false;
+      return;
+    }
+    auto batch = static_cast<int>(core.ring.size());
+    if (batch > params_.batch_bound) {
+      batch = params_.batch_bound;
+    }
+    Nanos elapsed = params_.costs.rx_batch_fixed;
+    std::vector<Packet> pkts;
+    pkts.reserve(static_cast<size_t>(batch));
+    for (int i = 0; i < batch; ++i) {
+      pkts.push_back(core.ring.front());
+      core.ring.pop_front();
+    }
+    // Network stack stage.
+    elapsed += static_cast<Nanos>(batch) * params_.costs.rx_per_packet;
+    // Application stage: strict run-to-completion, uninterruptible.
+    for (const Packet& pkt : pkts) {
+      elapsed += params_.costs.app_dispatch + pkt.service;
+    }
+    // TX stage: the batch's responses go out back-to-back.
+    for (const Packet& pkt : pkts) {
+      elapsed += params_.costs.tx_per_packet;
+      RecordCompletion(pkt.arrival, sim_.Now() + elapsed);
+    }
+    result_.app_events += static_cast<uint64_t>(batch);
+    sim_.Schedule(elapsed, [this, c] { RunBatch(c); });
+  }
+
+  void RecordCompletion(Nanos arrival, Nanos completion) {
+    completions_seen_++;
+    if (completions_seen_ <= params_.warmup) {
+      result_.measured_start = completion;
+      return;
+    }
+    result_.latency.Record(completion - arrival);
+    result_.completed++;
+    last_completion_ = std::max(last_completion_, completion);
+  }
+
+  SystemRunParams params_;
+  Simulator sim_;
+  std::vector<CoreSim> cores_;
+  OpenLoopWorkload workload_;
+  SystemRunResult result_;
+  uint64_t completions_seen_ = 0;
+  Nanos last_completion_ = 0;
+};
+
+}  // namespace
+
+SystemRunResult RunIxModel(const SystemRunParams& params,
+                           const ServiceTimeDistribution& service) {
+  IxSim sim(params, service);
+  return sim.Run();
+}
+
+}  // namespace zygos

@@ -1,0 +1,140 @@
+// Linux baseline models (§3.3).
+//
+// Both model a tuned event-driven RPC server on a conventional kernel, with the per-
+// request overheads (epoll_wait, read, write, socket locks, softirq work) charged from
+// the cost model rather than simulated in detail — exactly the altitude at which the
+// paper analyzes them ("Partitioned-FCFS models the performance upper bound",
+// "Centralized-FCFS models the upper bound" §3.3).
+//
+//   partitioned: each thread polls its private connection set (RSS-aligned). This is
+//                n×M/G/1/FCFS plus per-request overhead plus a wakeup penalty when the
+//                thread was blocked in epoll_wait.
+//   floating:    all connections live in one shared pool; any idle thread may serve the
+//                next event (EPOLLEXCLUSIVE-era behaviour). This is M/G/n/FCFS plus a
+//                *serialized* dequeue section modelling the shared-pool synchronization
+//                that bounds throughput for tiny tasks, plus higher per-request cost.
+#include <deque>
+#include <vector>
+
+#include "src/hw/packet.h"
+#include "src/sim/simulator.h"
+#include "src/sysmodel/system_model.h"
+#include "src/sysmodel/workload.h"
+
+namespace zygos {
+
+namespace {
+
+class LinuxSim {
+ public:
+  LinuxSim(const SystemRunParams& params, const ServiceTimeDistribution& service,
+           bool floating)
+      : params_(params),
+        floating_(floating),
+        workload_(sim_, params, service,
+                  [this](const Packet& pkt, int home) { OnPacketArrival(pkt, home); }) {
+    threads_.resize(static_cast<size_t>(params.num_cores));
+  }
+
+  SystemRunResult Run() {
+    workload_.Start();
+    sim_.Run();
+    result_.measured_end = last_completion_;
+    return std::move(result_);
+  }
+
+ private:
+  struct ThreadSim {
+    std::deque<Packet> queue;  // private queue (partitioned mode only)
+    bool busy = false;
+  };
+
+  void OnPacketArrival(const Packet& pkt, int home) {
+    if (floating_) {
+      shared_queue_.push_back(pkt);
+      // Wake one idle thread, if any (EPOLLEXCLUSIVE: a single thread is woken).
+      for (size_t t = 0; t < threads_.size(); ++t) {
+        if (!threads_[t].busy) {
+          threads_[t].busy = true;
+          auto thread = static_cast<int>(t);
+          sim_.Schedule(params_.costs.linux_wakeup, [this, thread] { ServeFloating(thread); });
+          break;
+        }
+      }
+    } else {
+      ThreadSim& thread = threads_[static_cast<size_t>(home)];
+      thread.queue.push_back(pkt);
+      if (!thread.busy) {
+        thread.busy = true;
+        sim_.Schedule(params_.costs.linux_wakeup, [this, home] { ServePartitioned(home); });
+      }
+    }
+  }
+
+  void ServePartitioned(int t) {
+    ThreadSim& thread = threads_[static_cast<size_t>(t)];
+    if (thread.queue.empty()) {
+      thread.busy = false;  // back to epoll_wait
+      return;
+    }
+    Packet pkt = thread.queue.front();
+    thread.queue.pop_front();
+    Nanos span = params_.costs.linux_partitioned_per_request + pkt.service;
+    result_.app_events++;
+    RecordCompletion(pkt.arrival, sim_.Now() + span);
+    sim_.Schedule(span, [this, t] { ServePartitioned(t); });
+  }
+
+  void ServeFloating(int t) {
+    if (shared_queue_.empty()) {
+      threads_[static_cast<size_t>(t)].busy = false;
+      return;
+    }
+    // Serialized dequeue: the shared pool admits one dequeuer at a time.
+    Nanos lock_wait = 0;
+    Nanos now = sim_.Now();
+    if (next_lock_free_ > now) {
+      lock_wait = next_lock_free_ - now;
+    }
+    next_lock_free_ = now + lock_wait + params_.costs.linux_floating_serialized;
+    Packet pkt = shared_queue_.front();
+    shared_queue_.pop_front();
+    Nanos span = lock_wait + params_.costs.linux_floating_serialized +
+                 params_.costs.linux_floating_per_request + pkt.service;
+    result_.app_events++;
+    RecordCompletion(pkt.arrival, sim_.Now() + span);
+    sim_.Schedule(span, [this, t] { ServeFloating(t); });
+  }
+
+  void RecordCompletion(Nanos arrival, Nanos completion) {
+    completions_seen_++;
+    if (completions_seen_ <= params_.warmup) {
+      result_.measured_start = completion;
+      return;
+    }
+    result_.latency.Record(completion - arrival);
+    result_.completed++;
+    last_completion_ = std::max(last_completion_, completion);
+  }
+
+  SystemRunParams params_;
+  bool floating_;
+  Simulator sim_;
+  std::vector<ThreadSim> threads_;
+  std::deque<Packet> shared_queue_;
+  Nanos next_lock_free_ = 0;
+  OpenLoopWorkload workload_;
+  SystemRunResult result_;
+  uint64_t completions_seen_ = 0;
+  Nanos last_completion_ = 0;
+};
+
+}  // namespace
+
+SystemRunResult RunLinuxModel(const SystemRunParams& params,
+                              const ServiceTimeDistribution& service, bool floating) {
+  LinuxSim sim(params, service, floating);
+  return sim.Run();
+}
+
+}  // namespace zygos

@@ -1,0 +1,38 @@
+#include "src/sysmodel/system_model.h"
+
+namespace zygos {
+
+std::string SystemKindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kZygos:
+      return "ZygOS";
+    case SystemKind::kZygosNoIpi:
+      return "ZygOS (no interrupts)";
+    case SystemKind::kIx:
+      return "IX";
+    case SystemKind::kLinuxFloating:
+      return "Linux (floating connections)";
+    case SystemKind::kLinuxPartitioned:
+      return "Linux (partitioned connections)";
+  }
+  return "unknown";
+}
+
+SystemRunResult RunSystemModel(SystemKind kind, const SystemRunParams& params,
+                               const ServiceTimeDistribution& service) {
+  switch (kind) {
+    case SystemKind::kZygos:
+      return RunZygosModel(params, service, /*use_ipis=*/true);
+    case SystemKind::kZygosNoIpi:
+      return RunZygosModel(params, service, /*use_ipis=*/false);
+    case SystemKind::kIx:
+      return RunIxModel(params, service);
+    case SystemKind::kLinuxFloating:
+      return RunLinuxModel(params, service, /*floating=*/true);
+    case SystemKind::kLinuxPartitioned:
+      return RunLinuxModel(params, service, /*floating=*/false);
+  }
+  return {};
+}
+
+}  // namespace zygos

@@ -1,0 +1,112 @@
+// Full-system discrete-event models (§3.3, §6).
+//
+// Five systems are modelled, all serving the same open-loop workload (global Poisson
+// arrivals over a large connection population, flow-consistent RSS dispatch):
+//
+//   kZygos            three-layer ZygOS: per-core netstack, shuffle layer with socket
+//                     state machine, work stealing, remote batched syscalls, IPIs
+//   kZygosNoIpi       the cooperative variant (§6.1 "ZygOS (no interrupts)"): stealing
+//                     but no preemption — head-of-line blocking reappears
+//   kIx               IX-style shared-nothing dataplane: strict run-to-completion with
+//                     adaptive bounded batching (B configurable; B=1 and B=64 in Fig. 9/11)
+//   kLinuxFloating    event-driven server, all connections in one shared pool
+//                     (centralized queue + elevated per-event costs + serialized dequeue)
+//   kLinuxPartitioned event-driven server with connections statically partitioned
+//
+// The models charge explicit costs from hw::CostModel; with CostModel::ZeroOverhead()
+// they converge to their §2.3 idealized counterparts, which the tests verify.
+#ifndef ZYGOS_SYSMODEL_SYSTEM_MODEL_H_
+#define ZYGOS_SYSMODEL_SYSTEM_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/distribution.h"
+#include "src/common/histogram.h"
+#include "src/common/time_units.h"
+#include "src/hw/cost_model.h"
+
+namespace zygos {
+
+enum class SystemKind {
+  kZygos,
+  kZygosNoIpi,
+  kIx,
+  kLinuxFloating,
+  kLinuxPartitioned,
+};
+
+// Human-readable name matching the paper's figure legends.
+std::string SystemKindName(SystemKind kind);
+
+struct SystemRunParams {
+  int num_cores = 16;
+  int num_connections = 2752;  // the paper's client population (§3.2)
+  int num_flow_groups = 128;   // 82599 RSS indirection table size
+  // Offered load as a fraction of ideal saturation (λ·S̄/n).
+  double load = 0.5;
+  uint64_t num_requests = 400'000;
+  uint64_t warmup = 20'000;
+  uint64_t seed = 1;
+  // Dataplane RX batch bound (IX's adaptive batching B; also bounds the ZygOS receive
+  // path batch). 64 is IX's default with batching; the paper disables batching (B=1)
+  // for the latency/SLO experiments because it "noticeably improves tail latency" (§3.3).
+  int batch_bound = 1;
+  // Connection placement. true (default): connections are spread round-robin over flow
+  // groups — the near-balanced layout of the paper's testbed (11 homogeneous clients,
+  // tuned RSS), under which IX reaches ~90% of the partitioned bound. false: flow
+  // groups are chosen by hashing the connection id, which yields the natural binomial
+  // skew in per-core load (used by imbalance experiments/ablations).
+  bool balanced_connection_placement = true;
+  // Client-side pipelining depth (mutilate's depth knob): each arrival event issues a
+  // burst of 1..pipeline_depth back-to-back requests on the same connection (uniform
+  // burst size). The aggregate *request* rate still equals load·n/S̄ — the event rate
+  // is scaled down by the mean burst size. Depth 1 (default) reproduces the §6.1
+  // single-request-per-arrival setup; depth 4 reproduces the Fig. 9 memcached setup
+  // ("up to four distinct memcached requests can be pipelined onto the same
+  // connection"), the condition that triggers ZygOS's implicit per-flow batching.
+  int pipeline_depth = 1;
+  // Steal-victim scan order randomization (§5: "the order of access is randomized").
+  // false = fixed linear scan; exposed for the design-choice ablation bench.
+  bool randomize_steal_victims = true;
+  CostModel costs = CostModel::Default();
+};
+
+struct SystemRunResult {
+  LatencyHistogram latency;  // client-observed: arrival -> response transmitted
+  uint64_t completed = 0;    // requests completed after warmup
+  uint64_t app_events = 0;   // application events executed (post-warmup window)
+  uint64_t steals = 0;       // app events executed by a non-home core
+  uint64_t ipis = 0;         // IPIs delivered
+  Nanos measured_start = 0;  // time the post-warmup window began
+  Nanos measured_end = 0;    // completion time of the last post-warmup request
+
+  // Achieved throughput in requests per second over the measurement window.
+  double ThroughputRps() const {
+    Nanos span = measured_end - measured_start;
+    return span <= 0 ? 0.0
+                     : static_cast<double>(completed) * 1e9 / static_cast<double>(span);
+  }
+  // The Fig. 8 metric: fraction of app events executed by a remote (stealing) core.
+  double StealFraction() const {
+    return app_events == 0 ? 0.0
+                           : static_cast<double>(steals) / static_cast<double>(app_events);
+  }
+};
+
+// Runs the requested system model on the synthetic spin workload.
+SystemRunResult RunSystemModel(SystemKind kind, const SystemRunParams& params,
+                               const ServiceTimeDistribution& service);
+
+// Implemented in zygos_model.cc / ix_model.cc / linux_model.cc.
+SystemRunResult RunZygosModel(const SystemRunParams& params,
+                              const ServiceTimeDistribution& service, bool use_ipis);
+SystemRunResult RunIxModel(const SystemRunParams& params,
+                           const ServiceTimeDistribution& service);
+SystemRunResult RunLinuxModel(const SystemRunParams& params,
+                              const ServiceTimeDistribution& service, bool floating);
+
+}  // namespace zygos
+
+#endif  // ZYGOS_SYSMODEL_SYSTEM_MODEL_H_

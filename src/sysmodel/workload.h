@@ -1,0 +1,101 @@
+// Shared workload scaffolding for the system models: the open-loop client population.
+//
+// A global Poisson process at rate λ = load·n/S̄ issues requests; each request targets a
+// uniformly random connection (the paper's high fan-in client setup, §3.1), carries a
+// pre-sampled service demand, and is timestamped at arrival. RSS maps the connection to
+// its home core. With pipeline_depth > 1, each arrival event is a burst of back-to-back
+// requests on one connection (mutilate-style pipelining, the Fig. 9 memcached setup).
+#ifndef ZYGOS_SYSMODEL_WORKLOAD_H_
+#define ZYGOS_SYSMODEL_WORKLOAD_H_
+
+#include <cmath>
+#include <functional>
+
+#include "src/common/distribution.h"
+#include "src/common/rng.h"
+#include "src/hw/packet.h"
+#include "src/hw/rss.h"
+#include "src/sim/poisson_source.h"
+#include "src/sim/simulator.h"
+#include "src/sysmodel/system_model.h"
+
+namespace zygos {
+
+// Drives arrivals into `deliver(packet, home_core)`. Owns the RSS table.
+class OpenLoopWorkload {
+ public:
+  OpenLoopWorkload(Simulator& sim, const SystemRunParams& params,
+                   const ServiceTimeDistribution& service,
+                   std::function<void(const Packet&, int home_core)> deliver)
+      : rss_(params.num_flow_groups, params.num_cores),
+        balanced_(params.balanced_connection_placement),
+        num_flow_groups_(params.num_flow_groups),
+        rng_(params.seed),
+        service_rng_(rng_.Fork()),
+        conn_rng_(rng_.Fork()),
+        service_(service),
+        num_connections_(params.num_connections),
+        pipeline_depth_(params.pipeline_depth < 1 ? 1 : params.pipeline_depth),
+        mean_burst_(0.5 * (1.0 + static_cast<double>(pipeline_depth_))),
+        deliver_(std::move(deliver)),
+        // Bursts of mean size (1 + depth)/2 ride on each arrival event; scale the
+        // event rate and the event budget so the aggregate *request* rate stays
+        // load·n/S̄ and ~num_requests requests are generated in total (exactly
+        // num_requests when depth == 1).
+        source_(sim, rng_.Fork(),
+                params.load * params.num_cores / service.MeanNanos() / mean_burst_,
+                static_cast<uint64_t>(
+                    std::ceil(static_cast<double>(params.num_requests) / mean_burst_)),
+                [this, &sim](uint64_t index) { OnArrival(sim.Now(), index); }) {}
+
+  void Start() { source_.Start(); }
+
+  const RssTable& rss() const { return rss_; }
+  RssTable& mutable_rss() { return rss_; }
+
+  // The home core of a connection under the configured placement policy.
+  int HomeCoreOf(uint64_t flow_id) const {
+    if (balanced_) {
+      auto group = static_cast<int>(flow_id % static_cast<uint64_t>(num_flow_groups_));
+      return rss_.GroupCore(group);
+    }
+    return rss_.HomeCoreOf(flow_id);
+  }
+
+ private:
+  void OnArrival(Nanos now, uint64_t index) {
+    (void)index;
+    // One arrival event = a pipelined burst of 1..depth requests on one connection,
+    // timestamped together (the client wrote them back-to-back into one socket).
+    uint64_t flow = conn_rng_.NextBounded(static_cast<uint64_t>(num_connections_));
+    int home = HomeCoreOf(flow);
+    auto burst = 1 + static_cast<int>(
+                         conn_rng_.NextBounded(static_cast<uint64_t>(pipeline_depth_)));
+    for (int i = 0; i < burst; ++i) {
+      Packet pkt;
+      pkt.request_id = next_request_id_++;
+      pkt.flow_id = flow;
+      pkt.arrival = now;
+      pkt.service = service_.Sample(service_rng_);
+      deliver_(pkt, home);
+    }
+  }
+
+  RssTable rss_;
+  bool balanced_;
+  int num_flow_groups_;
+  Rng rng_;
+  Rng service_rng_;
+  Rng conn_rng_;
+  const ServiceTimeDistribution& service_;
+  int num_connections_;
+  int pipeline_depth_;
+  double mean_burst_;
+  uint64_t next_request_id_ = 0;
+  std::function<void(const Packet&, int home_core)> deliver_;
+  PoissonSource source_;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_SYSMODEL_WORKLOAD_H_

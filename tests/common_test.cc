@@ -1,0 +1,346 @@
+// Unit and property tests for src/common: RNG, distributions, histogram, stats, flags.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/distribution.h"
+#include "src/common/flags.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/time_units.h"
+
+namespace zygos {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      same++;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(3);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    counts[rng.NextBounded(kBuckets)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.NextExponential(25.0);
+  }
+  EXPECT_NEAR(sum / kSamples, 25.0, 0.5);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(9);
+  Rng fork = a.Fork();
+  // The fork should not replay the parent's stream.
+  Rng b(9);
+  b.Fork();
+  EXPECT_NE(fork.NextU64(), a.NextU64());
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInRange(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+// --- Distributions ----------------------------------------------------------
+
+TEST(DistributionTest, DeterministicAlwaysMean) {
+  DeterministicDistribution d(10 * kMicrosecond);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(d.Sample(rng), 10 * kMicrosecond);
+  }
+  EXPECT_DOUBLE_EQ(d.MeanNanos(), 10000.0);
+}
+
+TEST(DistributionTest, ExponentialEmpiricalMean) {
+  ExponentialDistribution d(25 * kMicrosecond);
+  Rng rng(2);
+  double sum = 0;
+  constexpr int kSamples = 300000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(d.Sample(rng));
+  }
+  EXPECT_NEAR(sum / kSamples / d.MeanNanos(), 1.0, 0.01);
+}
+
+TEST(DistributionTest, Bimodal1MatchesPaperSpec) {
+  // P[X = S/2] = 0.9, P[X = 5.5 S] = 0.1, mean = S.
+  auto d = BimodalDistribution::Bimodal1(10 * kMicrosecond);
+  EXPECT_NEAR(d.MeanNanos(), 10000.0, 1.0);
+  Rng rng(3);
+  int low = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    Nanos s = d.Sample(rng);
+    if (s == 5 * kMicrosecond) {
+      low++;
+    } else {
+      EXPECT_EQ(s, static_cast<Nanos>(55 * kMicrosecond));
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(low) / kSamples, 0.9, 0.01);
+}
+
+TEST(DistributionTest, Bimodal2MatchesPaperSpec) {
+  auto d = BimodalDistribution::Bimodal2(1 * kMicrosecond);
+  EXPECT_NEAR(d.MeanNanos(), 1000.0, 1.0);
+  Rng rng(4);
+  int high = 0;
+  constexpr int kSamples = 1000000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (d.Sample(rng) > 500) {
+      high++;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(high) / kSamples, 0.001, 0.0005);
+}
+
+TEST(DistributionTest, LognormalMean) {
+  LognormalDistribution d(10 * kMicrosecond, 1.0);
+  Rng rng(5);
+  double sum = 0;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(d.Sample(rng));
+  }
+  EXPECT_NEAR(sum / kSamples / 10000.0, 1.0, 0.05);
+}
+
+TEST(DistributionTest, EmpiricalResamplesOnlyGivenValues) {
+  EmpiricalDistribution d({100, 200, 300});
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    Nanos s = d.Sample(rng);
+    EXPECT_TRUE(s == 100 || s == 200 || s == 300);
+  }
+  EXPECT_DOUBLE_EQ(d.MeanNanos(), 200.0);
+}
+
+TEST(DistributionTest, EmpiricalRescaleToTargetMean) {
+  EmpiricalDistribution d({100, 200, 300});
+  auto scaled = d.RescaledToMean(2000);
+  EXPECT_NEAR(scaled.MeanNanos(), 2000.0, 1.0);
+}
+
+TEST(DistributionTest, FactoryBuildsAllPaperDistributions) {
+  for (const auto& name : SyntheticDistributionNames()) {
+    auto d = MakeDistribution(name, 10 * kMicrosecond);
+    ASSERT_NE(d, nullptr) << name;
+    EXPECT_NEAR(d->MeanNanos(), 10000.0, 10.0) << name;
+  }
+  EXPECT_EQ(MakeDistribution("nope", 1000), nullptr);
+}
+
+// Property sweep: every synthetic distribution's sampled mean converges to S̄.
+class DistributionMeanSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DistributionMeanSweep, SampledMeanMatchesDeclaredMean) {
+  auto d = MakeDistribution(GetParam(), 25 * kMicrosecond);
+  ASSERT_NE(d, nullptr);
+  Rng rng(17);
+  double sum = 0;
+  constexpr int kSamples = 2000000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(d->Sample(rng));
+  }
+  EXPECT_NEAR(sum / kSamples / d->MeanNanos(), 1.0, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSynthetic, DistributionMeanSweep,
+                         ::testing::ValuesIn(SyntheticDistributionNames()));
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(HistogramTest, ExactForSmallValues) {
+  LatencyHistogram h;
+  for (Nanos v = 0; v < 100; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 99);
+  EXPECT_EQ(h.Quantile(0.0), 0);
+  EXPECT_EQ(h.Quantile(1.0), 99);
+}
+
+TEST(HistogramTest, QuantileMatchesSortedVectorWithinPrecision) {
+  LatencyHistogram h;
+  Rng rng(23);
+  std::vector<Nanos> values;
+  for (int i = 0; i < 50000; ++i) {
+    auto v = static_cast<Nanos>(rng.NextExponential(50000.0));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    Nanos exact = values[static_cast<size_t>(q * static_cast<double>(values.size() - 1))];
+    Nanos approx = h.Quantile(q);
+    // Log-linear buckets guarantee ~1/64 relative error plus rank-rounding slop.
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.05 + 2.0)
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  LatencyHistogram h;
+  h.Record(100);
+  h.Record(200);
+  h.Record(600);
+  EXPECT_DOUBLE_EQ(h.Mean(), 300.0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(10);
+  b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_EQ(a.Min(), 10);
+  EXPECT_EQ(a.Max(), 1000000);
+}
+
+TEST(HistogramTest, CcdfBasics) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.Record(10);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Record(10000);
+  }
+  EXPECT_NEAR(h.Ccdf(100), 0.10, 1e-9);
+  EXPECT_NEAR(h.Ccdf(20000), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, ClampsNegativeAndHandlesHuge) {
+  LatencyHistogram h;
+  h.Record(-5);
+  h.Record(Nanos{1} << 55);  // beyond trackable range: clamped to top bucket
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_GT(h.Quantile(1.0), 0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Quantile(0.99), 0);
+}
+
+// --- RunningStats ------------------------------------------------------------
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  RunningStats s;
+  std::vector<double> xs = {1, 2, 3, 4, 100};
+  double mean = 22.0;
+  for (double x : xs) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.Mean(), mean);
+  double var = 0;
+  for (double x : xs) {
+    var += (x - mean) * (x - mean);
+  }
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(s.Variance(), var, 1e-9);
+  EXPECT_EQ(s.Min(), 1);
+  EXPECT_EQ(s.Max(), 100);
+}
+
+TEST(RunningStatsTest, ScvOfExponentialIsOne) {
+  RunningStats s;
+  Rng rng(31);
+  for (int i = 0; i < 300000; ++i) {
+    s.Add(rng.NextExponential(10.0));
+  }
+  EXPECT_NEAR(s.Scv(), 1.0, 0.05);
+}
+
+// --- Flags -------------------------------------------------------------------
+
+TEST(FlagsTest, ParsesAllForms) {
+  const char* argv[] = {"prog",      "--alpha=3", "--beta", "7",   "--gamma",
+                        "--delta=x", "pos1",      "--eps",  "2.5", "pos2"};
+  Flags flags(static_cast<int>(std::size(argv)), const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("alpha", 0), 3);
+  EXPECT_EQ(flags.GetInt("beta", 0), 7);
+  EXPECT_TRUE(flags.GetBool("gamma", false));
+  EXPECT_EQ(flags.GetString("delta", ""), "x");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 0.0), 2.5);
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  ASSERT_EQ(flags.Positional().size(), 2u);
+  EXPECT_EQ(flags.Positional()[0], "pos1");
+  EXPECT_EQ(flags.Positional()[1], "pos2");
+}
+
+TEST(TimeUnitsTest, Conversions) {
+  EXPECT_EQ(FromMicros(10.0), 10 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(ToMicros(25 * kMicrosecond), 25.0);
+  EXPECT_EQ(kSecond, 1000000000);
+}
+
+}  // namespace
+}  // namespace zygos

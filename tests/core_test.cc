@@ -1,0 +1,313 @@
+// Tests for the shuffle layer (state machine, stealing, ordering invariants) and the
+// idle-loop policy — the paper's core contribution (§4.3–§4.5, §5).
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/idle_policy.h"
+#include "src/core/shuffle_layer.h"
+#include "src/net/pcb.h"
+
+namespace zygos {
+namespace {
+
+PcbEvent Ev(uint64_t id) { return PcbEvent{id, 0, 0, ""}; }
+
+TEST(ShuffleLayerTest, NotifyEnqueuesIdleConnectionOnce) {
+  ShuffleLayer shuffle(2);
+  Pcb pcb(1, 0);
+  pcb.PushEvent(Ev(1));
+  EXPECT_TRUE(shuffle.NotifyPending(&pcb));
+  EXPECT_EQ(pcb.sched_state(), PcbState::kReady);
+  // Second notification while ready: no duplicate enqueue.
+  pcb.PushEvent(Ev(2));
+  EXPECT_FALSE(shuffle.NotifyPending(&pcb));
+  EXPECT_EQ(shuffle.ApproxSize(0), 1u);
+}
+
+TEST(ShuffleLayerTest, DequeueLocalTransitionsToBusy) {
+  ShuffleLayer shuffle(2);
+  Pcb pcb(1, 0);
+  pcb.PushEvent(Ev(1));
+  shuffle.NotifyPending(&pcb);
+  Pcb* got = shuffle.DequeueLocal(0);
+  ASSERT_EQ(got, &pcb);
+  EXPECT_EQ(pcb.sched_state(), PcbState::kBusy);
+  EXPECT_EQ(pcb.owner_core(), 0);
+  EXPECT_EQ(shuffle.DequeueLocal(0), nullptr);
+  EXPECT_EQ(shuffle.StatsFor(0).local_dequeues, 1u);
+}
+
+TEST(ShuffleLayerTest, StealTransfersOwnershipToThief) {
+  ShuffleLayer shuffle(2);
+  Pcb pcb(1, 0);
+  pcb.PushEvent(Ev(1));
+  shuffle.NotifyPending(&pcb);
+  Pcb* got = shuffle.TrySteal(/*thief=*/1, /*victim=*/0);
+  ASSERT_EQ(got, &pcb);
+  EXPECT_EQ(pcb.owner_core(), 1);
+  EXPECT_EQ(pcb.home_core(), 0) << "home core never changes";
+  EXPECT_EQ(shuffle.StatsFor(1).steals, 1u);
+}
+
+TEST(ShuffleLayerTest, StealFromEmptyQueueFails) {
+  ShuffleLayer shuffle(2);
+  EXPECT_EQ(shuffle.TrySteal(1, 0), nullptr);
+  EXPECT_EQ(shuffle.StatsFor(1).failed_steal_probes, 1u);
+}
+
+TEST(ShuffleLayerTest, CompleteWithPendingEventsRequeues) {
+  ShuffleLayer shuffle(2);
+  Pcb pcb(1, 0);
+  pcb.PushEvent(Ev(1));
+  pcb.PushEvent(Ev(2));
+  shuffle.NotifyPending(&pcb);
+  Pcb* got = shuffle.DequeueLocal(0);
+  got->PopEvent();  // consume first event; second remains
+  EXPECT_TRUE(shuffle.CompleteExecution(got));
+  EXPECT_EQ(pcb.sched_state(), PcbState::kReady);
+  EXPECT_EQ(shuffle.ApproxSize(0), 1u);
+}
+
+TEST(ShuffleLayerTest, CompleteWithEmptyQueueParksIdle) {
+  ShuffleLayer shuffle(2);
+  Pcb pcb(1, 0);
+  pcb.PushEvent(Ev(1));
+  shuffle.NotifyPending(&pcb);
+  Pcb* got = shuffle.DequeueLocal(0);
+  got->PopEvent();
+  EXPECT_FALSE(shuffle.CompleteExecution(got));
+  EXPECT_EQ(pcb.sched_state(), PcbState::kIdle);
+  EXPECT_EQ(pcb.owner_core(), -1);
+  EXPECT_TRUE(shuffle.ApproxEmpty(0));
+}
+
+TEST(ShuffleLayerTest, EventArrivingWhileBusyIsNotLost) {
+  // The race §4.4 is careful about: an event arrives after the owner drained the queue
+  // but before it released the socket. NotifyPending while busy must not enqueue, and
+  // CompleteExecution must observe the pending event and requeue.
+  ShuffleLayer shuffle(2);
+  Pcb pcb(1, 0);
+  pcb.PushEvent(Ev(1));
+  shuffle.NotifyPending(&pcb);
+  Pcb* got = shuffle.DequeueLocal(0);
+  got->PopEvent();
+  // New request lands while busy.
+  pcb.PushEvent(Ev(2));
+  EXPECT_FALSE(shuffle.NotifyPending(&pcb)) << "busy socket must not be re-enqueued";
+  EXPECT_TRUE(shuffle.CompleteExecution(got)) << "pending event must trigger requeue";
+  EXPECT_EQ(shuffle.DequeueLocal(0), &pcb);
+}
+
+TEST(ShuffleLayerTest, FifoAcrossConnectionsOnOneCore) {
+  ShuffleLayer shuffle(1);
+  std::vector<std::unique_ptr<Pcb>> pcbs;
+  for (int i = 0; i < 5; ++i) {
+    pcbs.push_back(std::make_unique<Pcb>(static_cast<uint64_t>(i), 0));
+    pcbs.back()->PushEvent(Ev(static_cast<uint64_t>(i)));
+    shuffle.NotifyPending(pcbs.back().get());
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(shuffle.DequeueLocal(0), pcbs[static_cast<size_t>(i)].get());
+  }
+}
+
+// Exclusive-ownership stress: many threads fight over the same home queue; every event
+// must be processed exactly once and never concurrently with another event of the same
+// socket.
+TEST(ShuffleLayerStressTest, ExclusiveOwnershipAndNoLostEvents) {
+  constexpr int kCores = 4;
+  constexpr int kConnections = 16;
+  constexpr uint64_t kEventsPerConnection = 2000;
+  ShuffleLayer shuffle(kCores);
+  std::vector<std::unique_ptr<Pcb>> pcbs;
+  for (int i = 0; i < kConnections; ++i) {
+    pcbs.push_back(std::make_unique<Pcb>(static_cast<uint64_t>(i), i % kCores));
+  }
+  std::atomic<uint64_t> processed{0};
+  std::vector<std::atomic<int>> in_flight(kConnections);
+  std::vector<std::atomic<uint64_t>> last_seen(kConnections);
+  for (auto& a : in_flight) {
+    a.store(0);
+  }
+  for (auto& a : last_seen) {
+    a.store(0);
+  }
+
+  // Producer: pushes events round-robin and notifies (simulates per-core netstacks).
+  std::thread producer([&] {
+    for (uint64_t e = 1; e <= kEventsPerConnection; ++e) {
+      for (int c = 0; c < kConnections; ++c) {
+        pcbs[static_cast<size_t>(c)]->PushEvent(Ev(e));
+        shuffle.NotifyPending(pcbs[static_cast<size_t>(c)].get());
+      }
+    }
+  });
+
+  auto worker = [&](int core) {
+    Rng rng(static_cast<uint64_t>(core) + 99);
+    while (processed.load() < kEventsPerConnection * kConnections) {
+      Pcb* pcb = shuffle.DequeueLocal(core);
+      if (pcb == nullptr) {
+        int victim = static_cast<int>(rng.NextBounded(kCores));
+        if (victim != core) {
+          pcb = shuffle.TrySteal(core, victim);
+        }
+      }
+      if (pcb == nullptr) {
+        std::this_thread::yield();
+        continue;
+      }
+      auto conn = static_cast<size_t>(pcb->flow_id());
+      // Exclusive ownership: no other worker may hold this socket.
+      ASSERT_EQ(in_flight[conn].fetch_add(1), 0);
+      auto ev = pcb->PopEvent();
+      if (ev.has_value()) {
+        // Per-socket ordering: event ids on one socket are strictly increasing.
+        ASSERT_GT(ev->request_id, last_seen[conn].load());
+        last_seen[conn].store(ev->request_id);
+        processed.fetch_add(1);
+      }
+      ASSERT_EQ(in_flight[conn].fetch_sub(1), 1);
+      shuffle.CompleteExecution(pcb);
+    }
+  };
+  std::vector<std::thread> workers;
+  for (int c = 0; c < kCores; ++c) {
+    workers.emplace_back(worker, c);
+  }
+  producer.join();
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(processed.load(), kEventsPerConnection * kConnections);
+  auto stats = shuffle.TotalStats();
+  EXPECT_EQ(stats.local_dequeues + stats.steals, 0u + shuffle.TotalStats().local_dequeues +
+                                                     shuffle.TotalStats().steals);
+}
+
+// --- Idle policy -----------------------------------------------------------------------
+
+class FakeView : public IdleLoopView {
+ public:
+  explicit FakeView(int cores) : n_(cores) {
+    own_ring.resize(static_cast<size_t>(cores), false);
+    shuffle.resize(static_cast<size_t>(cores), false);
+    sw_queue.resize(static_cast<size_t>(cores), false);
+    hw_ring.resize(static_cast<size_t>(cores), false);
+    user_mode.resize(static_cast<size_t>(cores), true);
+  }
+  int NumCores() const override { return n_; }
+  bool OwnHwRingNonEmpty(int self) const override { return own_ring[static_cast<size_t>(self)]; }
+  bool ShuffleNonEmpty(int c) const override { return shuffle[static_cast<size_t>(c)]; }
+  bool SoftwareQueueNonEmpty(int c) const override { return sw_queue[static_cast<size_t>(c)]; }
+  bool HwRingNonEmpty(int c) const override { return hw_ring[static_cast<size_t>(c)]; }
+  bool InUserMode(int c) const override { return user_mode[static_cast<size_t>(c)]; }
+
+  int n_;
+  std::vector<bool> own_ring, shuffle, sw_queue, hw_ring, user_mode;
+};
+
+TEST(IdlePolicyTest, OwnRingHasTopPriority) {
+  FakeView view(4);
+  view.own_ring[0] = true;
+  view.shuffle[2] = true;  // even with stealable work elsewhere
+  IdlePolicy policy;
+  Rng rng(1);
+  auto action = policy.Next(0, view, rng);
+  EXPECT_EQ(action.kind, IdleActionKind::kProcessOwnRing);
+}
+
+TEST(IdlePolicyTest, StealsFromNonEmptyShuffleQueue) {
+  FakeView view(4);
+  view.shuffle[2] = true;
+  IdlePolicy policy;
+  Rng rng(1);
+  auto action = policy.Next(0, view, rng);
+  EXPECT_EQ(action.kind, IdleActionKind::kSteal);
+  EXPECT_EQ(action.target_core, 2);
+}
+
+TEST(IdlePolicyTest, ShuffleBeatsRawPackets) {
+  // (b) outranks (c)/(d): ready work is preferred over forcing network processing.
+  FakeView view(4);
+  view.shuffle[1] = true;
+  view.sw_queue[2] = true;
+  view.hw_ring[3] = true;
+  IdlePolicy policy;
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    auto action = policy.Next(0, view, rng);
+    EXPECT_EQ(action.kind, IdleActionKind::kSteal);
+    EXPECT_EQ(action.target_core, 1);
+  }
+}
+
+TEST(IdlePolicyTest, SendsIpiForRemotePacketsOnlyInUserMode) {
+  FakeView view(2);
+  view.hw_ring[1] = true;
+  view.user_mode[1] = false;  // home core already in kernel: it will drain on its own
+  IdlePolicy policy;
+  Rng rng(3);
+  EXPECT_EQ(policy.Next(0, view, rng).kind, IdleActionKind::kNone);
+  view.user_mode[1] = true;
+  auto action = policy.Next(0, view, rng);
+  EXPECT_EQ(action.kind, IdleActionKind::kSendIpi);
+  EXPECT_EQ(action.target_core, 1);
+}
+
+TEST(IdlePolicyTest, SoftwareQueueOutranksHardwareRing) {
+  FakeView view(3);
+  view.sw_queue[1] = true;
+  view.hw_ring[2] = true;
+  IdlePolicy policy;
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    auto action = policy.Next(0, view, rng);
+    EXPECT_EQ(action.kind, IdleActionKind::kSendIpi);
+    EXPECT_EQ(action.target_core, 1);
+  }
+}
+
+TEST(IdlePolicyTest, NothingAnywhereReturnsNone) {
+  FakeView view(8);
+  IdlePolicy policy;
+  Rng rng(9);
+  EXPECT_EQ(policy.Next(3, view, rng).kind, IdleActionKind::kNone);
+}
+
+TEST(IdlePolicyTest, VictimSelectionIsRandomized) {
+  // With two equally loaded victims, both must be chosen over repeated polls.
+  FakeView view(3);
+  view.shuffle[1] = true;
+  view.shuffle[2] = true;
+  IdlePolicy policy;
+  Rng rng(11);
+  std::set<int> victims;
+  for (int i = 0; i < 100; ++i) {
+    victims.insert(policy.Next(0, view, rng).target_core);
+  }
+  EXPECT_EQ(victims, (std::set<int>{1, 2}));
+}
+
+TEST(IdlePolicyTest, NeverTargetsSelf) {
+  FakeView view(4);
+  for (int c = 0; c < 4; ++c) {
+    view.shuffle[static_cast<size_t>(c)] = true;
+    view.sw_queue[static_cast<size_t>(c)] = true;
+  }
+  IdlePolicy policy;
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    auto action = policy.Next(2, view, rng);
+    EXPECT_NE(action.target_core, 2);
+  }
+}
+
+}  // namespace
+}  // namespace zygos

@@ -1,0 +1,596 @@
+// Tests for the Silo-style OCC engine: TID words, records, the ordered index, epochs,
+// transaction semantics (read-own-writes, deletes, duplicates), conflict validation,
+// phantom detection, and multi-threaded serializability smoke tests.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/db/database.h"
+#include "src/db/index.h"
+#include "src/db/record.h"
+#include "src/db/tid.h"
+#include "src/db/txn.h"
+
+namespace zygos {
+namespace {
+
+// --- TID word -------------------------------------------------------------------------
+
+TEST(TidWordTest, StatusBitsAndFields) {
+  uint64_t tid = TidWord::Make(5, 42);
+  EXPECT_FALSE(TidWord::Locked(tid));
+  EXPECT_FALSE(TidWord::Absent(tid));
+  EXPECT_EQ(TidWord::EpochOf(tid), 5u);
+  EXPECT_EQ(TidWord::SequenceOf(tid), 42u);
+  EXPECT_EQ(TidWord::Version(tid | TidWord::kLockBit | TidWord::kAbsentBit), tid);
+}
+
+TEST(TidWordTest, NextAfterBumpsWithinEpochAndResetsAcross) {
+  uint64_t base = TidWord::Make(3, 10);
+  uint64_t same_epoch = TidWord::NextAfter(base, 3);
+  EXPECT_GT(same_epoch, base);
+  EXPECT_EQ(TidWord::EpochOf(same_epoch), 3u);
+  EXPECT_EQ(TidWord::SequenceOf(same_epoch), 11u);
+
+  uint64_t new_epoch = TidWord::NextAfter(base, 7);
+  EXPECT_EQ(TidWord::EpochOf(new_epoch), 7u);
+  EXPECT_EQ(TidWord::SequenceOf(new_epoch), 1u);
+  EXPECT_GT(new_epoch, same_epoch);
+}
+
+TEST(TidWordTest, VersionOrderingIsEpochMajor) {
+  EXPECT_LT(TidWord::Make(1, 1000000), TidWord::Make(2, 1));
+}
+
+// --- Record ---------------------------------------------------------------------------
+
+TEST(RecordTest, NewRecordIsAbsent) {
+  Record record;
+  auto snapshot = record.StableRead();
+  EXPECT_TRUE(TidWord::Absent(snapshot.tid));
+  EXPECT_EQ(snapshot.value, nullptr);
+}
+
+TEST(RecordTest, InstallMakesValueVisible) {
+  Record record;
+  record.Lock();
+  record.Install(TidWord::Make(1, 1), std::make_shared<const std::string>("hello"));
+  auto snapshot = record.StableRead();
+  EXPECT_FALSE(TidWord::Absent(snapshot.tid));
+  ASSERT_NE(snapshot.value, nullptr);
+  EXPECT_EQ(*snapshot.value, "hello");
+}
+
+TEST(RecordTest, TryLockExcludes) {
+  Record record;
+  EXPECT_TRUE(record.TryLock());
+  EXPECT_FALSE(record.TryLock());
+  record.Unlock();
+  EXPECT_TRUE(record.TryLock());
+  record.Unlock();
+}
+
+TEST(RecordTest, InstallAbsentActsAsDelete) {
+  Record record;
+  record.Lock();
+  record.Install(TidWord::Make(1, 1), std::make_shared<const std::string>("x"));
+  record.Lock();
+  record.Install(TidWord::Make(1, 2), nullptr, /*absent=*/true);
+  auto snapshot = record.StableRead();
+  EXPECT_TRUE(TidWord::Absent(snapshot.tid));
+  EXPECT_EQ(snapshot.value, nullptr);
+}
+
+// --- OrderedIndex ---------------------------------------------------------------------
+
+TEST(OrderedIndexTest, GetOrInsertIsIdempotent) {
+  OrderedIndex index;
+  auto [r1, created1] = index.GetOrInsert("k");
+  auto [r2, created2] = index.GetOrInsert("k");
+  EXPECT_TRUE(created1);
+  EXPECT_FALSE(created2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(index.Get("k"), r1);
+  EXPECT_EQ(index.Get("other"), nullptr);
+}
+
+TEST(OrderedIndexTest, ScanVisitsInOrderWithinBounds) {
+  OrderedIndex index;
+  for (const char* key : {"b", "d", "a", "c", "e"}) {
+    index.GetOrInsert(key);
+  }
+  std::vector<std::string> seen;
+  index.Scan("b", "d", false, [&seen](const std::string& key, Record*) {
+    seen.push_back(key);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<std::string>{"b", "c", "d"}));
+
+  seen.clear();
+  index.Scan("b", "d", true, [&seen](const std::string& key, Record*) {
+    seen.push_back(key);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<std::string>{"d", "c", "b"}));
+}
+
+TEST(OrderedIndexTest, ScanStopsWhenCallbackReturnsFalse) {
+  OrderedIndex index;
+  for (const char* key : {"a", "b", "c"}) {
+    index.GetOrInsert(key);
+  }
+  int visits = 0;
+  index.Scan("a", "c", false, [&visits](const std::string&, Record*) {
+    visits++;
+    return false;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(OrderedIndexTest, EmptyAndInvertedRanges) {
+  OrderedIndex index;
+  index.GetOrInsert("m");
+  int visits = 0;
+  index.Scan("x", "z", false, [&visits](const std::string&, Record*) {
+    visits++;
+    return true;
+  });
+  index.Scan("z", "a", false, [&visits](const std::string&, Record*) {
+    visits++;
+    return true;
+  });
+  EXPECT_EQ(visits, 0);
+}
+
+// --- Epochs ---------------------------------------------------------------------------
+
+TEST(EpochManagerTest, ManualAdvance) {
+  EpochManager epochs;
+  uint64_t before = epochs.Current();
+  EXPECT_EQ(epochs.Advance(), before + 1);
+  EXPECT_EQ(epochs.Current(), before + 1);
+}
+
+TEST(EpochManagerTest, BackgroundAdvancerMakesProgress) {
+  EpochManager epochs(std::chrono::milliseconds(1));
+  uint64_t before = epochs.Current();
+  epochs.StartAdvancer();
+  EXPECT_TRUE(epochs.AdvancerRunning());
+  // Wait for at least one tick (bounded).
+  for (int i = 0; i < 1000 && epochs.Current() == before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  epochs.StopAdvancer();
+  EXPECT_GT(epochs.Current(), before);
+  EXPECT_FALSE(epochs.AdvancerRunning());
+}
+
+// --- Transactions: basic semantics ----------------------------------------------------
+
+class TxnTest : public ::testing::Test {
+ protected:
+  TxnTest() { table_ = db_.CreateTable("t"); }
+
+  // Commits a single put, asserting success.
+  void Put(const std::string& key, const std::string& value) {
+    TxnExecutor executor(db_);
+    ASSERT_EQ(executor.Run([&](Transaction& txn) {
+      txn.Write(table_, key, value);
+      return true;
+    }),
+              TxnStatus::kCommitted);
+  }
+
+  std::optional<std::string> Get(const std::string& key) {
+    Transaction txn(db_);
+    auto value = txn.Read(table_, key);
+    txn.Abort();
+    return value;
+  }
+
+  Database db_;
+  TableId table_ = 0;
+};
+
+TEST_F(TxnTest, InsertThenReadBack) {
+  TxnExecutor executor(db_);
+  EXPECT_EQ(executor.Run([&](Transaction& txn) {
+    EXPECT_TRUE(txn.Insert(table_, "k", "v"));
+    return true;
+  }),
+            TxnStatus::kCommitted);
+  EXPECT_EQ(Get("k").value_or("?"), "v");
+}
+
+TEST_F(TxnTest, ReadOwnWritesWithinTransaction) {
+  Put("k", "old");
+  Transaction txn(db_);
+  txn.Write(table_, "k", "new");
+  EXPECT_EQ(txn.Read(table_, "k").value_or("?"), "new");
+  txn.Delete(table_, "k");
+  EXPECT_FALSE(txn.Read(table_, "k").has_value());
+  txn.Abort();
+  // Abort left the committed state untouched.
+  EXPECT_EQ(Get("k").value_or("?"), "old");
+}
+
+TEST_F(TxnTest, DeleteMakesKeyAbsent) {
+  Put("k", "v");
+  TxnExecutor executor(db_);
+  EXPECT_EQ(executor.Run([&](Transaction& txn) {
+    txn.Delete(table_, "k");
+    return true;
+  }),
+            TxnStatus::kCommitted);
+  EXPECT_FALSE(Get("k").has_value());
+}
+
+TEST_F(TxnTest, InsertOverDeletedKeySucceeds) {
+  Put("k", "v1");
+  TxnExecutor executor(db_);
+  executor.Run([&](Transaction& txn) {
+    txn.Delete(table_, "k");
+    return true;
+  });
+  EXPECT_EQ(executor.Run([&](Transaction& txn) {
+    EXPECT_TRUE(txn.Insert(table_, "k", "v2"));
+    return true;
+  }),
+            TxnStatus::kCommitted);
+  EXPECT_EQ(Get("k").value_or("?"), "v2");
+}
+
+TEST_F(TxnTest, DuplicateInsertReportsDuplicate) {
+  Put("k", "v");
+  TxnExecutor executor(db_);
+  EXPECT_EQ(executor.Run([&](Transaction& txn) {
+    EXPECT_FALSE(txn.Insert(table_, "k", "other"));
+    return true;  // body proceeds; commit reports the poisoned status
+  }),
+            TxnStatus::kDuplicate);
+  EXPECT_EQ(Get("k").value_or("?"), "v");
+}
+
+TEST_F(TxnTest, UpsertWriteOfMissingKeyBehavesAsInsert) {
+  TxnExecutor executor(db_);
+  EXPECT_EQ(executor.Run([&](Transaction& txn) {
+    txn.Write(table_, "fresh", "v");
+    return true;
+  }),
+            TxnStatus::kCommitted);
+  EXPECT_EQ(Get("fresh").value_or("?"), "v");
+}
+
+TEST_F(TxnTest, CommitTidsAreMonotonePerThread) {
+  // The thread's last-commit TID is threaded through commits; each new TID must be
+  // strictly greater even for transactions touching disjoint, fresh keys.
+  uint64_t last = 0;
+  uint64_t previous = 0;
+  for (int i = 0; i < 10; ++i) {
+    Transaction txn(db_);
+    txn.Write(table_, "k" + std::to_string(i), "v");
+    ASSERT_EQ(txn.Commit(&last), TxnStatus::kCommitted);
+    EXPECT_GT(txn.committed_tid(), previous);
+    previous = txn.committed_tid();
+  }
+}
+
+TEST_F(TxnTest, CommitTidUsesCurrentEpoch) {
+  db_.epochs().Advance();
+  db_.epochs().Advance();
+  TxnExecutor executor(db_);
+  uint64_t last = 0;
+  Transaction txn(db_);
+  txn.Write(table_, "k", "v");
+  ASSERT_EQ(txn.Commit(&last), TxnStatus::kCommitted);
+  EXPECT_EQ(TidWord::EpochOf(txn.committed_tid()), db_.epochs().Current());
+}
+
+// --- Transactions: conflict validation ------------------------------------------------
+
+TEST_F(TxnTest, StaleReadAbortsAtCommit) {
+  Put("x", "1");
+  Transaction reader(db_);
+  EXPECT_EQ(reader.Read(table_, "x").value_or("?"), "1");
+
+  Put("x", "2");  // concurrent writer commits first
+
+  uint64_t last = 0;
+  reader.Write(table_, "y", "depends-on-x");
+  EXPECT_EQ(reader.Commit(&last), TxnStatus::kAborted);
+  EXPECT_FALSE(Get("y").has_value());
+}
+
+TEST_F(TxnTest, ReadOfMissReturnsStableAbsentValidation) {
+  // Reading a key that exists as an absent record registers an anti-dependency: if
+  // someone else makes it live before we commit, we must abort.
+  Put("ghost", "v");
+  TxnExecutor executor(db_);
+  executor.Run([&](Transaction& txn) {
+    txn.Delete(table_, "ghost");
+    return true;
+  });
+
+  Transaction txn(db_);
+  EXPECT_FALSE(txn.Read(table_, "ghost").has_value());
+  Put("ghost", "resurrected");
+  uint64_t last = 0;
+  txn.Write(table_, "out", "saw-no-ghost");
+  EXPECT_EQ(txn.Commit(&last), TxnStatus::kAborted);
+}
+
+TEST_F(TxnTest, BlindWritesToDifferentKeysDoNotConflict) {
+  Transaction t1(db_);
+  Transaction t2(db_);
+  t1.Write(table_, "a", "1");
+  t2.Write(table_, "b", "2");
+  uint64_t last1 = 0;
+  uint64_t last2 = 0;
+  EXPECT_EQ(t1.Commit(&last1), TxnStatus::kCommitted);
+  EXPECT_EQ(t2.Commit(&last2), TxnStatus::kCommitted);
+  EXPECT_EQ(Get("a").value_or("?"), "1");
+  EXPECT_EQ(Get("b").value_or("?"), "2");
+}
+
+TEST_F(TxnTest, WriteSkewIsPrevented) {
+  // Classic write-skew: t1 reads a writes b, t2 reads b writes a. Serializable OCC
+  // must abort one of them.
+  Put("a", "0");
+  Put("b", "0");
+  Transaction t1(db_);
+  Transaction t2(db_);
+  EXPECT_TRUE(t1.Read(table_, "a").has_value());
+  EXPECT_TRUE(t2.Read(table_, "b").has_value());
+  t1.Write(table_, "b", "t1");
+  t2.Write(table_, "a", "t2");
+  uint64_t last1 = 0;
+  uint64_t last2 = 0;
+  TxnStatus s1 = t1.Commit(&last1);
+  TxnStatus s2 = t2.Commit(&last2);
+  EXPECT_TRUE((s1 == TxnStatus::kCommitted) != (s2 == TxnStatus::kCommitted))
+      << "exactly one of the write-skew pair must commit";
+}
+
+// --- Transactions: phantom protection -------------------------------------------------
+
+TEST_F(TxnTest, PhantomInsertInScannedRangeAborts) {
+  Put("r-a", "1");
+  Put("r-c", "3");
+  Transaction scanner(db_);
+  int rows = 0;
+  scanner.Scan(table_, "r-a", "r-z", false, 0,
+               [&rows](const std::string&, const std::string&) {
+                 rows++;
+                 return true;
+               });
+  EXPECT_EQ(rows, 2);
+
+  Put("r-b", "2");  // phantom appears inside the scanned range
+
+  scanner.Write(table_, "out", "saw-2-rows");
+  uint64_t last = 0;
+  EXPECT_EQ(scanner.Commit(&last), TxnStatus::kAborted);
+}
+
+TEST_F(TxnTest, DeleteInScannedRangeAborts) {
+  Put("r-a", "1");
+  Put("r-b", "2");
+  Transaction scanner(db_);
+  scanner.Scan(table_, "r-a", "r-z", false, 0,
+               [](const std::string&, const std::string&) { return true; });
+
+  TxnExecutor executor(db_);
+  executor.Run([&](Transaction& txn) {
+    txn.Delete(table_, "r-b");
+    return true;
+  });
+
+  scanner.Write(table_, "out", "v");
+  uint64_t last = 0;
+  EXPECT_EQ(scanner.Commit(&last), TxnStatus::kAborted);
+}
+
+TEST_F(TxnTest, InsertBeyondLimitedScanDoesNotAbort) {
+  Put("r-a", "1");
+  Put("r-b", "2");
+  Transaction scanner(db_);
+  int rows = 0;
+  // Limit 1: the effective validated range shrinks to [r-a, r-a].
+  scanner.Scan(table_, "r-a", "r-z", false, 1,
+               [&rows](const std::string&, const std::string&) {
+                 rows++;
+                 return true;
+               });
+  EXPECT_EQ(rows, 1);
+
+  Put("r-m", "phantom beyond the observed prefix");
+
+  scanner.Write(table_, "out", "v");
+  uint64_t last = 0;
+  EXPECT_EQ(scanner.Commit(&last), TxnStatus::kCommitted);
+}
+
+TEST_F(TxnTest, ScanAppliesOwnPendingWrites) {
+  Put("s-a", "committed");
+  Transaction txn(db_);
+  txn.Write(table_, "s-a", "pending");
+  std::vector<std::string> values;
+  txn.Scan(table_, "s-a", "s-z", false, 0,
+           [&values](const std::string&, const std::string& value) {
+             values.push_back(value);
+             return true;
+           });
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], "pending");
+  txn.Abort();
+}
+
+// --- Multi-threaded serializability smoke tests ---------------------------------------
+
+TEST_F(TxnTest, ConcurrentIncrementsLoseNoUpdates) {
+  Put("counter", "0");
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this] {
+      TxnExecutor executor(db_);
+      for (int i = 0; i < kIncrements; ++i) {
+        executor.Run([&](Transaction& txn) {
+          int value = std::stoi(txn.Read(table_, "counter").value_or("0"));
+          txn.Write(table_, "counter", std::to_string(value + 1));
+          return true;
+        });
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(Get("counter").value_or("?"), std::to_string(kThreads * kIncrements));
+}
+
+TEST_F(TxnTest, ConcurrentTransfersPreserveTotalBalance) {
+  constexpr int kAccounts = 16;
+  constexpr int64_t kInitial = 1000;
+  for (int a = 0; a < kAccounts; ++a) {
+    Put("acct" + std::to_string(a), std::to_string(kInitial));
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([this, t, &stop] {
+      TxnExecutor executor(db_);
+      Rng rng(static_cast<uint64_t>(t) + 99);
+      for (int i = 0; i < 400 && !stop.load(); ++i) {
+        int from = static_cast<int>(rng.NextBounded(kAccounts));
+        int to = static_cast<int>(rng.NextBounded(kAccounts));
+        if (from == to) {
+          continue;
+        }
+        executor.Run([&](Transaction& txn) {
+          auto from_key = "acct" + std::to_string(from);
+          auto to_key = "acct" + std::to_string(to);
+          int64_t from_balance = std::stoll(txn.Read(table_, from_key).value_or("0"));
+          int64_t to_balance = std::stoll(txn.Read(table_, to_key).value_or("0"));
+          int64_t amount = static_cast<int64_t>(rng.NextBounded(50));
+          txn.Write(table_, from_key, std::to_string(from_balance - amount));
+          txn.Write(table_, to_key, std::to_string(to_balance + amount));
+          return true;
+        });
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  int64_t total = 0;
+  for (int a = 0; a < kAccounts; ++a) {
+    total += std::stoll(Get("acct" + std::to_string(a)).value_or("0"));
+  }
+  EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+TEST_F(TxnTest, ConcurrentInsertsOfSameKeyAdmitExactlyOne) {
+  constexpr int kThreads = 4;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &winners] {
+      TxnExecutor executor(db_);
+      TxnStatus status = executor.Run([&](Transaction& txn) {
+        txn.Insert(table_, "contested", "winner-" + std::to_string(t));
+        return true;
+      });
+      if (status == TxnStatus::kCommitted) {
+        winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_TRUE(Get("contested").has_value());
+}
+
+// --- Structural erase (Masstree-style delete, GC-disabled graveyard) -------------------
+
+TEST(OrderedIndexTest, EraseUnlinksKeyButKeepsRecordAlive) {
+  OrderedIndex index;
+  auto [record, created] = index.GetOrInsert("k");
+  ASSERT_TRUE(created);
+  record->Lock();
+  record->Install(TidWord::Make(1, 1), std::make_shared<const std::string>("v"));
+  EXPECT_TRUE(index.Erase("k"));
+  EXPECT_EQ(index.Get("k"), nullptr);
+  EXPECT_EQ(index.GraveyardSize(), 1u);
+  // The graveyard keeps the record valid: pointers held elsewhere still read it.
+  auto snapshot = record->StableRead();
+  ASSERT_NE(snapshot.value, nullptr);
+  EXPECT_EQ(*snapshot.value, "v");
+  EXPECT_FALSE(index.Erase("k"));  // idempotence: already gone
+}
+
+TEST_F(TxnTest, DeleteWithEraseRemovesKeyFromScans) {
+  Put("e-a", "1");
+  Put("e-b", "2");
+  TxnExecutor executor(db_);
+  executor.Run([&](Transaction& txn) {
+    txn.Delete(table_, "e-a", /*erase=*/true);
+    return true;
+  });
+  // The key is structurally gone: scans skip it without visiting a tombstone.
+  Transaction txn(db_);
+  std::vector<std::string> keys;
+  txn.Scan(table_, "e-a", "e-z", false, 0,
+           [&keys](const std::string& key, const std::string&) {
+             keys.push_back(key);
+             return true;
+           });
+  txn.Abort();
+  EXPECT_EQ(keys, (std::vector<std::string>{"e-b"}));
+  EXPECT_EQ(db_.table(table_).GraveyardSize(), 1u);
+}
+
+TEST_F(TxnTest, EraseInScannedRangeStillAbortsTheScanner) {
+  // Phantom protection must survive structural deletes: the vanished key changes the
+  // range fingerprint.
+  Put("e-a", "1");
+  Put("e-b", "2");
+  Transaction scanner(db_);
+  scanner.Scan(table_, "e-a", "e-z", false, 0,
+               [](const std::string&, const std::string&) { return true; });
+
+  TxnExecutor executor(db_);
+  executor.Run([&](Transaction& txn) {
+    txn.Delete(table_, "e-b", /*erase=*/true);
+    return true;
+  });
+
+  scanner.Write(table_, "out", "v");
+  uint64_t last = 0;
+  EXPECT_EQ(scanner.Commit(&last), TxnStatus::kAborted);
+}
+
+TEST_F(TxnTest, InsertAfterEraseCreatesFreshRecord) {
+  Put("e-k", "old");
+  TxnExecutor executor(db_);
+  executor.Run([&](Transaction& txn) {
+    txn.Delete(table_, "e-k", /*erase=*/true);
+    return true;
+  });
+  EXPECT_EQ(executor.Run([&](Transaction& txn) {
+    EXPECT_TRUE(txn.Insert(table_, "e-k", "new"));
+    return true;
+  }),
+            TxnStatus::kCommitted);
+  EXPECT_EQ(Get("e-k").value_or("?"), "new");
+}
+
+}  // namespace
+}  // namespace zygos

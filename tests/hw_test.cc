@@ -1,0 +1,78 @@
+// Tests for the simulated-hardware layer: cost-model presets and RSS diagnostics not
+// covered by net_test's behavioural RSS tests.
+#include <gtest/gtest.h>
+
+#include "src/hw/cost_model.h"
+#include "src/hw/packet.h"
+#include "src/hw/rss.h"
+
+namespace zygos {
+namespace {
+
+TEST(CostModelTest, ZeroOverheadZeroesEveryKnob) {
+  CostModel zero = CostModel::ZeroOverhead();
+  EXPECT_EQ(zero.rx_per_packet, 0);
+  EXPECT_EQ(zero.rx_batch_fixed, 0);
+  EXPECT_EQ(zero.tx_per_packet, 0);
+  EXPECT_EQ(zero.app_dispatch, 0);
+  EXPECT_EQ(zero.shuffle_enqueue, 0);
+  EXPECT_EQ(zero.shuffle_dequeue, 0);
+  EXPECT_EQ(zero.steal_success, 0);
+  EXPECT_EQ(zero.steal_probe, 0);
+  EXPECT_EQ(zero.idle_poll_sweep, 0);
+  EXPECT_EQ(zero.remote_syscall, 0);
+  EXPECT_EQ(zero.ipi_delivery, 0);
+  EXPECT_EQ(zero.ipi_handler, 0);
+  EXPECT_EQ(zero.linux_partitioned_per_request, 0);
+  EXPECT_EQ(zero.linux_floating_per_request, 0);
+  EXPECT_EQ(zero.linux_floating_serialized, 0);
+  EXPECT_EQ(zero.linux_wakeup, 0);
+}
+
+TEST(CostModelTest, DefaultHasDataplaneUnderLinuxOverheads) {
+  // The structural relationship every experiment relies on: the dataplane per-request
+  // path is far cheaper than the Linux syscall path, and floating costs more than
+  // partitioned (shared-pool synchronization).
+  CostModel def = CostModel::Default();
+  Nanos dataplane = def.rx_per_packet + def.tx_per_packet + def.app_dispatch;
+  EXPECT_LT(dataplane, def.linux_partitioned_per_request);
+  EXPECT_LT(def.linux_partitioned_per_request, def.linux_floating_per_request);
+  EXPECT_GT(def.ipi_delivery, def.shuffle_enqueue);
+}
+
+TEST(RssSharesTest, RoundRobinSharesAreUniform) {
+  RssTable rss(128, 16);
+  auto shares = rss.CoreShares();
+  ASSERT_EQ(shares.size(), 16u);
+  for (double share : shares) {
+    EXPECT_NEAR(share, 1.0 / 16.0, 1e-9);
+  }
+}
+
+TEST(RssSharesTest, SkewedIndirectionIsVisibleInShares) {
+  RssTable rss(128, 4);
+  rss.SetIndirection(std::vector<int>(128, 0));  // everything on core 0
+  auto shares = rss.CoreShares();
+  EXPECT_DOUBLE_EQ(shares[0], 1.0);
+  EXPECT_DOUBLE_EQ(shares[1], 0.0);
+}
+
+TEST(RssSharesTest, SingleEntryReprogramShiftsOneGroup) {
+  RssTable rss(8, 2);
+  rss.SetGroupCore(0, 1);
+  auto shares = rss.CoreShares();
+  // 8 groups round-robin over 2 cores = 4/4; moving group 0 to core 1 makes it 3/5.
+  EXPECT_NEAR(shares[0], 3.0 / 8.0, 1e-9);
+  EXPECT_NEAR(shares[1], 5.0 / 8.0, 1e-9);
+}
+
+TEST(PacketTest, DefaultsAreZeroed) {
+  Packet packet;
+  EXPECT_EQ(packet.request_id, 0u);
+  EXPECT_EQ(packet.flow_id, 0u);
+  EXPECT_EQ(packet.arrival, 0);
+  EXPECT_EQ(packet.service, 0);
+}
+
+}  // namespace
+}  // namespace zygos

@@ -1,0 +1,280 @@
+// Tests for the memcached-style KV store: protocol codec, hash table (including
+// concurrent access), service dispatch and the ETC/USR workload generators.
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/kvstore/hash_table.h"
+#include "src/kvstore/protocol.h"
+#include "src/kvstore/service.h"
+#include "src/kvstore/workload.h"
+
+namespace zygos {
+namespace {
+
+// --- Protocol ------------------------------------------------------------------------
+
+TEST(KvProtocolTest, RequestRoundTripGet) {
+  KvRequest request{KvOp::kGet, "some-key", ""};
+  auto decoded = DecodeKvRequest(EncodeKvRequest(request));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->op, KvOp::kGet);
+  EXPECT_EQ(decoded->key, "some-key");
+  EXPECT_TRUE(decoded->value.empty());
+}
+
+TEST(KvProtocolTest, RequestRoundTripSetWithBinaryValue) {
+  std::string value;
+  for (int i = 0; i < 256; ++i) {
+    value.push_back(static_cast<char>(i));
+  }
+  KvRequest request{KvOp::kSet, "k", value};
+  auto decoded = DecodeKvRequest(EncodeKvRequest(request));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->op, KvOp::kSet);
+  EXPECT_EQ(decoded->value, value);
+}
+
+TEST(KvProtocolTest, ResponseRoundTrip) {
+  for (auto status : {KvStatus::kOk, KvStatus::kMiss, KvStatus::kError}) {
+    KvResponse response{status, status == KvStatus::kOk ? "payload" : ""};
+    auto decoded = DecodeKvResponse(EncodeKvResponse(response));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->status, status);
+    EXPECT_EQ(decoded->value, response.value);
+  }
+}
+
+TEST(KvProtocolTest, DecodeRejectsTruncatedInput) {
+  EXPECT_FALSE(DecodeKvRequest("").has_value());
+  EXPECT_FALSE(DecodeKvRequest("\x01").has_value());
+  // Header promising a longer key than the payload carries.
+  std::string bogus;
+  bogus.push_back(0);        // op
+  bogus.push_back(50);       // key_len low byte = 50
+  bogus.push_back(0);        // key_len high byte
+  bogus.append("short");     // only 5 bytes of key follow
+  EXPECT_FALSE(DecodeKvRequest(bogus).has_value());
+  EXPECT_FALSE(DecodeKvResponse("").has_value());
+}
+
+TEST(KvProtocolTest, DecodeRejectsUnknownOp) {
+  std::string raw = EncodeKvRequest({KvOp::kGet, "k", ""});
+  raw[0] = 9;  // not a valid KvOp
+  EXPECT_FALSE(DecodeKvRequest(raw).has_value());
+}
+
+// --- Hash table ----------------------------------------------------------------------
+
+TEST(HashTableTest, SetGetDelete) {
+  HashTable table(1024, 8);
+  EXPECT_TRUE(table.Set("a", "1"));
+  EXPECT_FALSE(table.Set("a", "2"));  // overwrite is not a new insert
+  EXPECT_EQ(table.Get("a").value_or("?"), "2");
+  EXPECT_FALSE(table.Get("missing").has_value());
+  EXPECT_TRUE(table.Delete("a"));
+  EXPECT_FALSE(table.Delete("a"));
+  EXPECT_FALSE(table.Get("a").has_value());
+  EXPECT_EQ(table.Size(), 0u);
+}
+
+TEST(HashTableTest, SizeTracksInsertsAcrossManyKeys) {
+  HashTable table(64, 4);  // force heavy chaining
+  constexpr int kKeys = 5000;
+  for (int i = 0; i < kKeys; ++i) {
+    table.Set("key-" + std::to_string(i), std::to_string(i));
+  }
+  EXPECT_EQ(table.Size(), static_cast<size_t>(kKeys));
+  for (int i = 0; i < kKeys; ++i) {
+    auto hit = table.Get("key-" + std::to_string(i));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, std::to_string(i));
+  }
+}
+
+TEST(HashTableTest, EmptyKeyAndLargeValue) {
+  HashTable table;
+  std::string big(1 << 20, 'x');
+  EXPECT_TRUE(table.Set("", big));
+  EXPECT_EQ(table.Get("").value_or("").size(), big.size());
+}
+
+TEST(HashTableTest, ConcurrentDisjointWritersDontLoseUpdates) {
+  HashTable table(1 << 12, 16);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        table.Set("t" + std::to_string(t) + "-" + std::to_string(i), std::to_string(i));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(table.Size(), static_cast<size_t>(kThreads * kPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; i += 97) {
+      auto hit = table.Get("t" + std::to_string(t) + "-" + std::to_string(i));
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_EQ(*hit, std::to_string(i));
+    }
+  }
+}
+
+TEST(HashTableTest, ConcurrentReadersSeeConsistentValues) {
+  // Writers flip one key between two equally sized values; readers must always observe
+  // one of the two (never a torn mixture) because reads copy under the stripe lock.
+  HashTable table;
+  const std::string v1(64, 'a');
+  const std::string v2(64, 'b');
+  table.Set("flip", v1);
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 20000; ++i) {
+      table.Set("flip", (i & 1) != 0 ? v1 : v2);
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      auto value = table.Get("flip");
+      if (value.has_value() && *value != v1 && *value != v2) {
+        torn.fetch_add(1);
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(torn.load(), 0);
+}
+
+// --- Service -------------------------------------------------------------------------
+
+TEST(KvServiceTest, GetSetDeleteViaPayloads) {
+  KvService service;
+  auto set = DecodeKvResponse(service.Handle(EncodeKvRequest({KvOp::kSet, "k", "v"})));
+  ASSERT_TRUE(set.has_value());
+  EXPECT_EQ(set->status, KvStatus::kOk);
+
+  auto get = DecodeKvResponse(service.Handle(EncodeKvRequest({KvOp::kGet, "k", ""})));
+  ASSERT_TRUE(get.has_value());
+  EXPECT_EQ(get->status, KvStatus::kOk);
+  EXPECT_EQ(get->value, "v");
+
+  auto del = DecodeKvResponse(service.Handle(EncodeKvRequest({KvOp::kDelete, "k", ""})));
+  ASSERT_TRUE(del.has_value());
+  EXPECT_EQ(del->status, KvStatus::kOk);
+
+  auto miss = DecodeKvResponse(service.Handle(EncodeKvRequest({KvOp::kGet, "k", ""})));
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_EQ(miss->status, KvStatus::kMiss);
+}
+
+TEST(KvServiceTest, MalformedRequestYieldsErrorNotCrash) {
+  KvService service;
+  auto response = DecodeKvResponse(service.Handle("garbage"));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, KvStatus::kError);
+}
+
+// --- Workloads -----------------------------------------------------------------------
+
+TEST(KvWorkloadTest, KeysAreStableAndUnique) {
+  KvWorkload workload(KvWorkloadSpec::Etc(), 7);
+  EXPECT_EQ(workload.KeyAt(42), workload.KeyAt(42));
+  EXPECT_NE(workload.KeyAt(1), workload.KeyAt(2));
+}
+
+TEST(KvWorkloadTest, KeyLengthProfilesMatchTraces) {
+  KvWorkload usr(KvWorkloadSpec::Usr(), 7);
+  KvWorkload etc(KvWorkloadSpec::Etc(), 7);
+  for (uint64_t i = 0; i < 500; ++i) {
+    size_t usr_len = usr.KeyAt(i).size();
+    EXPECT_GE(usr_len, 19u);
+    EXPECT_LE(usr_len, 21u);
+    size_t etc_len = etc.KeyAt(i).size();
+    EXPECT_GE(etc_len, 20u);
+    EXPECT_LE(etc_len, 45u);
+  }
+}
+
+TEST(KvWorkloadTest, UsrValuesAreTwoBytes) {
+  KvWorkload workload(KvWorkloadSpec::Usr(), 3);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(workload.SampleValue(rng).size(), 2u);
+  }
+}
+
+TEST(KvWorkloadTest, EtcValueSizesSpanTheDistribution) {
+  KvWorkload workload(KvWorkloadSpec::Etc(), 3);
+  Rng rng(3);
+  RunningStats sizes;
+  for (int i = 0; i < 20000; ++i) {
+    sizes.Add(static_cast<double>(workload.SampleValue(rng).size()));
+  }
+  EXPECT_GE(sizes.Min(), 2.0);
+  EXPECT_LE(sizes.Max(), 1024.0);
+  // The mix has mass both below 16 B and above 512 B.
+  EXPECT_LT(sizes.Min(), 16.0);
+  EXPECT_GT(sizes.Max(), 512.0);
+}
+
+TEST(KvWorkloadTest, GetFractionIsRespected) {
+  KvWorkload workload(KvWorkloadSpec::Etc(), 11);
+  Rng rng(11);
+  int gets = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    auto request = DecodeKvRequest(workload.SampleRequest(rng));
+    ASSERT_TRUE(request.has_value());
+    if (request->op == KvOp::kGet) {
+      gets++;
+    }
+  }
+  double fraction = static_cast<double>(gets) / kSamples;
+  EXPECT_NEAR(fraction, KvWorkloadSpec::Etc().get_fraction, 0.01);
+}
+
+TEST(KvWorkloadTest, PopulateInsertsEveryKey) {
+  KvWorkloadSpec spec = KvWorkloadSpec::Usr();
+  spec.num_keys = 1000;
+  KvWorkload workload(spec, 5);
+  KvService service;
+  workload.Populate(service);
+  EXPECT_EQ(service.table().Size(), 1000u);
+  EXPECT_TRUE(service.table().Get(workload.KeyAt(0)).has_value());
+  EXPECT_TRUE(service.table().Get(workload.KeyAt(999)).has_value());
+}
+
+TEST(KvWorkloadTest, MeasuredServiceTimesArePositiveAndTiny) {
+  KvWorkloadSpec spec = KvWorkloadSpec::Usr();
+  spec.num_keys = 10000;
+  KvWorkload workload(spec, 5);
+  KvService service;
+  workload.Populate(service);
+  auto times = workload.MeasureServiceTimes(service, 2000);
+  ASSERT_EQ(times.size(), 2000u);
+  RunningStats stats;
+  for (Nanos t : times) {
+    EXPECT_GE(t, 0);
+    stats.Add(static_cast<double>(t));
+  }
+  // The whole point of the memcached experiment: tasks are ~the microsecond scale.
+  // Allow generous slack for noisy CI machines.
+  EXPECT_LT(stats.Mean(), 100.0 * kMicrosecond);
+}
+
+}  // namespace
+}  // namespace zygos

@@ -1,0 +1,184 @@
+// Tests for message framing, PCB event queues, and RSS flow dispatch.
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/hw/rss.h"
+#include "src/net/message.h"
+#include "src/net/pcb.h"
+
+namespace zygos {
+namespace {
+
+TEST(MessageTest, RoundTripSingleMessage) {
+  Message msg{42, "hello"};
+  std::string wire;
+  EncodeMessage(msg, wire);
+  FrameParser parser;
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size()));
+  auto out = parser.TakeMessages();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].request_id, 42u);
+  EXPECT_EQ(out[0].payload, "hello");
+  EXPECT_EQ(parser.PendingBytes(), 0u);
+}
+
+TEST(MessageTest, BackToBackMessagesInOneSegment) {
+  // The §4.3 scenario: two distinct RPCs arrive in a single TCP segment.
+  std::string wire;
+  EncodeMessage({1, "first"}, wire);
+  EncodeMessage({2, "second"}, wire);
+  FrameParser parser;
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size()));
+  auto out = parser.TakeMessages();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].request_id, 1u);
+  EXPECT_EQ(out[1].request_id, 2u);
+}
+
+TEST(MessageTest, MessageSplitAcrossArbitraryBoundaries) {
+  std::string wire;
+  EncodeMessage({7, std::string(1000, 'x')}, wire);
+  // Feed one byte at a time: worst-case segmentation.
+  FrameParser parser;
+  for (char c : wire) {
+    ASSERT_TRUE(parser.Feed(&c, 1));
+  }
+  auto out = parser.TakeMessages();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload.size(), 1000u);
+}
+
+TEST(MessageTest, EmptyPayloadIsValid) {
+  std::string wire;
+  EncodeMessage({9, ""}, wire);
+  FrameParser parser;
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size()));
+  auto out = parser.TakeMessages();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].payload.empty());
+}
+
+TEST(MessageTest, OversizedFramePoisonsParser) {
+  std::string wire;
+  uint32_t huge = 0x7fffffff;
+  wire.append(reinterpret_cast<const char*>(&huge), 4);
+  wire.append(8, '\0');
+  FrameParser parser;
+  EXPECT_FALSE(parser.Feed(wire.data(), wire.size()));
+  EXPECT_TRUE(parser.Poisoned());
+  EXPECT_FALSE(parser.Feed("x", 1));
+}
+
+TEST(MessageTest, PipelinedStreamPreservesOrder) {
+  // Up to 4-deep pipelining per connection (the memcached workload of §6.2).
+  std::string wire;
+  for (uint64_t i = 0; i < 100; ++i) {
+    EncodeMessage({i, "req" + std::to_string(i)}, wire);
+  }
+  FrameParser parser;
+  // Feed in 7-byte chunks.
+  for (size_t off = 0; off < wire.size(); off += 7) {
+    size_t n = std::min<size_t>(7, wire.size() - off);
+    ASSERT_TRUE(parser.Feed(wire.data() + off, n));
+  }
+  auto out = parser.TakeMessages();
+  ASSERT_EQ(out.size(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[i].request_id, i);
+  }
+}
+
+TEST(PcbTest, EventQueueFifo) {
+  Pcb pcb(1, 0);
+  pcb.PushEvent({1, 10, 0, ""});
+  pcb.PushEvent({2, 20, 0, ""});
+  EXPECT_EQ(pcb.PendingEventCount(), 2u);
+  EXPECT_EQ(pcb.PopEvent()->request_id, 1u);
+  EXPECT_EQ(pcb.PopEvent()->request_id, 2u);
+  EXPECT_FALSE(pcb.PopEvent().has_value());
+  EXPECT_FALSE(pcb.HasPendingEvents());
+}
+
+TEST(PcbTest, InitialState) {
+  Pcb pcb(77, 3);
+  EXPECT_EQ(pcb.flow_id(), 77u);
+  EXPECT_EQ(pcb.home_core(), 3);
+  EXPECT_EQ(pcb.sched_state(), PcbState::kIdle);
+  EXPECT_EQ(pcb.owner_core(), -1);
+}
+
+TEST(PcbTest, ConcurrentProducerConsumer) {
+  // Home-core netstack produces while the (possibly remote) execution core consumes.
+  Pcb pcb(1, 0);
+  constexpr uint64_t kCount = 50000;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kCount; ++i) {
+      pcb.PushEvent({i, 0, 0, ""});
+    }
+  });
+  uint64_t expected = 0;
+  while (expected < kCount) {
+    auto ev = pcb.PopEvent();
+    if (ev.has_value()) {
+      ASSERT_EQ(ev->request_id, expected);  // per-socket FIFO order is the §4.3 contract
+      expected++;
+    }
+  }
+  producer.join();
+}
+
+// --- RSS -----------------------------------------------------------------------------
+
+TEST(RssTest, FlowAlwaysMapsToSameCore) {
+  RssTable rss(128, 16);
+  for (uint64_t flow = 0; flow < 1000; ++flow) {
+    int first = rss.HomeCoreOf(flow);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(rss.HomeCoreOf(flow), first);
+    }
+  }
+}
+
+TEST(RssTest, RoundRobinDefaultIsBalanced) {
+  RssTable rss(128, 16);
+  auto shares = rss.CoreShares();
+  for (double s : shares) {
+    EXPECT_NEAR(s, 1.0 / 16.0, 1e-9);
+  }
+}
+
+TEST(RssTest, ManyFlowsSpreadAcrossAllCores) {
+  RssTable rss(128, 16);
+  std::vector<int> counts(16, 0);
+  constexpr int kFlows = 100000;
+  for (uint64_t flow = 0; flow < kFlows; ++flow) {
+    counts[static_cast<size_t>(rss.HomeCoreOf(flow))]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kFlows / 16, kFlows / 16 * 0.15);
+  }
+}
+
+TEST(RssTest, ReprogrammingIndirectionMovesFlows) {
+  RssTable rss(8, 4);
+  // Home every group on core 0: the persistent-imbalance scenario.
+  for (int g = 0; g < 8; ++g) {
+    rss.SetGroupCore(g, 0);
+  }
+  for (uint64_t flow = 0; flow < 100; ++flow) {
+    EXPECT_EQ(rss.HomeCoreOf(flow), 0);
+  }
+  EXPECT_NEAR(rss.CoreShares()[0], 1.0, 1e-9);
+}
+
+TEST(RssTest, SetIndirectionReplacesTable) {
+  RssTable rss(4, 4);
+  rss.SetIndirection({3, 3, 3, 3});
+  EXPECT_EQ(rss.HomeCoreOf(123), 3);
+}
+
+}  // namespace
+}  // namespace zygos

@@ -1,0 +1,368 @@
+// Tests for the real-thread runtime: completion of every accepted request, the §4.3
+// per-connection ordering guarantee under stealing, exclusive socket ownership
+// (handlers for one flow never run concurrently), work stealing under skewed RSS
+// layouts, partitioned-mode isolation, frame reassembly through the loopback NIC, and
+// clean shutdown.
+//
+// All assertions are functional (counts, orderings, invariants), never timing-based —
+// the host may have a single hardware thread.
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/net/message.h"
+#include "src/runtime/client.h"
+#include "src/runtime/runtime.h"
+
+namespace zygos {
+namespace {
+
+RequestHandler EchoHandler() {
+  return [](uint64_t flow_id, const std::string& request) {
+    (void)flow_id;
+    return "echo:" + request;
+  };
+}
+
+// Collects completions per flow, preserving per-flow arrival order of responses.
+class CompletionLog {
+ public:
+  CompletionHandler Handler() {
+    return [this](uint64_t flow_id, uint64_t request_id, const std::string& response,
+                  Nanos arrival) {
+      (void)arrival;
+      std::lock_guard<std::mutex> guard(mutex_);
+      per_flow_[flow_id].push_back(request_id);
+      responses_[request_id] = response;
+      total_++;
+    };
+  }
+
+  std::vector<uint64_t> FlowOrder(uint64_t flow_id) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return per_flow_[flow_id];
+  }
+  std::string ResponseFor(uint64_t request_id) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = responses_.find(request_id);
+    return it == responses_.end() ? "" : it->second;
+  }
+  uint64_t total() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return total_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<uint64_t, std::vector<uint64_t>> per_flow_;
+  std::map<uint64_t, std::string> responses_;
+  uint64_t total_ = 0;
+};
+
+RuntimeOptions SmallOptions(RuntimeMode mode, int workers = 3, int flows = 16) {
+  RuntimeOptions options;
+  options.num_workers = workers;
+  options.mode = mode;
+  options.num_flows = flows;
+  options.yield_when_idle = true;
+  return options;
+}
+
+TEST(RuntimeTest, EchoesEveryRequestExactlyOnce) {
+  CompletionLog log;
+  Runtime runtime(SmallOptions(RuntimeMode::kZygos), EchoHandler(), log.Handler());
+  runtime.Start();
+  constexpr uint64_t kRequests = 2000;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(runtime.Inject(i % 16, i, "r" + std::to_string(i)));
+  }
+  runtime.Shutdown();
+  EXPECT_EQ(runtime.Completed(), kRequests);
+  EXPECT_EQ(log.total(), kRequests);
+  EXPECT_EQ(log.ResponseFor(7), "echo:r7");
+  EXPECT_EQ(log.ResponseFor(kRequests - 1), "echo:r" + std::to_string(kRequests - 1));
+  EXPECT_EQ(runtime.NicDrops(), 0u);
+}
+
+TEST(RuntimeTest, PerFlowResponsesStayInOrderUnderStealing) {
+  CompletionLog log;
+  // A slow-ish handler plus a single hot flow maximizes steal interleavings.
+  RequestHandler handler = [](uint64_t, const std::string& request) {
+    volatile int sink = 0;
+    for (int i = 0; i < 500; ++i) {
+      sink += i;
+    }
+    return request;
+  };
+  Runtime runtime(SmallOptions(RuntimeMode::kZygos, /*workers=*/4, /*flows=*/4), handler,
+                  log.Handler());
+  runtime.Start();
+  constexpr uint64_t kPerFlow = 500;
+  for (uint64_t i = 0; i < kPerFlow; ++i) {
+    for (uint64_t flow = 0; flow < 4; ++flow) {
+      ASSERT_TRUE(runtime.Inject(flow, flow * kPerFlow + i, "x"));
+    }
+  }
+  runtime.Shutdown();
+  for (uint64_t flow = 0; flow < 4; ++flow) {
+    auto order = log.FlowOrder(flow);
+    ASSERT_EQ(order.size(), kPerFlow) << "flow " << flow;
+    for (uint64_t i = 0; i < kPerFlow; ++i) {
+      EXPECT_EQ(order[i], flow * kPerFlow + i)
+          << "flow " << flow << " response " << i << " out of order";
+    }
+  }
+}
+
+TEST(RuntimeTest, HandlersForOneFlowNeverRunConcurrently) {
+  // Exclusive socket ownership (§4.3): per-flow execution is mutually exclusive even
+  // when different cores steal the connection at different times.
+  constexpr int kFlows = 4;
+  std::array<std::atomic<int>, kFlows> in_flight{};
+  std::atomic<int> violations{0};
+  RequestHandler handler = [&](uint64_t flow_id, const std::string& request) {
+    int now = in_flight[flow_id].fetch_add(1) + 1;
+    if (now > 1) {
+      violations.fetch_add(1);
+    }
+    std::this_thread::yield();  // widen the race window
+    in_flight[flow_id].fetch_sub(1);
+    return request;
+  };
+  CompletionLog log;
+  Runtime runtime(SmallOptions(RuntimeMode::kZygos, /*workers=*/4, kFlows), handler,
+                  log.Handler());
+  runtime.Start();
+  for (uint64_t i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(runtime.Inject(i % kFlows, i, "x"));
+  }
+  runtime.Shutdown();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(RuntimeTest, SkewedRssTriggersStealing) {
+  // Home every flow group on core 0: without stealing, cores 1..3 would stay idle.
+  RuntimeOptions options = SmallOptions(RuntimeMode::kZygos, /*workers=*/4, /*flows=*/32);
+  CompletionLog log;
+  // Busy-ish handler so core 0 cannot drain everything between injections.
+  RequestHandler handler = [](uint64_t, const std::string& request) {
+    volatile int sink = 0;
+    for (int i = 0; i < 2000; ++i) {
+      sink += i;
+    }
+    return request;
+  };
+  Runtime runtime(options, handler, log.Handler());
+  runtime.mutable_rss().SetIndirection(
+      std::vector<int>(static_cast<size_t>(options.num_flow_groups), 0));
+  runtime.Start();
+  for (uint64_t i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(runtime.Inject(i % 32, i, "x"));
+  }
+  runtime.Shutdown();
+  // Every flow is homed on core 0...
+  for (uint64_t flow = 0; flow < 32; ++flow) {
+    EXPECT_EQ(runtime.HomeCoreOf(flow), 0);
+  }
+  // ...yet remote cores executed a share of the events.
+  WorkerStats total = runtime.TotalStats();
+  EXPECT_EQ(total.app_events, 4000u);
+  EXPECT_GT(total.stolen_events, 0u) << "no steals despite a fully skewed layout";
+  // Each shuffle-layer steal claims one connection, which may batch several pipelined
+  // events; so event count >= claim count > 0.
+  ShuffleStats shuffle = runtime.TotalShuffleStats();
+  EXPECT_GT(shuffle.steals, 0u);
+  EXPECT_GE(total.stolen_events, shuffle.steals);
+  // Stolen responses were shipped home: remote syscalls executed on core 0.
+  EXPECT_GT(runtime.StatsFor(0).remote_syscalls, 0u);
+}
+
+TEST(RuntimeTest, PartitionedModeNeverSteals) {
+  RuntimeOptions options =
+      SmallOptions(RuntimeMode::kPartitioned, /*workers=*/3, /*flows=*/32);
+  CompletionLog log;
+  Runtime runtime(options, EchoHandler(), log.Handler());
+  // Same pathological skew: partitioned mode must *not* rebalance.
+  runtime.mutable_rss().SetIndirection(
+      std::vector<int>(static_cast<size_t>(options.num_flow_groups), 0));
+  runtime.Start();
+  for (uint64_t i = 0; i < 1500; ++i) {
+    ASSERT_TRUE(runtime.Inject(i % 32, i, "x"));
+  }
+  runtime.Shutdown();
+  WorkerStats total = runtime.TotalStats();
+  EXPECT_EQ(total.app_events, 1500u);
+  EXPECT_EQ(total.stolen_events, 0u);
+  EXPECT_EQ(runtime.StatsFor(0).app_events, 1500u) << "all events on the home core";
+  EXPECT_EQ(runtime.TotalShuffleStats().steals, 0u);
+}
+
+TEST(RuntimeTest, FramesSplitAcrossSegmentsReassemble) {
+  CompletionLog log;
+  Runtime runtime(SmallOptions(RuntimeMode::kZygos, /*workers=*/2, /*flows=*/2),
+                  EchoHandler(), log.Handler());
+  runtime.Start();
+
+  // One message split into three segments, plus two messages coalesced into one
+  // segment — both on the same flow, in order.
+  std::string split;
+  EncodeMessage(Message{100, "split-payload"}, split);
+  std::string coalesced;
+  EncodeMessage(Message{101, "first"}, coalesced);
+  EncodeMessage(Message{102, "second"}, coalesced);
+
+  ASSERT_TRUE(runtime.InjectBytes(0, split.substr(0, 5), 0));
+  ASSERT_TRUE(runtime.InjectBytes(0, split.substr(5, 9), 0));
+  ASSERT_TRUE(runtime.InjectBytes(0, split.substr(14), 1));
+  ASSERT_TRUE(runtime.InjectBytes(0, coalesced, 2));
+  runtime.Shutdown();
+
+  EXPECT_EQ(log.total(), 3u);
+  EXPECT_EQ(log.ResponseFor(100), "echo:split-payload");
+  EXPECT_EQ(log.ResponseFor(101), "echo:first");
+  EXPECT_EQ(log.ResponseFor(102), "echo:second");
+  auto order = log.FlowOrder(0);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 100u);
+  EXPECT_EQ(order[1], 101u);
+  EXPECT_EQ(order[2], 102u);
+}
+
+TEST(RuntimeTest, PipelinedBurstsAreImplicitlyBatched) {
+  // Back-to-back requests on one flow are claimed together under one ownership grab
+  // (the §6.2 implicit batching); functionally: all complete, in order.
+  CompletionLog log;
+  Runtime runtime(SmallOptions(RuntimeMode::kZygos, /*workers=*/2, /*flows=*/1),
+                  EchoHandler(), log.Handler());
+  runtime.Start();
+  std::string burst;
+  for (uint64_t i = 0; i < 4; ++i) {
+    EncodeMessage(Message{i, "burst"}, burst);
+  }
+  ASSERT_TRUE(runtime.InjectBytes(0, burst, 4));
+  runtime.Shutdown();
+  auto order = log.FlowOrder(0);
+  ASSERT_EQ(order.size(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(RuntimeTest, ShutdownWithNoTrafficIsClean) {
+  Runtime runtime(SmallOptions(RuntimeMode::kZygos), EchoHandler(), nullptr);
+  runtime.Start();
+  runtime.Shutdown();
+  EXPECT_EQ(runtime.Completed(), 0u);
+}
+
+TEST(RuntimeTest, ConcurrentInjectorsAreSafe) {
+  CompletionLog log;
+  Runtime runtime(SmallOptions(RuntimeMode::kZygos, /*workers=*/2, /*flows=*/64),
+                  EchoHandler(), log.Handler());
+  runtime.Start();
+  constexpr int kInjectors = 3;
+  constexpr uint64_t kPerInjector = 600;
+  std::atomic<uint64_t> accepted{0};
+  std::vector<std::thread> injectors;
+  for (int t = 0; t < kInjectors; ++t) {
+    injectors.emplace_back([&runtime, &accepted, t] {
+      for (uint64_t i = 0; i < kPerInjector; ++i) {
+        uint64_t id = static_cast<uint64_t>(t) * kPerInjector + i;
+        if (runtime.Inject(id % 64, id, "x")) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& injector : injectors) {
+    injector.join();
+  }
+  runtime.Shutdown();
+  EXPECT_EQ(runtime.Completed(), accepted.load());
+  EXPECT_EQ(log.total(), accepted.load());
+}
+
+TEST(RuntimeTest, LatencyCollectorRecordsEveryCompletion) {
+  LatencyCollector collector;
+  Runtime runtime(SmallOptions(RuntimeMode::kZygos, /*workers=*/2, /*flows=*/8),
+                  EchoHandler(), collector.Handler());
+  runtime.Start();
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(runtime.Inject(i % 8, i, "x"));
+  }
+  runtime.Shutdown();
+  LatencyHistogram histogram = collector.Snapshot();
+  EXPECT_EQ(histogram.Count(), 500u);
+  EXPECT_GT(histogram.Mean(), 0.0);
+  EXPECT_GE(histogram.P99(), histogram.P50());
+}
+
+TEST(RuntimeTest, RingBackpressureDropsAreCountedNotLost) {
+  // A tiny ring with a stalled runtime (not started yet) must reject the overflow and
+  // report it, mirroring NIC drop counters.
+  RuntimeOptions options = SmallOptions(RuntimeMode::kZygos, /*workers=*/1, /*flows=*/1);
+  options.ring_capacity = 8;
+  Runtime runtime(options, EchoHandler(), nullptr);
+  uint64_t accepted = 0;
+  for (uint64_t i = 0; i < 64; ++i) {
+    if (runtime.Inject(0, i, "x")) {
+      accepted++;
+    }
+  }
+  EXPECT_LE(accepted, 8u);
+  EXPECT_EQ(runtime.NicDrops(), 64 - accepted);
+  runtime.Start();
+  runtime.Shutdown();
+  EXPECT_EQ(runtime.Completed(), accepted);
+}
+
+// --- Parameterized sweep: every mode x worker count upholds the core guarantees --------
+
+using RuntimeSweepParam = std::tuple<RuntimeMode, int>;  // (mode, workers)
+
+class RuntimeSweep : public ::testing::TestWithParam<RuntimeSweepParam> {};
+
+TEST_P(RuntimeSweep, CompletionAndPerFlowOrderHold) {
+  auto [mode, workers] = GetParam();
+  CompletionLog log;
+  Runtime runtime(SmallOptions(mode, workers, /*flows=*/8), EchoHandler(), log.Handler());
+  runtime.Start();
+  constexpr uint64_t kPerFlow = 150;
+  for (uint64_t i = 0; i < kPerFlow; ++i) {
+    for (uint64_t flow = 0; flow < 8; ++flow) {
+      ASSERT_TRUE(runtime.Inject(flow, flow * kPerFlow + i, "x"));
+    }
+  }
+  runtime.Shutdown();
+  EXPECT_EQ(runtime.Completed(), 8 * kPerFlow);
+  for (uint64_t flow = 0; flow < 8; ++flow) {
+    auto order = log.FlowOrder(flow);
+    ASSERT_EQ(order.size(), kPerFlow);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()))
+        << "mode=" << static_cast<int>(mode) << " workers=" << workers
+        << " flow=" << flow;
+  }
+  if (mode == RuntimeMode::kPartitioned) {
+    EXPECT_EQ(runtime.TotalStats().stolen_events, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndWorkerCounts, RuntimeSweep,
+    ::testing::Combine(::testing::Values(RuntimeMode::kZygos, RuntimeMode::kPartitioned),
+                       ::testing::Values(1, 2, 4, 6)),
+    [](const ::testing::TestParamInfo<RuntimeSweepParam>& info) {
+      return std::string(std::get<0>(info.param) == RuntimeMode::kZygos ? "zygos"
+                                                                        : "partitioned") +
+             "_w" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace zygos

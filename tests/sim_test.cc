@@ -1,0 +1,156 @@
+// Tests for the discrete-event simulation engine and the Poisson arrival source.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/sim/poisson_source.h"
+#include "src/sim/simulator.h"
+
+namespace zygos {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+  EXPECT_EQ(sim.EventsProcessed(), 3u);
+}
+
+TEST(SimulatorTest, TieBreakIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, NestedSchedulingSeesCurrentTime) {
+  Simulator sim;
+  Nanos inner_time = -1;
+  sim.Schedule(10, [&] {
+    EXPECT_EQ(sim.Now(), 10);
+    sim.Schedule(5, [&] { inner_time = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_time, 15);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.Schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(h.Pending());
+  h.Cancel();
+  EXPECT_FALSE(h.Pending());
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.EventsProcessed(), 0u);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int count = 0;
+  EventHandle h = sim.Schedule(1, [&] { count++; });
+  sim.Run();
+  EXPECT_FALSE(h.Pending());
+  h.Cancel();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(SimulatorTest, RescheduleViaCancelPlusSchedule) {
+  // The system models postpone completion events this way (IPI preemption).
+  Simulator sim;
+  Nanos completion = -1;
+  EventHandle h = sim.Schedule(100, [&] { completion = sim.Now(); });
+  sim.Schedule(50, [&] {
+    h.Cancel();
+    sim.Schedule(100, [&] { completion = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(completion, 150);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockToDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { fired++; });
+  sim.Schedule(100, [&] { fired++; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 50);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StopInterruptsRun) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.Schedule(i, [&] {
+      fired++;
+      if (fired == 3) {
+        sim.Stop();
+      }
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+  sim.Run();  // resumes
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(PoissonSourceTest, GeneratesRequestedCount) {
+  Simulator sim;
+  uint64_t arrivals = 0;
+  PoissonSource source(sim, Rng(1), 0.001, 5000, [&](uint64_t) { arrivals++; });
+  source.Start();
+  sim.Run();
+  EXPECT_EQ(arrivals, 5000u);
+  EXPECT_EQ(source.Generated(), 5000u);
+}
+
+TEST(PoissonSourceTest, MeanInterArrivalMatchesRate) {
+  Simulator sim;
+  Nanos last = 0;
+  RunningStats gaps;
+  PoissonSource source(sim, Rng(2), 1.0 / 1000.0, 50000, [&](uint64_t) {
+    gaps.Add(static_cast<double>(sim.Now() - last));
+    last = sim.Now();
+  });
+  source.Start();
+  sim.Run();
+  EXPECT_NEAR(gaps.Mean(), 1000.0, 20.0);
+  // Exponential gaps: SCV should be ~1.
+  EXPECT_NEAR(gaps.Scv(), 1.0, 0.05);
+}
+
+TEST(PoissonSourceTest, ArrivalIndicesAreSequential) {
+  Simulator sim;
+  uint64_t expected = 0;
+  PoissonSource source(sim, Rng(3), 0.01, 1000, [&](uint64_t index) {
+    EXPECT_EQ(index, expected);
+    expected++;
+  });
+  source.Start();
+  sim.Run();
+  EXPECT_EQ(expected, 1000u);
+}
+
+}  // namespace
+}  // namespace zygos

@@ -1,0 +1,270 @@
+// Validation of the full-system discrete-event models.
+//
+// Strategy: with a zero-overhead cost model, each system must converge to its §2.3
+// idealized queueing counterpart (ZygOS -> centralized M/G/n/FCFS-ish, IX/Linux-part ->
+// partitioned n×M/G/1/FCFS); with default costs the qualitative orderings the paper
+// reports must hold (ZygOS beats IX at 10 µs tasks, IPIs matter for dispersion, steals
+// vanish at saturation, etc.).
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/common/distribution.h"
+#include "src/queueing/models.h"
+#include "src/sysmodel/experiment.h"
+#include "src/sysmodel/system_model.h"
+
+namespace zygos {
+namespace {
+
+SystemRunParams FastParams(double load, uint64_t requests = 150000) {
+  SystemRunParams p;
+  p.load = load;
+  p.num_requests = requests;
+  p.warmup = requests / 10;
+  p.num_connections = 2752;
+  p.seed = 42;
+  return p;
+}
+
+Nanos IdealP99(Discipline d, Topology t, double load, const ServiceTimeDistribution& service,
+               uint64_t requests = 150000) {
+  QueueingRunParams q;
+  q.load = load;
+  q.num_requests = requests;
+  q.warmup = requests / 10;
+  q.seed = 7;
+  return RunQueueingModel({d, t}, q, service).sojourn.P99();
+}
+
+// --- Zero-overhead convergence to the idealized models -----------------------------
+
+class ZeroOverheadConvergence
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(ZeroOverheadConvergence, ZygosMatchesCentralizedFcfs) {
+  auto [dist_name, load] = GetParam();
+  auto service = MakeDistribution(dist_name, 10 * kMicrosecond);
+  auto params = FastParams(load);
+  params.costs = CostModel::ZeroOverhead();
+  auto result = RunSystemModel(SystemKind::kZygos, params, *service);
+  Nanos ideal = IdealP99(Discipline::kFcfs, Topology::kCentralized, load, *service);
+  // The shuffle layer groups events per socket and steals opportunistically, so it is
+  // not a *perfect* global FCFS: allow 25% slack plus a small absolute term.
+  EXPECT_LT(static_cast<double>(result.latency.P99()),
+            static_cast<double>(ideal) * 1.30 + 2000.0)
+      << dist_name << " load=" << load;
+  // And it must be dramatically better than the partitioned bound under dispersion.
+  if (dist_name != "deterministic" && load >= 0.7) {
+    Nanos partitioned = IdealP99(Discipline::kFcfs, Topology::kPartitioned, load, *service);
+    EXPECT_LT(result.latency.P99(), partitioned);
+  }
+}
+
+TEST_P(ZeroOverheadConvergence, IxMatchesPartitionedFcfs) {
+  auto [dist_name, load] = GetParam();
+  auto service = MakeDistribution(dist_name, 10 * kMicrosecond);
+  auto params = FastParams(load);
+  params.costs = CostModel::ZeroOverhead();
+  params.batch_bound = 1;  // batching perturbs the idealized equivalence
+  auto result = RunSystemModel(SystemKind::kIx, params, *service);
+  Nanos ideal = IdealP99(Discipline::kFcfs, Topology::kPartitioned, load, *service);
+  // Flow-group granularity (128 groups over 16 cores) vs per-request random routing
+  // leaves some modelling slack.
+  EXPECT_NEAR(static_cast<double>(result.latency.P99()), static_cast<double>(ideal),
+              static_cast<double>(ideal) * 0.35 + 2000.0)
+      << dist_name << " load=" << load;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistLoadGrid, ZeroOverheadConvergence,
+    ::testing::Combine(::testing::Values("deterministic", "exponential", "bimodal1"),
+                       ::testing::Values(0.5, 0.7)));
+
+// --- Work conservation ---------------------------------------------------------------
+
+TEST(SysModelTest, ZygosIsWorkConservingUnderSkewedRss) {
+  // All flow groups homed on core 0: without stealing the system saturates at 1/16 of
+  // capacity (load 0.0625); with stealing it must sustain well beyond that. Note the
+  // aggregate load must stay within core 0's *kernel* capacity: network processing and
+  // TX are never stolen in ZygOS (§4.2), so the home core serializes ~1.8 µs of
+  // RX+remote-syscall+TX work per request no matter how much app work is offloaded.
+  auto service = std::make_unique<ExponentialDistribution>(10 * kMicrosecond);
+  auto params = FastParams(0.2, 80000);  // 3.2x a single core's app capacity
+  params.num_flow_groups = 1;            // one group -> one home core
+  params.batch_bound = 64;               // amortize the per-batch fixed cost
+  auto result = RunSystemModel(SystemKind::kZygos, params, *service);
+  // Nearly every event must be stolen (15/16 in steady state).
+  EXPECT_GT(result.StealFraction(), 0.80);
+  // And the tail must stay finite/sane (stolen work pays remote-syscall + IPI costs).
+  EXPECT_LT(result.latency.P99(), 100 * 10 * kMicrosecond);
+}
+
+TEST(SysModelTest, IxCollapsesUnderSkewedRss) {
+  auto service = std::make_unique<ExponentialDistribution>(10 * kMicrosecond);
+  auto params = FastParams(0.2, 80000);
+  params.num_flow_groups = 1;
+  params.batch_bound = 64;
+  auto result = RunSystemModel(SystemKind::kIx, params, *service);
+  // One core serves 3.2x its capacity: latency explodes vs ZygOS.
+  auto zygos = RunSystemModel(SystemKind::kZygos, params, *service);
+  EXPECT_GT(result.latency.P99(), zygos.latency.P99() * 5);
+}
+
+// --- Steal-rate behaviour (Fig. 8 shape) ----------------------------------------------
+
+TEST(SysModelTest, StealsVanishAtSaturationAndAreLowAtLowLoad) {
+  auto service = std::make_unique<ExponentialDistribution>(25 * kMicrosecond);
+  auto low = RunSystemModel(SystemKind::kZygos, FastParams(0.10, 60000), *service);
+  auto mid = RunSystemModel(SystemKind::kZygos, FastParams(0.75, 60000), *service);
+  auto high = RunSystemModel(SystemKind::kZygos, FastParams(0.99, 60000), *service);
+  EXPECT_GT(mid.StealFraction(), low.StealFraction());
+  EXPECT_GT(mid.StealFraction(), high.StealFraction());
+}
+
+TEST(SysModelTest, InterruptsIncreaseStealRate) {
+  // §6.1: without interrupts the steal rate peaks around ~33%; interrupts substantially
+  // increase stealing opportunities.
+  auto service = std::make_unique<ExponentialDistribution>(25 * kMicrosecond);
+  auto params = FastParams(0.75, 60000);
+  auto with_ipi = RunSystemModel(SystemKind::kZygos, params, *service);
+  auto without = RunSystemModel(SystemKind::kZygosNoIpi, params, *service);
+  EXPECT_GT(with_ipi.StealFraction(), without.StealFraction());
+  EXPECT_GT(with_ipi.ipis, 0u);
+  EXPECT_EQ(without.ipis, 0u);
+}
+
+// --- Paper orderings with default costs ------------------------------------------------
+
+TEST(SysModelTest, ZygosBeatsIxTailAt10usExponential) {
+  // Fig. 6b: at 10 µs exponential tasks and medium-high load, ZygOS's tail is clearly
+  // below IX's (work conservation removes temporary imbalance).
+  auto service = std::make_unique<ExponentialDistribution>(10 * kMicrosecond);
+  auto params = FastParams(0.75);
+  auto zygos = RunSystemModel(SystemKind::kZygos, params, *service);
+  auto ix = RunSystemModel(SystemKind::kIx, params, *service);
+  EXPECT_LT(zygos.latency.P99(), ix.latency.P99());
+}
+
+TEST(SysModelTest, NoIpiVariantHasWorseTailUnderDispersion) {
+  // Fig. 6: the cooperative model suffers visible head-of-line blocking for medium and
+  // high dispersion workloads.
+  auto service = BimodalDistribution::Bimodal1(10 * kMicrosecond);
+  auto params = FastParams(0.75);
+  auto with_ipi = RunSystemModel(SystemKind::kZygos, params, service);
+  auto without = RunSystemModel(SystemKind::kZygosNoIpi, params, service);
+  EXPECT_LT(with_ipi.latency.P99(), without.latency.P99());
+}
+
+TEST(SysModelTest, DataplanesBeatLinuxAt10us) {
+  auto service = std::make_unique<ExponentialDistribution>(10 * kMicrosecond);
+  auto params = FastParams(0.6);
+  auto zygos = RunSystemModel(SystemKind::kZygos, params, *service);
+  auto ix = RunSystemModel(SystemKind::kIx, params, *service);
+  auto lp = RunSystemModel(SystemKind::kLinuxPartitioned, params, *service);
+  auto lf = RunSystemModel(SystemKind::kLinuxFloating, params, *service);
+  EXPECT_LT(zygos.latency.P99(), lp.latency.P99());
+  EXPECT_LT(zygos.latency.P99(), lf.latency.P99());
+  EXPECT_LT(ix.latency.P99(), lp.latency.P99());
+}
+
+TEST(SysModelTest, LinuxFloatingBeatsPartitionedForLargeTasks) {
+  // Fig. 3: rebalancing wins once tasks are large enough to amortize kernel overheads.
+  auto service = std::make_unique<ExponentialDistribution>(100 * kMicrosecond);
+  auto params = FastParams(0.8, 80000);
+  auto floating = RunSystemModel(SystemKind::kLinuxFloating, params, *service);
+  auto partitioned = RunSystemModel(SystemKind::kLinuxPartitioned, params, *service);
+  EXPECT_LT(floating.latency.P99(), partitioned.latency.P99());
+}
+
+TEST(SysModelTest, BatchingImprovesIxThroughputForTinyTasks) {
+  // §6.2/Fig. 11: adaptive bounded batching buys throughput on very small tasks at a
+  // latency cost. At heavy overload-ish load, B=64 must complete work faster.
+  auto service = std::make_unique<DeterministicDistribution>(1 * kMicrosecond);
+  auto params = FastParams(0.95, 200000);
+  params.batch_bound = 64;
+  auto b64 = RunSystemModel(SystemKind::kIx, params, *service);
+  params.batch_bound = 1;
+  auto b1 = RunSystemModel(SystemKind::kIx, params, *service);
+  EXPECT_GT(b64.ThroughputRps(), b1.ThroughputRps());
+}
+
+// --- Experiment drivers -----------------------------------------------------------------
+
+TEST(ExperimentTest, SweepProducesMonotoneThroughput) {
+  auto service = std::make_unique<ExponentialDistribution>(10 * kMicrosecond);
+  auto params = FastParams(0.0, 60000);
+  auto points = LatencyThroughputSweep(SystemKind::kZygos, params, *service,
+                                       EvenLoads(4, 0.8));
+  ASSERT_EQ(points.size(), 4u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].throughput_rps, points[i - 1].throughput_rps * 0.9);
+    EXPECT_GE(points[i].load, points[i - 1].load);
+  }
+}
+
+TEST(ExperimentTest, MaxLoadAtSloFindsReasonableBoundary) {
+  auto service = std::make_unique<ExponentialDistribution>(25 * kMicrosecond);
+  auto params = FastParams(0.0, 80000);
+  Nanos slo = 10 * 25 * kMicrosecond;
+  double zygos = MaxLoadAtSlo(SystemKind::kZygos, params, *service, slo, {.iterations = 7});
+  double ix = MaxLoadAtSlo(SystemKind::kIx, params, *service, slo, {.iterations = 7});
+  // §6.1: ZygOS achieves 88% of theoretical max at 25 µs exp; IX is bounded by the
+  // partitioned model (~54%). Generous brackets to keep the test robust.
+  EXPECT_GT(zygos, 0.70);
+  EXPECT_LT(ix, 0.70);
+  EXPECT_GT(zygos, ix);
+}
+
+TEST(ExperimentTest, EvenLoadsSpacing) {
+  auto loads = EvenLoads(4, 0.8);
+  ASSERT_EQ(loads.size(), 4u);
+  EXPECT_DOUBLE_EQ(loads.front(), 0.2);
+  EXPECT_DOUBLE_EQ(loads.back(), 0.8);
+}
+
+// --- Conservation invariants ------------------------------------------------------------
+
+class CompletionConservation
+    : public ::testing::TestWithParam<std::tuple<SystemKind, double>> {};
+
+TEST_P(CompletionConservation, EveryPostWarmupRequestCompletesExactlyOnce) {
+  auto [kind, load] = GetParam();
+  auto service = std::make_unique<ExponentialDistribution>(10 * kMicrosecond);
+  auto params = FastParams(load, 60000);
+  auto result = RunSystemModel(kind, params, *service);
+  EXPECT_EQ(result.completed, params.num_requests - params.warmup);
+  EXPECT_EQ(result.latency.Count(), result.completed);
+  EXPECT_GT(result.ThroughputRps(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, CompletionConservation,
+    ::testing::Combine(::testing::Values(SystemKind::kZygos, SystemKind::kZygosNoIpi,
+                                         SystemKind::kIx, SystemKind::kLinuxFloating,
+                                         SystemKind::kLinuxPartitioned),
+                       ::testing::Values(0.3, 0.9)));
+
+TEST(SysModelTest, SystemKindNamesMatchPaperLegends) {
+  EXPECT_EQ(SystemKindName(SystemKind::kZygos), "ZygOS");
+  EXPECT_EQ(SystemKindName(SystemKind::kZygosNoIpi), "ZygOS (no interrupts)");
+  EXPECT_EQ(SystemKindName(SystemKind::kIx), "IX");
+  EXPECT_EQ(SystemKindName(SystemKind::kLinuxFloating), "Linux (floating connections)");
+  EXPECT_EQ(SystemKindName(SystemKind::kLinuxPartitioned),
+            "Linux (partitioned connections)");
+}
+
+TEST(SysModelTest, DeterministicForSameSeed) {
+  auto service = std::make_unique<ExponentialDistribution>(10 * kMicrosecond);
+  auto params = FastParams(0.7, 40000);
+  auto a = RunSystemModel(SystemKind::kZygos, params, *service);
+  auto b = RunSystemModel(SystemKind::kZygos, params, *service);
+  EXPECT_EQ(a.latency.P99(), b.latency.P99());
+  EXPECT_EQ(a.steals, b.steals);
+  EXPECT_EQ(a.ipis, b.ipis);
+}
+
+}  // namespace
+}  // namespace zygos

@@ -1,0 +1,425 @@
+// TPC-C tests: loader population counts and spec invariants, per-transaction effects,
+// the consistency conditions of TPC-C clause 3.3 after single- and multi-threaded
+// mixed runs, and the input-generation helpers (NURand, last names, mix fractions).
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/db/database.h"
+#include "src/db/tpcc_driver.h"
+#include "src/db/tpcc_loader.h"
+#include "src/db/tpcc_random.h"
+#include "src/db/tpcc_schema.h"
+#include "src/db/tpcc_txns.h"
+#include "src/db/txn.h"
+
+namespace zygos {
+namespace {
+
+// --- Input generation helpers ----------------------------------------------------------
+
+TEST(TpccRandomTest, LastNameSyllables) {
+  EXPECT_EQ(TpccRandom::LastName(0), "BARBARBAR");
+  EXPECT_EQ(TpccRandom::LastName(371), "PRICALLYOUGHT");
+  EXPECT_EQ(TpccRandom::LastName(999), "EINGEINGEING");
+}
+
+TEST(TpccRandomTest, NuRandStaysInRange) {
+  TpccRandom random(1);
+  for (int i = 0; i < 10000; ++i) {
+    int32_t c = random.NuRand(1023, 1, 3000);
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, 3000);
+    int32_t item = random.NuRand(8191, 1, 100000);
+    EXPECT_GE(item, 1);
+    EXPECT_LE(item, 100000);
+  }
+}
+
+TEST(TpccRandomTest, NuRandIsNonUniform) {
+  // NURand concentrates mass; the most popular decile should receive visibly more than
+  // 10% of draws.
+  TpccRandom random(2);
+  std::vector<int> deciles(10, 0);
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    int32_t v = random.NuRand(1023, 1, 3000);
+    deciles[static_cast<size_t>((v - 1) * 10 / 3000)]++;
+  }
+  int max_decile = *std::max_element(deciles.begin(), deciles.end());
+  EXPECT_GT(max_decile, kDraws / 10 * 12 / 10);
+}
+
+TEST(TpccRandomTest, StringHelpers) {
+  TpccRandom random(3);
+  for (int i = 0; i < 100; ++i) {
+    std::string a = random.AString(5, 10);
+    EXPECT_GE(a.size(), 5u);
+    EXPECT_LE(a.size(), 10u);
+    std::string n = random.NString(8);
+    EXPECT_EQ(n.size(), 8u);
+    for (char c : n) {
+      EXPECT_TRUE(c >= '0' && c <= '9');
+    }
+  }
+}
+
+TEST(TpccSchemaTest, RowRoundTrip) {
+  CustomerRow customer;
+  customer.c_w_id = 3;
+  customer.c_id = 77;
+  customer.c_balance_cents = -123456;
+  std::snprintf(customer.c_last, sizeof(customer.c_last), "%s", "OUGHTABLEPRI");
+  auto decoded = DecodeRow<CustomerRow>(EncodeRow(customer));
+  EXPECT_EQ(decoded.c_w_id, 3);
+  EXPECT_EQ(decoded.c_id, 77);
+  EXPECT_EQ(decoded.c_balance_cents, -123456);
+  EXPECT_STREQ(decoded.c_last, "OUGHTABLEPRI");
+}
+
+TEST(TpccSchemaTest, KeysOrderNumerically) {
+  // Big-endian encoding: key order must match numeric order across byte boundaries.
+  EXPECT_LT(OrderKey(1, 1, 255), OrderKey(1, 1, 256));
+  EXPECT_LT(OrderKey(1, 1, 65535), OrderKey(1, 1, 65536));
+  EXPECT_LT(OrderKey(1, 9, 100), OrderKey(1, 10, 1));
+  EXPECT_LT(CustomerNameKeyLo(1, 1, "SMITH"), CustomerNameKey(1, 1, "SMITH", "A", 1));
+  EXPECT_LT(CustomerNameKey(1, 1, "SMITH", "ZZZ", 9999),
+            CustomerNameKeyHi(1, 1, "SMITH"));
+}
+
+// --- Loader ----------------------------------------------------------------------------
+
+class TpccFixture : public ::testing::Test {
+ protected:
+  void Load(LoaderOptions options) {
+    options_ = options;
+    tables_ = LoadTpcc(db_, options_);
+    workload_ = std::make_unique<TpccWorkload>(db_, tables_, options_);
+  }
+
+  // Committed read of one row (test helper).
+  template <typename Row>
+  Row ReadRow(TableId table, const std::string& key) {
+    Transaction txn(db_);
+    auto raw = txn.Read(table, key);
+    txn.Abort();
+    EXPECT_TRUE(raw.has_value()) << "missing row";
+    return DecodeRow<Row>(raw.value_or(std::string(sizeof(Row), '\0')));
+  }
+
+  // Counts live keys in [lo, hi].
+  uint64_t CountRange(TableId table, const std::string& lo, const std::string& hi) {
+    Transaction txn(db_);
+    uint64_t count = 0;
+    txn.Scan(table, lo, hi, false, 0, [&count](const std::string&, const std::string&) {
+      count++;
+      return true;
+    });
+    txn.Abort();
+    return count;
+  }
+
+  Database db_;
+  LoaderOptions options_;
+  TpccTables tables_;
+  std::unique_ptr<TpccWorkload> workload_;
+};
+
+TEST_F(TpccFixture, LoaderPopulationCounts) {
+  Load(LoaderOptions::Tiny(2));
+  const int w = options_.num_warehouses;
+  const int d = kTpccDistrictsPerWarehouse;
+  const int c = options_.customers_per_district;
+  const int o = options_.initial_orders_per_district;
+
+  EXPECT_EQ(db_.table(tables_.item).KeyCount(), static_cast<size_t>(options_.items));
+  EXPECT_EQ(db_.table(tables_.warehouse).KeyCount(), static_cast<size_t>(w));
+  EXPECT_EQ(db_.table(tables_.stock).KeyCount(),
+            static_cast<size_t>(w * options_.items));
+  EXPECT_EQ(db_.table(tables_.district).KeyCount(), static_cast<size_t>(w * d));
+  EXPECT_EQ(db_.table(tables_.customer).KeyCount(), static_cast<size_t>(w * d * c));
+  EXPECT_EQ(db_.table(tables_.customer_name_idx).KeyCount(),
+            static_cast<size_t>(w * d * c));
+  EXPECT_EQ(db_.table(tables_.order).KeyCount(), static_cast<size_t>(w * d * o));
+  EXPECT_EQ(db_.table(tables_.order_customer_idx).KeyCount(),
+            static_cast<size_t>(w * d * o));
+  // Order lines: 5..15 per order.
+  size_t order_lines = db_.table(tables_.order_line).KeyCount();
+  EXPECT_GE(order_lines, static_cast<size_t>(w * d * o * 5));
+  EXPECT_LE(order_lines, static_cast<size_t>(w * d * o * 15));
+  // Undelivered tail: ~30% of initial orders at reduced scale.
+  int first_undelivered = std::min(kTpccFirstUndeliveredOrder, o * 7 / 10);
+  EXPECT_EQ(db_.table(tables_.new_order).KeyCount(),
+            static_cast<size_t>(w * d * (o - first_undelivered)));
+}
+
+TEST_F(TpccFixture, LoaderDistrictAndWarehouseInvariants) {
+  Load(LoaderOptions::Tiny(1));
+  auto warehouse = ReadRow<WarehouseRow>(tables_.warehouse, WarehouseKey(1));
+  EXPECT_EQ(warehouse.w_ytd_cents, 30000000);
+  int64_t district_ytd = 0;
+  for (int d = 1; d <= kTpccDistrictsPerWarehouse; ++d) {
+    auto district = ReadRow<DistrictRow>(tables_.district, DistrictKey(1, d));
+    EXPECT_EQ(district.d_next_o_id, options_.initial_orders_per_district + 1);
+    district_ytd += district.d_ytd_cents;
+  }
+  // TPC-C consistency condition 1: w_ytd = Σ d_ytd.
+  EXPECT_EQ(warehouse.w_ytd_cents, district_ytd);
+}
+
+TEST_F(TpccFixture, CustomerNameIndexFindsLoadedCustomers) {
+  Load(LoaderOptions::Tiny(1));
+  // Customers 1..min(1000, c) have sequential names; customer 1 is BARBARBAR.
+  auto customer = ReadRow<CustomerRow>(tables_.customer, CustomerKey(1, 1, 1));
+  uint64_t matches = CountRange(tables_.customer_name_idx,
+                                CustomerNameKeyLo(1, 1, customer.c_last),
+                                CustomerNameKeyHi(1, 1, customer.c_last));
+  EXPECT_GE(matches, 1u);
+}
+
+// --- Transaction effects ----------------------------------------------------------------
+
+TEST_F(TpccFixture, NewOrderAdvancesDistrictAndCreatesRows) {
+  Load(LoaderOptions::Tiny(1));
+  TxnExecutor executor(db_);
+  TpccRandom random(7);
+  // Run until one commits (1% of tries intentionally roll back).
+  TxnStatus status = TxnStatus::kAborted;
+  for (int i = 0; i < 50 && status != TxnStatus::kCommitted; ++i) {
+    status = workload_->NewOrder(executor, random);
+  }
+  ASSERT_EQ(status, TxnStatus::kCommitted);
+
+  // Some district's next_o_id advanced and the matching order + lines exist.
+  bool found = false;
+  for (int d = 1; d <= kTpccDistrictsPerWarehouse && !found; ++d) {
+    auto district = ReadRow<DistrictRow>(tables_.district, DistrictKey(1, d));
+    if (district.d_next_o_id == options_.initial_orders_per_district + 1) {
+      continue;
+    }
+    found = true;
+    int32_t o_id = district.d_next_o_id - 1;
+    auto order = ReadRow<OrderRow>(tables_.order, OrderKey(1, d, o_id));
+    EXPECT_EQ(order.o_id, o_id);
+    EXPECT_EQ(order.o_carrier_id, 0);
+    EXPECT_GE(order.o_ol_cnt, 5);
+    EXPECT_LE(order.o_ol_cnt, 15);
+    uint64_t lines = CountRange(tables_.order_line, OrderLineKey(1, d, o_id, 0),
+                                OrderLineKey(1, d, o_id, INT32_MAX));
+    EXPECT_EQ(lines, static_cast<uint64_t>(order.o_ol_cnt));
+    uint64_t pending = CountRange(tables_.new_order, NewOrderKey(1, d, o_id),
+                                  NewOrderKey(1, d, o_id));
+    EXPECT_EQ(pending, 1u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TpccFixture, NewOrderRollbackLeavesNoTrace) {
+  Load(LoaderOptions::Tiny(1));
+  // Snapshot district order counters.
+  std::vector<int32_t> before;
+  for (int d = 1; d <= kTpccDistrictsPerWarehouse; ++d) {
+    before.push_back(
+        ReadRow<DistrictRow>(tables_.district, DistrictKey(1, d)).d_next_o_id);
+  }
+  // Drive NewOrders until we hit >= 1 rollback.
+  TxnExecutor executor(db_);
+  TpccRandom random(11);
+  int rollbacks = 0;
+  int commits = 0;
+  for (int i = 0; i < 600 && rollbacks == 0; ++i) {
+    TxnStatus status = workload_->NewOrder(executor, random);
+    if (status == TxnStatus::kCommitted) {
+      commits++;
+    } else {
+      rollbacks++;
+    }
+  }
+  ASSERT_GT(rollbacks, 0) << "expected ~1% rollbacks in 600 tries";
+  // Every committed order advanced exactly one district counter; rollbacks none.
+  int32_t advanced = 0;
+  for (int d = 1; d <= kTpccDistrictsPerWarehouse; ++d) {
+    advanced += ReadRow<DistrictRow>(tables_.district, DistrictKey(1, d)).d_next_o_id -
+                before[static_cast<size_t>(d - 1)];
+  }
+  EXPECT_EQ(advanced, commits);
+}
+
+TEST_F(TpccFixture, PaymentUpdatesBalancesAndYtd) {
+  Load(LoaderOptions::Tiny(1));
+  auto warehouse_before = ReadRow<WarehouseRow>(tables_.warehouse, WarehouseKey(1));
+  size_t history_before = db_.table(tables_.history).KeyCount();
+
+  TxnExecutor executor(db_);
+  TpccRandom random(13);
+  ASSERT_EQ(workload_->Payment(executor, random), TxnStatus::kCommitted);
+
+  auto warehouse_after = ReadRow<WarehouseRow>(tables_.warehouse, WarehouseKey(1));
+  EXPECT_GT(warehouse_after.w_ytd_cents, warehouse_before.w_ytd_cents);
+  EXPECT_EQ(db_.table(tables_.history).KeyCount(), history_before + 1);
+
+  // Consistency condition 1 still holds.
+  int64_t district_ytd = 0;
+  for (int d = 1; d <= kTpccDistrictsPerWarehouse; ++d) {
+    district_ytd += ReadRow<DistrictRow>(tables_.district, DistrictKey(1, d)).d_ytd_cents;
+  }
+  EXPECT_EQ(warehouse_after.w_ytd_cents, district_ytd);
+}
+
+TEST_F(TpccFixture, DeliveryDrainsOldestNewOrders) {
+  Load(LoaderOptions::Tiny(1));
+  size_t pending_before = db_.table(tables_.new_order).KeyCount();
+  ASSERT_GT(pending_before, 0u);
+
+  TxnExecutor executor(db_);
+  TpccRandom random(17);
+  ASSERT_EQ(workload_->Delivery(executor, random), TxnStatus::kCommitted);
+
+  // One order per district was delivered (all districts had a backlog).
+  uint64_t pending_after = 0;
+  for (int d = 1; d <= kTpccDistrictsPerWarehouse; ++d) {
+    pending_after += CountRange(tables_.new_order, NewOrderKey(1, d, 0),
+                                NewOrderKey(1, d, INT32_MAX));
+  }
+  EXPECT_EQ(pending_after, pending_before - kTpccDistrictsPerWarehouse);
+
+  // The delivered order in district 1 is the loader's first undelivered one.
+  int first_undelivered =
+      std::min(kTpccFirstUndeliveredOrder,
+               options_.initial_orders_per_district * 7 / 10) + 1;
+  auto order = ReadRow<OrderRow>(tables_.order, OrderKey(1, 1, first_undelivered));
+  EXPECT_GT(order.o_carrier_id, 0);
+  // Its customer received the order total.
+  auto customer =
+      ReadRow<CustomerRow>(tables_.customer, CustomerKey(1, 1, order.o_c_id));
+  EXPECT_GT(customer.c_delivery_cnt, 0);
+}
+
+TEST_F(TpccFixture, ReadOnlyTransactionsCommit) {
+  Load(LoaderOptions::Tiny(1));
+  TxnExecutor executor(db_);
+  TpccRandom random(19);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(workload_->OrderStatus(executor, random), TxnStatus::kCommitted);
+    EXPECT_EQ(workload_->StockLevel(executor, random), TxnStatus::kCommitted);
+  }
+}
+
+TEST_F(TpccFixture, MixFractionsMatchTheSpec) {
+  Load(LoaderOptions::Tiny(1));
+  TpccRandom random(23);
+  std::array<int, kTpccTxnTypes> counts{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[static_cast<size_t>(workload_->SampleType(random))]++;
+  }
+  auto fraction = [&](TpccTxnType type) {
+    return static_cast<double>(counts[static_cast<size_t>(type)]) / kDraws;
+  };
+  EXPECT_NEAR(fraction(TpccTxnType::kNewOrder), 0.45, 0.01);
+  EXPECT_NEAR(fraction(TpccTxnType::kPayment), 0.43, 0.01);
+  EXPECT_NEAR(fraction(TpccTxnType::kOrderStatus), 0.04, 0.005);
+  EXPECT_NEAR(fraction(TpccTxnType::kDelivery), 0.04, 0.005);
+  EXPECT_NEAR(fraction(TpccTxnType::kStockLevel), 0.04, 0.005);
+}
+
+// --- Consistency under concurrency -----------------------------------------------------
+
+TEST_F(TpccFixture, ConsistencyConditionsAfterConcurrentMix) {
+  Load(LoaderOptions::Tiny(1));
+  TpccDriver driver(db_, *workload_);
+  auto result = driver.RunConcurrent(/*threads=*/3, /*count=*/900, /*seed=*/29);
+  EXPECT_GT(result.committed, 0u);
+
+  for (int w = 1; w <= options_.num_warehouses; ++w) {
+    // Condition 1: w_ytd = Σ d_ytd (exact, integer cents).
+    auto warehouse = ReadRow<WarehouseRow>(tables_.warehouse, WarehouseKey(w));
+    int64_t district_ytd = 0;
+    for (int d = 1; d <= kTpccDistrictsPerWarehouse; ++d) {
+      auto district = ReadRow<DistrictRow>(tables_.district, DistrictKey(w, d));
+      district_ytd += district.d_ytd_cents;
+
+      // Condition 2: d_next_o_id - 1 = max(o_id) in ORDER for the district.
+      int32_t max_order = 0;
+      Transaction txn(db_);
+      txn.Scan(tables_.order, OrderKey(w, d, 0), OrderKey(w, d, INT32_MAX), true, 1,
+               [&max_order](const std::string& key, const std::string&) {
+                 size_t n = key.size();
+                 max_order =
+                     static_cast<int32_t>((static_cast<uint8_t>(key[n - 4]) << 24) |
+                                          (static_cast<uint8_t>(key[n - 3]) << 16) |
+                                          (static_cast<uint8_t>(key[n - 2]) << 8) |
+                                          static_cast<uint8_t>(key[n - 1]));
+                 return false;
+               });
+      txn.Abort();
+      EXPECT_EQ(max_order, district.d_next_o_id - 1);
+
+      // Condition 3: NEW-ORDER rows are a contiguous o_id range.
+      std::vector<int32_t> pending;
+      Transaction scan_txn(db_);
+      scan_txn.Scan(tables_.new_order, NewOrderKey(w, d, 0),
+                    NewOrderKey(w, d, INT32_MAX), false, 0,
+                    [&pending](const std::string& key, const std::string&) {
+                      size_t n = key.size();
+                      pending.push_back(static_cast<int32_t>(
+                          (static_cast<uint8_t>(key[n - 4]) << 24) |
+                          (static_cast<uint8_t>(key[n - 3]) << 16) |
+                          (static_cast<uint8_t>(key[n - 2]) << 8) |
+                          static_cast<uint8_t>(key[n - 1])));
+                      return true;
+                    });
+      scan_txn.Abort();
+      if (!pending.empty()) {
+        EXPECT_EQ(pending.back() - pending.front() + 1,
+                  static_cast<int32_t>(pending.size()));
+      }
+    }
+    EXPECT_EQ(warehouse.w_ytd_cents, district_ytd);
+  }
+}
+
+TEST_F(TpccFixture, OrderLinesMatchOlCntAfterConcurrentRun) {
+  Load(LoaderOptions::Tiny(1));
+  TpccDriver driver(db_, *workload_);
+  driver.RunConcurrent(/*threads=*/2, /*count=*/400, /*seed=*/31);
+
+  // Condition: every order has exactly o_ol_cnt order lines (check a sample).
+  for (int d = 1; d <= kTpccDistrictsPerWarehouse; ++d) {
+    auto district = ReadRow<DistrictRow>(tables_.district, DistrictKey(1, d));
+    for (int32_t o = district.d_next_o_id - 1;
+         o > std::max(0, district.d_next_o_id - 4); --o) {
+      auto order = ReadRow<OrderRow>(tables_.order, OrderKey(1, d, o));
+      uint64_t lines = CountRange(tables_.order_line, OrderLineKey(1, d, o, 0),
+                                  OrderLineKey(1, d, o, INT32_MAX));
+      EXPECT_EQ(lines, static_cast<uint64_t>(order.o_ol_cnt))
+          << "district " << d << " order " << o;
+    }
+  }
+}
+
+TEST_F(TpccFixture, DriverMeasureProducesPerTypeSamples) {
+  Load(LoaderOptions::Tiny(1));
+  TpccDriver driver(db_, *workload_);
+  auto result = driver.Measure(/*count=*/300, /*warmup=*/50, /*seed=*/37);
+  EXPECT_EQ(result.mix.size(), 300u);
+  EXPECT_GT(result.committed, 250u);
+  EXPECT_GT(result.throughput_tps, 0.0);
+  size_t total = 0;
+  for (const auto& samples : result.per_type) {
+    total += samples.size();
+  }
+  EXPECT_EQ(total, 300u);
+  // The mix guarantees NewOrder and Payment samples in 300 draws.
+  EXPECT_FALSE(result.ForType(TpccTxnType::kNewOrder).empty());
+  EXPECT_FALSE(result.ForType(TpccTxnType::kPayment).empty());
+  auto distribution = TpccMixDistribution(result);
+  EXPECT_GT(distribution.MeanNanos(), 0.0);
+}
+
+}  // namespace
+}  // namespace zygos
