@@ -32,7 +32,7 @@ int Main(int argc, char** argv) {
   RequestHandler handler = [spin_us](uint64_t, const std::string& request) {
     volatile uint64_t sink = 0;
     for (int64_t i = 0; i < spin_us * 300; ++i) {
-      sink += static_cast<uint64_t>(i);
+      sink = sink + static_cast<uint64_t>(i);
     }
     return request;
   };

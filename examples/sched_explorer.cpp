@@ -5,7 +5,7 @@
 // achieved throughput, steal rate and IPI count at every point, next to the theoretical
 // M/G/n/FCFS bound. A fast way to rerun any slice of the paper's §6.1 design space.
 //
-// Run:  ./sched_explorer --system=zygos --dist=exponential --mean_us=10 \
+// Run:  ./sched_explorer --system=zygos --dist=exponential --mean_us=10
 //           [--cores=16] [--points=10] [--max_load=0.98] [--requests=200000] [--batch=1]
 #include <cstdio>
 #include <memory>

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run every test suite, and smoke-test the
+# end-to-end runtime. This is the gate every PR must keep green.
+#
+# Usage:
+#   scripts/ci.sh                 # Release build in ./build
+#   BUILD_DIR=out scripts/ci.sh   # custom build directory
+#   CMAKE_ARGS="-DZYGOS_WERROR=ON" scripts/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== configure (${BUILD_DIR})"
+# shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split
+cmake -B "${BUILD_DIR}" -S . ${CMAKE_ARGS:-}
+
+echo "== build (-j${JOBS})"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== ctest"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== smoke: examples/quickstart"
+"${BUILD_DIR}/examples/quickstart" --requests=5000 --rate=20000
+
+echo "CI OK"

@@ -8,6 +8,8 @@
 //   - bimodal-2:      P[X = S̄/2] = 0.999,  P[X = 500.5·S̄] = 0.001
 // plus empirical distributions measured from real applications (Silo/TPC-C, the KV
 // store), which drive Figures 9 and 10b.
+// Contract: Sample() returns Nanos >= 0 with the configured mean. Distribution
+// objects are immutable and thread-safe; the caller supplies the (per-thread) Rng.
 #ifndef ZYGOS_COMMON_DISTRIBUTION_H_
 #define ZYGOS_COMMON_DISTRIBUTION_H_
 

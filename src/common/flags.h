@@ -3,6 +3,8 @@
 // Supports `--name=value` and `--name value` forms plus bare `--name` for booleans.
 // Benchmarks use this to expose the sweep parameters (service time, distribution, load
 // points, request counts) without pulling in a heavyweight dependency.
+// Contract: parse once at startup from main's argv; not thread-safe, not intended
+// for use after worker threads start.
 #ifndef ZYGOS_COMMON_FLAGS_H_
 #define ZYGOS_COMMON_FLAGS_H_
 

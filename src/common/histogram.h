@@ -4,6 +4,8 @@
 // error (~0.8% with the default 7 sub-bucket bits), in O(1) per record, using a fixed
 // ~64 KiB footprint. Used by every benchmark and by the simulator to compute the 99th
 // percentile tail latencies the paper reports.
+// Contract: values are Nanos (negative values clamp to the first bucket). Not
+// thread-safe; wrap with a lock (LatencyCollector) or keep one per thread and Merge.
 #ifndef ZYGOS_COMMON_HISTOGRAM_H_
 #define ZYGOS_COMMON_HISTOGRAM_H_
 

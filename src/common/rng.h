@@ -6,6 +6,8 @@
 // xoshiro256++, seeded through SplitMix64 — the standard recipe recommended by its
 // authors — which is far faster than std::mt19937_64 and has no observable bias for our
 // use cases.
+// Contract: not thread-safe; one Rng per worker/simulation. All draws are
+// reproducible for a fixed seed across platforms (no libc rand, no std::uniform_*).
 #ifndef ZYGOS_COMMON_RNG_H_
 #define ZYGOS_COMMON_RNG_H_
 

@@ -1,4 +1,6 @@
 // Small numeric helpers: running mean/variance and simple aggregates.
+// Contract: pure value types, no synchronization; nanosecond inputs where times are
+// involved.
 #ifndef ZYGOS_COMMON_STATS_H_
 #define ZYGOS_COMMON_STATS_H_
 

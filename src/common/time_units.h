@@ -4,6 +4,8 @@
 // (rather than std::chrono) keeps the discrete-event simulator hot path branch-free and
 // trivially serializable; helper constants make call sites read naturally
 // (e.g. `25 * kMicrosecond`).
+// Contract: Nanos is the single time unit across simulator, runtime and benchmarks;
+// convert to us/ms only at the printing edge.
 #ifndef ZYGOS_COMMON_TIME_UNITS_H_
 #define ZYGOS_COMMON_TIME_UNITS_H_
 

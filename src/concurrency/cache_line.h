@@ -1,4 +1,6 @@
 // Cache-line utilities shared by the lock-free / locked data structures.
+// Contract: kCacheLineSize is the alignment unit for every per-core structure; keep
+// per-core hot state in separate lines to avoid false sharing.
 #ifndef ZYGOS_CONCURRENCY_CACHE_LINE_H_
 #define ZYGOS_CONCURRENCY_CACHE_LINE_H_
 

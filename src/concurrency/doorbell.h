@@ -6,6 +6,10 @@
 // release RMW, the receiver drains all bits at its next kernel entry. In the real-thread
 // runtime the doorbell is paired with a POSIX signal to get genuine asynchronous
 // preemption of "user" code; in the discrete-event models delivery latency is simulated.
+// Contract: Ring() from any thread (returns true only when the doorbell was previously
+// idle — no bits of any reason pending — i.e. this call raises the interrupt);
+// Drain() from the owning receiver only. Delivery is a hint — correctness must never
+// depend on a doorbell arriving.
 #ifndef ZYGOS_CONCURRENCY_DOORBELL_H_
 #define ZYGOS_CONCURRENCY_DOORBELL_H_
 

@@ -9,6 +9,8 @@
 // Each slot carries a sequence number; producers claim a ticket with a CAS on the
 // enqueue cursor and publish by bumping the slot sequence, so producers never block
 // consumers and vice versa.
+// Contract: any number of producer and consumer threads; bounded, TryPush fails when
+// full (callers count the drop, as a NIC would). ApproxSize is a racy snapshot.
 #ifndef ZYGOS_CONCURRENCY_MPMC_QUEUE_H_
 #define ZYGOS_CONCURRENCY_MPMC_QUEUE_H_
 

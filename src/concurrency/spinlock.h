@@ -4,6 +4,8 @@
 // core protects the core's shuffle queue and the state-machine transitions of sockets
 // homed on that core; remote cores use try-lock for steal attempts so contention never
 // blocks a thief — it simply moves on to the next victim.
+// Contract: non-recursive; safe for any number of contending threads; no fairness
+// guarantee (paper's behaviour — a starved thief just moves on).
 #ifndef ZYGOS_CONCURRENCY_SPINLOCK_H_
 #define ZYGOS_CONCURRENCY_SPINLOCK_H_
 

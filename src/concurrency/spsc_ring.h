@@ -4,6 +4,9 @@
 // packets, exactly one core consumes them. Lock-free with acquire/release pairs and
 // cached peer indices to minimize coherence traffic — the structure an idle remote core
 // polls in step (d) of the ZygOS idle loop.
+// Contract: exactly one producer thread and one consumer thread; any thread may call
+// ApproxSize/ApproxEmpty (racy snapshot). Capacity is fixed at construction (power of
+// two).
 #ifndef ZYGOS_CONCURRENCY_SPSC_RING_H_
 #define ZYGOS_CONCURRENCY_SPSC_RING_H_
 

@@ -11,6 +11,8 @@
 //
 // Bounded: capacity fixed at construction (power of two). PushBottom fails when full
 // rather than growing — the runtime's queues are all bounded (NIC-ring discipline).
+// Contract: PushBottom/PopBottom from the single owner thread only; TrySteal from any
+// thread. Bounded; PushBottom fails when full.
 #ifndef ZYGOS_CONCURRENCY_WORKSTEAL_DEQUE_H_
 #define ZYGOS_CONCURRENCY_WORKSTEAL_DEQUE_H_
 

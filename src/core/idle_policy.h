@@ -13,6 +13,10 @@
 //
 // The policy is pure decision logic over a snapshot interface, shared verbatim by the
 // discrete-event models and the real-thread runtime, and unit-testable in isolation.
+//
+// Contract: IdlePolicy is stateless and const — one instance may serve every core
+// concurrently as long as each call uses a caller-owned Rng; IdleLoopView reads may be
+// racy snapshots (the caller revalidates by actually attempting the returned action).
 #ifndef ZYGOS_CORE_IDLE_POLICY_H_
 #define ZYGOS_CORE_IDLE_POLICY_H_
 

@@ -10,6 +10,10 @@
 // Locking matches the paper's implementation: one spinlock per core guards both that
 // core's queue and the scheduling-state transitions of sockets homed there. Local
 // operations take the lock; steals use TryLock so a contended victim is simply skipped.
+//
+// Contract: every method is thread-safe and may be called from any core; ApproxEmpty/
+// ApproxSize/StatsFor are unsynchronized reads (exact only at quiescence). A Pcb passed
+// to NotifyPending must outlive the layer's use of it (the layer stores raw pointers).
 #ifndef ZYGOS_CORE_SHUFFLE_LAYER_H_
 #define ZYGOS_CORE_SHUFFLE_LAYER_H_
 

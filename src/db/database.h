@@ -1,5 +1,7 @@
 // Database catalog: named tables (each an OrderedIndex of versioned records) plus the
 // epoch clock shared by all transactions.
+// Contract: table creation at load time only (not synchronized against readers);
+// record access afterwards is thread-safe through OrderedIndex + OCC validation.
 #ifndef ZYGOS_DB_DATABASE_H_
 #define ZYGOS_DB_DATABASE_H_
 

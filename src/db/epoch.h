@@ -6,6 +6,8 @@
 // disables the garbage-collection work tied to epochs ("we disabled garbage collection
 // for our measurements", §6.3.1); we keep the epoch clock because TIDs need it, but no
 // reclamation runs.
+// Contract: Current is an atomic read from any thread; the clock moves via the built-in
+// advancer thread or explicit Advance calls. No reclamation runs (paper's GC-off setup).
 #ifndef ZYGOS_DB_EPOCH_H_
 #define ZYGOS_DB_EPOCH_H_
 

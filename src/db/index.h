@@ -13,6 +13,9 @@
 // tpcc_schema.h's big-endian key builders). Record pointers are stable for the life of
 // the index (map nodes are never moved, deletes are logical via the TID absent bit — GC
 // is disabled, as in the paper's Silo measurements).
+// Contract: thread-safe (shared lock for lookups/scans, exclusive for inserts);
+// iterators/scan results are snapshots — record *versions* are validated by OCC, not
+// by the index.
 #ifndef ZYGOS_DB_INDEX_H_
 #define ZYGOS_DB_INDEX_H_
 

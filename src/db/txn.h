@@ -16,6 +16,9 @@
 //
 // Aborts release locks and leave claimed-but-absent inserts in the index (harmless,
 // equivalent to Silo's pre-GC state; the paper benchmarks with GC disabled).
+// Contract: one Txn per worker thread at a time; a Txn is not thread-safe but
+// different threads' transactions may run concurrently against the same Database.
+// Abort/commit leaves no locks held; TIDs embed the serialization epoch.
 #ifndef ZYGOS_DB_TXN_H_
 #define ZYGOS_DB_TXN_H_
 

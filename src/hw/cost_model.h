@@ -8,6 +8,8 @@
 // >=90-120 µs; Fig. 7: ZygOS reaches 90% of the centralized bound at 30-40 µs).
 // The ablation bench sweeps the interesting knobs so readers can see how each cost
 // shifts the curves.
+// Contract: every field is Nanos of charged work; the struct is a plain value —
+// copy it, tweak one knob, hand it to a model. Thread-safe by value semantics.
 #ifndef ZYGOS_HW_COST_MODEL_H_
 #define ZYGOS_HW_COST_MODEL_H_
 

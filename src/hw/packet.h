@@ -3,6 +3,7 @@
 // One packet carries one complete RPC request in the system models (the synthetic
 // microbenchmark requests fit one MTU, as in the paper). The runtime's loopback NIC
 // uses byte-stream segments instead (src/net); this struct is the DES-side counterpart.
+// Contract: plain value type; arrival and service_demand are Nanos.
 #ifndef ZYGOS_HW_PACKET_H_
 #define ZYGOS_HW_PACKET_H_
 

@@ -7,6 +7,9 @@
 // mixing hash stands in for Toeplitz (only distribution quality matters), and the
 // indirection table is reprogrammable so tests and ablations can create skewed layouts
 // (the persistent-imbalance scenarios of §2.3).
+// Contract: HomeCoreOf/GroupCore are thread-safe against each other; SetGroupCore/
+// SetIndirection must happen at quiescence (no concurrent dispatch), mirroring a real
+// NIC's out-of-band table update.
 #ifndef ZYGOS_HW_RSS_H_
 #define ZYGOS_HW_RSS_H_
 

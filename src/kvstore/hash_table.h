@@ -4,6 +4,8 @@
 // experiments only the operation cost profile matters (sub-microsecond lookups with
 // a short lock hold). The table uses per-stripe spinlocks so the multi-core runtime can
 // serve concurrent GET/SET traffic, and chains collisions in per-bucket vectors.
+// Contract: Get/Set/Erase are thread-safe (per-stripe spinlocks, short critical
+// sections); Size is exact only at quiescence. Values are copied in and out.
 #ifndef ZYGOS_KVSTORE_HASH_TABLE_H_
 #define ZYGOS_KVSTORE_HASH_TABLE_H_
 

@@ -8,6 +8,9 @@
 //
 // This stands in for the memcached binary protocol: same information content, same
 // parse cost profile (a header read plus bounded copies).
+// Contract: Encode* and Decode* are pure; Decode* validate lengths and return
+// std::nullopt on malformed input rather than reading out of bounds. All integers
+// little-endian.
 #ifndef ZYGOS_KVSTORE_PROTOCOL_H_
 #define ZYGOS_KVSTORE_PROTOCOL_H_
 

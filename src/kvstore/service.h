@@ -2,6 +2,8 @@
 //
 // This is the application-layer callback plugged into both the real-thread runtime and
 // the service-time measurement harness that feeds Fig. 9's system-model runs.
+// Contract: Handle is thread-safe (delegates to the striped hash table) and is safe
+// to call concurrently from every runtime worker; payloads are copied.
 #ifndef ZYGOS_KVSTORE_SERVICE_H_
 #define ZYGOS_KVSTORE_SERVICE_H_
 

@@ -9,6 +9,8 @@
 // The generator pre-populates a KvService and then produces a request stream; it also
 // measures the service's per-operation cost to build the empirical service-time
 // distribution that drives the Fig. 9 system-model runs.
+// Contract: generators are single-threaded per instance (one per client thread);
+// measured service times are wall-clock Nanos on this host.
 #ifndef ZYGOS_KVSTORE_WORKLOAD_H_
 #define ZYGOS_KVSTORE_WORKLOAD_H_
 

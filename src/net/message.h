@@ -11,6 +11,8 @@
 // in arbitrary segment boundaries (back-to-back requests in one segment, one request
 // split across many), which is exactly the condition that makes socket stealing unsafe
 // without ZygOS's ordering guarantees (§4.3).
+// Contract: FrameParser is single-threaded (home-core netstack only); EncodeFrame is
+// a pure function. Frame fields are little-endian; payload_len excludes the header.
 #ifndef ZYGOS_NET_MESSAGE_H_
 #define ZYGOS_NET_MESSAGE_H_
 

@@ -17,6 +17,9 @@
 // guards the state field and shuffle-queue membership; a per-PCB spinlock guards the
 // event queue (single producer: the home-core netstack; single consumer: the current
 // execution core).
+// Contract: state transitions only under the home core's shuffle lock; the event
+// queue has one producer (home netstack) and one consumer (current owner). Pcbs are
+// owned by the runtime/model and must outlive the shuffle layer's raw pointers.
 #ifndef ZYGOS_NET_PCB_H_
 #define ZYGOS_NET_PCB_H_
 

@@ -4,6 +4,10 @@
 // conditional wait tail, Pollaczek–Khinchine mean wait). The property-based tests drive
 // the discrete-event models of models.h against these across parameter sweeps; the
 // benchmarks also print them as sanity columns.
+//
+// Contract: pure, reentrant, thread-safe functions. Rates (lambda, mu) are events per
+// nanosecond and returned times are nanoseconds, matching Nanos everywhere else;
+// stability preconditions (lambda < mu, a < c) are the caller's responsibility.
 #ifndef ZYGOS_QUEUEING_ANALYTIC_H_
 #define ZYGOS_QUEUEING_ANALYTIC_H_
 

@@ -11,6 +11,10 @@
 // These are *zero-overhead* models: no network stack, no scheduling cost, no
 // propagation delay. They provide the theoretical upper bounds (grey lines) in
 // Figures 3 and 7 and the full content of Figure 2.
+//
+// Contract: times are virtual Nanos; load is the offered ρ = λ·S̄/n in (0, 1). Runs are
+// single-threaded and deterministic for a fixed seed. Not thread-safe: use one
+// Simulator/model per thread when sweeping in parallel.
 #ifndef ZYGOS_QUEUEING_MODELS_H_
 #define ZYGOS_QUEUEING_MODELS_H_
 

@@ -4,6 +4,10 @@
 // an absolute latency bound, finds the largest load whose p99 still meets the SLO by
 // bisection. This is the machinery behind Figures 3 and 7 and Table 1's
 // "Max load@SLO" column.
+//
+// Contract: slo and the values returned by p99_of_load are Nanos; load is the
+// dimensionless ρ in (0, 1). The search itself is pure and thread-safe; p99_of_load is
+// invoked sequentially on the caller's thread.
 #ifndef ZYGOS_QUEUEING_SLO_SEARCH_H_
 #define ZYGOS_QUEUEING_SLO_SEARCH_H_
 

@@ -5,6 +5,10 @@
 // On hosts with fewer hardware threads than workers the wall-clock latencies include
 // OS scheduling noise — the examples print them as illustrations; the reproducible
 // latency *experiments* all run on the discrete-event models (src/sysmodel).
+//
+// Contract: latencies are wall-clock Nanos. LatencyCollector is thread-safe (spinlock-
+// guarded; safe from every worker's completion callback concurrently). OpenLoopClient
+// runs on the caller's thread; one instance per generator thread.
 #ifndef ZYGOS_RUNTIME_CLIENT_H_
 #define ZYGOS_RUNTIME_CLIENT_H_
 

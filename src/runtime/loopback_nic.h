@@ -5,6 +5,10 @@
 // bounded (a full ring drops the segment and counts it, as a NIC would) and
 // multi-producer (any client thread) / multi-consumer (the home core in the normal
 // path — but any core may *poll* occupancy, which is what the ZygOS idle loop does).
+//
+// Contract: Inject/Poll/ApproxNonEmpty are thread-safe from any thread; RSS
+// reprogramming (mutable_rss) is NOT synchronized against concurrent Inject and must
+// happen while the runtime is quiescent. Segment::arrival is wall-clock Nanos.
 #ifndef ZYGOS_RUNTIME_LOOPBACK_NIC_H_
 #define ZYGOS_RUNTIME_LOOPBACK_NIC_H_
 

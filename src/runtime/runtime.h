@@ -23,6 +23,11 @@
 //   kZygos        — full design: stealing + doorbells.
 //   kPartitioned  — layer 2 disabled across cores (every core serves only its own
 //                   flows, run-to-completion): the IX/shared-nothing baseline.
+//
+// Contract: all timestamps are wall-clock Nanos (std::steady_clock based). Inject/
+// InjectBytes are thread-safe (any client thread, any time between Start and Shutdown);
+// Start and Shutdown must each be called exactly once from one thread; stats getters
+// are racy-but-safe snapshots while running and exact after Shutdown returns.
 #ifndef ZYGOS_RUNTIME_RUNTIME_H_
 #define ZYGOS_RUNTIME_RUNTIME_H_
 

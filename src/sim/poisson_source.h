@@ -4,6 +4,8 @@
 // requests with exponential inter-arrival times at aggregate rate λ, independent of the
 // server's state. Each arrival invokes a callback; generation stops after `total` events
 // (0 = unbounded, stop via Simulator::Stop or by cancelling).
+// Contract: single-threaded (lives on the simulator's thread); rate is events per
+// Nanos; draws come from the caller-owned Rng so runs are reproducible.
 #ifndef ZYGOS_SIM_POISSON_SOURCE_H_
 #define ZYGOS_SIM_POISSON_SOURCE_H_
 

@@ -5,6 +5,8 @@
 // (ZygOS, IX, Linux — §3, §6) execute. Events may be cancelled after scheduling, which
 // the system models use to model preemption (an IPI arriving mid-task postpones the
 // task's completion event).
+// Contract: strictly single-threaded — the simulator, its events and everything they
+// touch live on one thread; time is virtual Nanos and only advances inside Step/Run.
 #ifndef ZYGOS_SIM_SIMULATOR_H_
 #define ZYGOS_SIM_SIMULATOR_H_
 

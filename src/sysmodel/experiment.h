@@ -1,6 +1,8 @@
 // Experiment drivers shared by the benchmark binaries: latency-vs-throughput sweeps
 // (Figs. 6, 9, 10b, 11), max-load-at-SLO searches (Figs. 3, 7, Table 1) and steal-rate
 // accounting (Fig. 8).
+// Contract: drivers are synchronous and single-threaded; latencies in the results are
+// Nanos, throughputs are requests per second of virtual time.
 #ifndef ZYGOS_SYSMODEL_EXPERIMENT_H_
 #define ZYGOS_SYSMODEL_EXPERIMENT_H_
 

@@ -15,6 +15,9 @@
 //
 // The models charge explicit costs from hw::CostModel; with CostModel::ZeroOverhead()
 // they converge to their §2.3 idealized counterparts, which the tests verify.
+// Contract: each run is single-threaded and deterministic for a fixed seed; latencies
+// are virtual Nanos; load is the offered rho in (0,1). Use one model per thread when
+// sweeping in parallel.
 #ifndef ZYGOS_SYSMODEL_SYSTEM_MODEL_H_
 #define ZYGOS_SYSMODEL_SYSTEM_MODEL_H_
 

@@ -5,6 +5,9 @@
 // pre-sampled service demand, and is timestamped at arrival. RSS maps the connection to
 // its home core. With pipeline_depth > 1, each arrival event is a burst of back-to-back
 // requests on one connection (mutilate-style pipelining, the Fig. 9 memcached setup).
+// Contract: single-threaded on the simulator's thread; service demands and timestamps
+// are Nanos; the same seed reproduces the exact arrival sequence across systems (the
+// common-random-numbers trick behind the paper-style system comparisons).
 #ifndef ZYGOS_SYSMODEL_WORKLOAD_H_
 #define ZYGOS_SYSMODEL_WORKLOAD_H_
 

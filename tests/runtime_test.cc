@@ -97,7 +97,7 @@ TEST(RuntimeTest, PerFlowResponsesStayInOrderUnderStealing) {
   RequestHandler handler = [](uint64_t, const std::string& request) {
     volatile int sink = 0;
     for (int i = 0; i < 500; ++i) {
-      sink += i;
+      sink = sink + i;
     }
     return request;
   };
@@ -155,7 +155,7 @@ TEST(RuntimeTest, SkewedRssTriggersStealing) {
   RequestHandler handler = [](uint64_t, const std::string& request) {
     volatile int sink = 0;
     for (int i = 0; i < 2000; ++i) {
-      sink += i;
+      sink = sink + i;
     }
     return request;
   };
