@@ -1,95 +1,429 @@
-// memcached-style KV service on the ZygOS runtime (the Fig. 9 application).
+// memcached-style KV service on the ZygOS runtime, served over real TCP sockets.
 //
-// Populates the in-repo KV store with the USR or ETC workload, then serves the binary
-// GET/SET protocol through the work-stealing runtime while an open-loop client offers
-// Poisson load over many connections. Prints hit rates, latency, and scheduler
-// counters, and demonstrates the public APIs of src/kvstore + src/runtime together.
+// The runtime runs on the epoll-based TcpTransport (src/runtime/tcp_transport.h): one
+// listener, connections hashed to home cores through the RSS indirection table, frames
+// reassembled on the home core, responses sent home-core-only. The binary protocol is
+// src/kvstore/protocol.h carried inside the length-prefixed RPC frames of
+// src/net/message.h — any machine that speaks those ~20 bytes of framing can load this
+// server.
 //
-// Run:  ./kv_server [--workload=usr|etc] [--workers=4] [--rate=30000] [--requests=60000]
+// Modes:
+//   --mode=demo    (default) start the server on a loopback ephemeral port, drive it
+//                  with in-process TCP clients over real sockets, print both sides.
+//   --mode=serve   serve on --port until SIGINT/SIGTERM (for an external client).
+//   --mode=client  drive an external server at --host:--port and measure latency.
+//
+// Common flags: [--workload=usr|etc] [--keys=50000] [--workers=4]
+// Client-side:  [--connections=16] [--threads=4] [--requests=40000] [--pipeline=8]
+// Example:      kv_server --mode=serve --port=7117 &
+//               kv_server --mode=client --port=7117 --requests=100000
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
+#include <deque>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/time_units.h"
 #include "src/kvstore/service.h"
 #include "src/kvstore/workload.h"
+#include "src/net/message.h"
 #include "src/runtime/client.h"
 #include "src/runtime/runtime.h"
+#include "src/runtime/tcp_transport.h"
 
 namespace zygos {
 namespace {
 
-int Main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  KvWorkloadSpec spec = flags.GetString("workload", "usr") == "etc"
-                            ? KvWorkloadSpec::Etc()
-                            : KvWorkloadSpec::Usr();
-  spec.num_keys = static_cast<uint64_t>(flags.GetInt("keys", 50'000));
+volatile std::sig_atomic_t g_signal = 0;
+void OnSignal(int sig) { g_signal = sig; }
 
+// ---------------------------------------------------------------------------
+// Self-driving TCP client: closed-loop, pipelined, latency measured per request.
+// ---------------------------------------------------------------------------
+
+struct LoadConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connections = 16;
+  int threads = 4;
+  uint64_t requests = 40'000;  // total across all connections
+  int pipeline = 8;            // outstanding requests per connection
+  uint64_t seed = 11;
+  KvWorkloadSpec spec;
+};
+
+struct LoadTotals {
+  std::atomic<uint64_t> sent{0};
+  std::atomic<uint64_t> received{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> miss{0};
+  std::atomic<uint64_t> error{0};
+  std::atomic<uint64_t> order_violations{0};
+};
+
+int ConnectTo(const std::string& host, uint16_t port) {
+  // Resolve numeric addresses and hostnames alike (client mode invites DNS names).
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  std::string service = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &resolved);
+  if (rc != 0) {
+    std::fprintf(stderr, "kv_server: cannot resolve %s: %s\n", host.c_str(),
+                 ::gai_strerror(rc));
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  if (fd < 0) {
+    std::fprintf(stderr, "kv_server: cannot connect to %s:%u: %s\n", host.c_str(),
+                 static_cast<unsigned>(port), std::strerror(errno));
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t w = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) {
+      continue;
+    }
+    if (w <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+// One client connection: its socket, response reassembly state, and the FIFO of
+// in-flight requests (per-connection ordering lets latency matching be a queue).
+struct ClientConn {
+  int fd = -1;
+  FrameParser parser;
+  std::deque<std::pair<uint64_t, Nanos>> in_flight;  // (request_id, send time)
+  uint64_t next_id = 0;
+  uint64_t quota = 0;  // requests this connection still has to send
+};
+
+// Runs `conns` connections from one thread until every quota is spent and every
+// response arrived. Returns false on a connection failure.
+bool DriveConnections(const LoadConfig& config, std::vector<ClientConn>& conns,
+                      LatencyCollector& latency, LoadTotals& totals, Rng& rng) {
+  KvWorkload workload(config.spec, config.seed);  // one generator per thread
+  std::string frame;
+  auto send_one = [&](ClientConn& conn) {
+    frame.clear();
+    EncodeMessage(conn.next_id, workload.SampleRequest(rng), frame);
+    if (!SendAll(conn.fd, frame)) {
+      return false;
+    }
+    conn.in_flight.emplace_back(conn.next_id, NowNanos());
+    conn.next_id++;
+    conn.quota--;
+    totals.sent.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  };
+
+  // Prime every connection's pipeline.
+  for (ClientConn& conn : conns) {
+    for (int i = 0; i < config.pipeline && conn.quota > 0; ++i) {
+      if (!send_one(conn)) {
+        return false;
+      }
+    }
+  }
+
+  std::vector<pollfd> pfds(conns.size());
+  std::string buffer(16 * 1024, '\0');
+  while (true) {
+    bool outstanding = false;
+    for (size_t i = 0; i < conns.size(); ++i) {
+      pfds[i] = pollfd{conns[i].fd, POLLIN, 0};
+      outstanding |= !conns[i].in_flight.empty() || conns[i].quota > 0;
+    }
+    if (!outstanding) {
+      return true;
+    }
+    if (::poll(pfds.data(), pfds.size(), 1000) < 0 && errno != EINTR) {
+      return false;
+    }
+    for (size_t i = 0; i < conns.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      ClientConn& conn = conns[i];
+      ssize_t r = ::recv(conn.fd, buffer.data(), buffer.size(), 0);
+      if (r < 0 && (errno == EINTR || errno == EAGAIN)) {
+        continue;
+      }
+      if (r <= 0) {
+        // Hangup: fatal only if this connection still had work; otherwise deactivate
+        // it (poll ignores negative fds) and keep driving the remaining connections.
+        bool finished = conn.in_flight.empty() && conn.quota == 0;
+        ::close(conn.fd);
+        conn.fd = -1;
+        if (!finished) {
+          return false;
+        }
+        continue;
+      }
+      conn.parser.Feed(buffer.data(), static_cast<size_t>(r));
+      for (Message& msg : conn.parser.TakeMessages()) {
+        if (conn.in_flight.empty() || conn.in_flight.front().first != msg.request_id) {
+          totals.order_violations.fetch_add(1, std::memory_order_relaxed);
+          conn.in_flight.clear();
+        } else {
+          latency.Record(conn.in_flight.front().second);
+          conn.in_flight.pop_front();
+        }
+        totals.received.fetch_add(1, std::memory_order_relaxed);
+        auto decoded = DecodeKvResponse(msg.payload);
+        if (!decoded.has_value() || decoded->status == KvStatus::kError) {
+          totals.error.fetch_add(1, std::memory_order_relaxed);
+        } else if (decoded->status == KvStatus::kOk) {
+          totals.ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          totals.miss.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (conn.quota > 0 && !send_one(conn)) {
+          return false;
+        }
+      }
+    }
+  }
+}
+
+// Fans the load out over `config.threads` client threads; returns true when every
+// thread completed cleanly.
+bool RunLoad(const LoadConfig& config, LatencyCollector& latency, LoadTotals& totals) {
+  int threads = std::max(1, std::min(config.threads, config.connections));
+  std::vector<std::thread> workers;
+  std::atomic<bool> failed{false};
+  uint64_t per_conn = config.requests / static_cast<uint64_t>(config.connections);
+  uint64_t remainder = config.requests % static_cast<uint64_t>(config.connections);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<ClientConn> conns;
+      for (int c = t; c < config.connections; c += threads) {
+        ClientConn conn;
+        conn.fd = ConnectTo(config.host, config.port);
+        conn.quota = per_conn + (static_cast<uint64_t>(c) < remainder ? 1 : 0);
+        if (conn.fd < 0) {
+          failed.store(true);
+          for (ClientConn& opened : conns) {
+            ::close(opened.fd);  // don't leak the connections that did open
+          }
+          return;
+        }
+        conns.push_back(std::move(conn));
+      }
+      Rng rng(config.seed + static_cast<uint64_t>(t) * 7919);
+      if (!DriveConnections(config, conns, latency, totals, rng)) {
+        failed.store(true);
+      }
+      for (ClientConn& conn : conns) {
+        if (conn.fd >= 0) {
+          ::close(conn.fd);
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  return !failed.load();
+}
+
+// ---------------------------------------------------------------------------
+// Server assembly.
+// ---------------------------------------------------------------------------
+
+struct Server {
   KvService service;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::unique_ptr<Runtime> runtime;
+  TcpTransport* transport = nullptr;  // owned by the runtime
+  LatencyCollector server_latency;    // arrival at the transport -> TX
+};
+
+std::unique_ptr<Server> StartServer(const Flags& flags, const KvWorkloadSpec& spec,
+                                    uint16_t port) {
+  auto server = std::make_unique<Server>();
   KvWorkload workload(spec, /*seed=*/5);
   std::printf("kv_server: populating %llu keys (%s workload)...\n",
               static_cast<unsigned long long>(spec.num_keys), spec.Name());
-  workload.Populate(service);
+  workload.Populate(server->service);
 
-  std::atomic<uint64_t> hits{0};
-  std::atomic<uint64_t> misses{0};
-  RequestHandler handler = [&](uint64_t, const std::string& request) {
-    std::string response = service.Handle(request);
+  RequestHandler handler = [srv = server.get()](uint64_t, const std::string& request) {
+    std::string response = srv->service.Handle(request);
     auto decoded = DecodeKvResponse(response);
     if (decoded.has_value() && decoded->status == KvStatus::kOk) {
-      hits.fetch_add(1, std::memory_order_relaxed);
+      srv->hits.fetch_add(1, std::memory_order_relaxed);
     } else {
-      misses.fetch_add(1, std::memory_order_relaxed);
+      srv->misses.fetch_add(1, std::memory_order_relaxed);
     }
     return response;
   };
 
   RuntimeOptions options;
   options.num_workers = static_cast<int>(flags.GetInt("workers", 4));
-  options.num_flows = 128;
-  LatencyCollector collector;
-  Runtime runtime(options, handler, collector.Handler());
-  runtime.Start();
+  // Flow ids are minted per accepted connection and never recycled, so the table
+  // bounds the server's *lifetime* connection count — size it for churn, not for
+  // concurrency (1M null slots is ~8 MB).
+  options.max_flows = static_cast<size_t>(flags.GetInt("max-flows", 1 << 20));
+  TcpTransportOptions tcp;
+  tcp.port = port;
+  tcp.num_queues = options.num_workers;
+  tcp.num_flow_groups = options.num_flow_groups;
+  tcp.max_flows = options.max_flows;
+  auto transport = std::make_unique<TcpTransport>(tcp);
+  server->transport = transport.get();
+  transport->set_on_complete(server->server_latency.Handler());
+  server->runtime = std::make_unique<Runtime>(options, std::move(transport), handler);
+  server->runtime->Start();
+  std::printf("kv_server: %d workers listening on %s:%u\n", options.num_workers,
+              tcp.bind_address.c_str(), server->transport->port());
+  return server;
+}
 
-  // Open-loop client issuing protocol-encoded requests over random flows.
-  const auto total = static_cast<uint64_t>(flags.GetInt("requests", 60'000));
-  const double rate = flags.GetDouble("rate", 30'000);
-  Rng rng(11);
-  const double mean_gap_ns = 1e9 / rate;
-  double next_deadline = 0;
-  auto start = std::chrono::steady_clock::now();
-  uint64_t sent = 0;
-  for (uint64_t i = 0; i < total; ++i) {
-    next_deadline += rng.NextExponential(mean_gap_ns);
-    while (std::chrono::duration_cast<std::chrono::nanoseconds>(
-               std::chrono::steady_clock::now() - start)
-               .count() < next_deadline) {
-      std::this_thread::yield();
-    }
-    if (runtime.Inject(rng.NextBounded(static_cast<uint64_t>(options.num_flows)), i,
-                       workload.SampleRequest(rng))) {
-      sent++;
-    }
-  }
-  runtime.Shutdown();
-
-  LatencyHistogram latency = collector.Snapshot();
-  WorkerStats stats = runtime.TotalStats();
-  std::printf("completed %llu/%llu  hits %llu  misses %llu\n",
-              static_cast<unsigned long long>(runtime.Completed()),
-              static_cast<unsigned long long>(sent),
-              static_cast<unsigned long long>(hits.load()),
-              static_cast<unsigned long long>(misses.load()));
-  std::printf("latency: p50 %.1f us  p99 %.1f us (wall-clock)\n", ToMicros(latency.P50()),
-              ToMicros(latency.P99()));
-  std::printf("scheduler: %llu events, %llu stolen, %llu doorbells\n",
+void PrintServerStats(Server& server) {
+  WorkerStats stats = server.runtime->TotalStats();
+  ShuffleStats shuffle = server.runtime->TotalShuffleStats();
+  LatencyHistogram latency = server.server_latency.Snapshot();
+  std::printf("server: %llu connections  %llu messages  hits %llu  misses %llu  "
+              "tx drops %llu\n",
+              static_cast<unsigned long long>(server.transport->AcceptedConnections()),
+              static_cast<unsigned long long>(server.runtime->Completed()),
+              static_cast<unsigned long long>(server.hits.load()),
+              static_cast<unsigned long long>(server.misses.load()),
+              static_cast<unsigned long long>(server.runtime->NicDrops()));
+  std::printf("server: in-server latency p50 %.1f us  p99 %.1f us (recv->tx)\n",
+              ToMicros(latency.P50()), ToMicros(latency.P99()));
+  std::printf("scheduler: %llu events (%llu stolen), %llu steals, %llu remote "
+              "syscalls, %llu doorbells sent, %llu rx batches/%llu segments\n",
               static_cast<unsigned long long>(stats.app_events),
               static_cast<unsigned long long>(stats.stolen_events),
-              static_cast<unsigned long long>(stats.doorbells_sent));
-  std::printf("store size: %zu keys\n", service.table().Size());
+              static_cast<unsigned long long>(shuffle.steals),
+              static_cast<unsigned long long>(stats.remote_syscalls),
+              static_cast<unsigned long long>(stats.doorbells_sent),
+              static_cast<unsigned long long>(stats.rx_batches),
+              static_cast<unsigned long long>(stats.rx_segments));
+  std::printf("store size: %zu keys\n", server.service.table().Size());
+}
+
+void PrintClientStats(const LatencyCollector& latency, const LoadTotals& totals) {
+  LatencyHistogram hist = latency.Snapshot();
+  std::printf("client: sent %llu  received %llu  ok %llu  miss %llu  error %llu  "
+              "order violations %llu\n",
+              static_cast<unsigned long long>(totals.sent.load()),
+              static_cast<unsigned long long>(totals.received.load()),
+              static_cast<unsigned long long>(totals.ok.load()),
+              static_cast<unsigned long long>(totals.miss.load()),
+              static_cast<unsigned long long>(totals.error.load()),
+              static_cast<unsigned long long>(totals.order_violations.load()));
+  std::printf("client: end-to-end latency p50 %.1f us  p99 %.1f us  p999 %.1f us "
+              "(over real TCP)\n",
+              ToMicros(hist.P50()), ToMicros(hist.P99()), ToMicros(hist.P999()));
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string mode = flags.GetString("mode", "demo");
+  if (mode != "demo" && mode != "serve" && mode != "client") {
+    std::fprintf(stderr, "kv_server: unknown --mode=%s (expected demo|serve|client)\n",
+                 mode.c_str());
+    return 2;
+  }
+  KvWorkloadSpec spec = flags.GetString("workload", "usr") == "etc"
+                            ? KvWorkloadSpec::Etc()
+                            : KvWorkloadSpec::Usr();
+  spec.num_keys = static_cast<uint64_t>(flags.GetInt("keys", 50'000));
+
+  LoadConfig load;
+  load.host = flags.GetString("host", "127.0.0.1");
+  load.port = static_cast<uint16_t>(flags.GetInt("port", mode == "demo" ? 0 : 7117));
+  load.connections = static_cast<int>(flags.GetInt("connections", 16));
+  load.threads = static_cast<int>(flags.GetInt("threads", 4));
+  load.requests = static_cast<uint64_t>(flags.GetInt("requests", 40'000));
+  load.pipeline = static_cast<int>(flags.GetInt("pipeline", 8));
+  load.seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
+  load.spec = spec;
+  if (load.connections < 1 || load.threads < 1 || load.pipeline < 1) {
+    std::fprintf(stderr, "kv_server: --connections, --threads and --pipeline must be "
+                 "positive\n");
+    return 2;
+  }
+
+  if (mode == "client") {
+    LatencyCollector latency;
+    LoadTotals totals;
+    bool ok = RunLoad(load, latency, totals);
+    PrintClientStats(latency, totals);
+    return ok && totals.order_violations.load() == 0 ? 0 : 1;
+  }
+
+  auto server = StartServer(flags, spec, load.port);
+
+  if (mode == "serve") {
+    std::signal(SIGINT, OnSignal);
+    std::signal(SIGTERM, OnSignal);
+    std::printf("kv_server: serving until SIGINT/SIGTERM\n");
+    while (g_signal == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::printf("kv_server: signal %d, shutting down\n", static_cast<int>(g_signal));
+    server->runtime->Shutdown();
+    PrintServerStats(*server);
+    return 0;
+  }
+
+  // demo: drive the server over real loopback-interface sockets, in process.
+  load.port = server->transport->port();
+  LatencyCollector latency;
+  LoadTotals totals;
+  bool ok = RunLoad(load, latency, totals);
+  server->runtime->Shutdown();
+  PrintClientStats(latency, totals);
+  PrintServerStats(*server);
+  if (!ok || totals.order_violations.load() != 0 ||
+      totals.received.load() != totals.sent.load()) {
+    std::printf("kv_server: FAILED (client error or missing responses)\n");
+    return 1;
+  }
   return 0;
 }
 

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Longitudinal benchmark harness (the `BENCH_*.json` contract from bench/README.md).
+#
+# Runs the fixed trajectory subset — fig8_steal_rate and fig6_latency_throughput — on
+# their fixed seeds, parses the stable CSV from stdout, and writes one
+# BENCH_<name>.json per binary ({metric, value, unit, commit, params}) so successive
+# commits can be compared for regressions in steal-path behaviour and max-load@SLO.
+# The DES-side experiments are deterministic for a fixed seed and host-independent,
+# so the values are comparable across machines.
+#
+# Usage:
+#   scripts/bench_trajectory.sh [out_dir]       # default out_dir: bench
+#   BUILD_DIR=build BENCH_REQUESTS=20000 BENCH_POINTS=6 scripts/bench_trajectory.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${1:-bench}"
+REQUESTS="${BENCH_REQUESTS:-20000}"
+POINTS="${BENCH_POINTS:-6}"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+for bin in fig8_steal_rate fig6_latency_throughput; do
+  if [[ ! -x "${BUILD_DIR}/bench/${bin}" ]]; then
+    echo "bench_trajectory: ${BUILD_DIR}/bench/${bin} not built (run cmake --build first)" >&2
+    exit 1
+  fi
+done
+mkdir -p "${OUT_DIR}"
+
+# --- fig8: peak ZygOS steal rate -------------------------------------------------------
+# CSV contract: system,load,throughput_mrps,steals_per_event_pct,ipis
+echo "== fig8_steal_rate (requests=${REQUESTS}, points=${POINTS})"
+fig8_csv="$("${BUILD_DIR}/bench/fig8_steal_rate" --requests="${REQUESTS}" --points="${POINTS}")"
+peak_steal="$(printf '%s\n' "${fig8_csv}" | awk -F, '
+  $1 == "ZygOS" && NF >= 4 { found = 1; if ($4 + 0 > max) max = $4 + 0 }
+  END { if (found) printf "%.2f", max }')"
+if [[ -z "${peak_steal}" ]]; then
+  echo "bench_trajectory: no ZygOS rows in fig8 output — the CSV contract changed?" >&2
+  exit 1
+fi
+cat > "${OUT_DIR}/BENCH_fig8_steal_rate.json" <<EOF
+{
+  "metric": "zygos_peak_steal_rate",
+  "value": ${peak_steal},
+  "unit": "steals_per_event_pct",
+  "commit": "${COMMIT}",
+  "params": {"requests": ${REQUESTS}, "points": ${POINTS}, "mean_us": 25, "seed": 51}
+}
+EOF
+echo "   zygos_peak_steal_rate = ${peak_steal} %  -> ${OUT_DIR}/BENCH_fig8_steal_rate.json"
+
+# --- fig6: ZygOS fraction of the theoretical max load at SLO ---------------------------
+# Headline contract: "# headline: ZygOS max load L = P% of theoretical T (paper: ...)";
+# the first headline is the 10 us exponential case (the paper's §6.1 primary claim).
+echo "== fig6_latency_throughput (requests=${REQUESTS}, points=${POINTS})"
+fig6_out="$("${BUILD_DIR}/bench/fig6_latency_throughput" --requests="${REQUESTS}" --points="${POINTS}")"
+frac="$(printf '%s\n' "${fig6_out}" | sed -nE 's/^# headline: ZygOS max load [0-9.]+ = ([0-9]+)% of theoretical.*/\1/p' | head -1)"
+if [[ -z "${frac}" ]]; then
+  echo "bench_trajectory: fig6 headline line missing — the stdout contract changed?" >&2
+  exit 1
+fi
+cat > "${OUT_DIR}/BENCH_fig6_latency_throughput.json" <<EOF
+{
+  "metric": "zygos_frac_of_theoretical_max_load",
+  "value": ${frac},
+  "unit": "percent",
+  "commit": "${COMMIT}",
+  "params": {"requests": ${REQUESTS}, "points": ${POINTS}, "distribution": "exponential", "mean_us": 10, "slo": "10x_mean", "seed": 35}
+}
+EOF
+echo "   zygos_frac_of_theoretical_max_load = ${frac} %  -> ${OUT_DIR}/BENCH_fig6_latency_throughput.json"
+
+echo "bench_trajectory OK (commit ${COMMIT})"

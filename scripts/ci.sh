@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, run every test suite, and smoke-test the
-# end-to-end runtime. This is the gate every PR must keep green.
+# Tier-1 verification: configure, build, run every test suite, smoke-test the
+# end-to-end runtime (loopback harness AND the real-TCP kv_server), and re-configure
+# the transport layer with warnings-as-errors. This is the gate every PR must keep
+# green.
 #
 # Usage:
 #   scripts/ci.sh                 # Release build in ./build
@@ -25,5 +27,13 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 echo "== smoke: examples/quickstart"
 "${BUILD_DIR}/examples/quickstart" --requests=5000 --rate=20000
+
+echo "== smoke: examples/kv_server over real TCP (loopback interface)"
+"${BUILD_DIR}/examples/kv_server" --requests=4000 --connections=8 --threads=2
+
+echo "== warnings-as-errors configure of the transport layer (${BUILD_DIR}-werror)"
+cmake -B "${BUILD_DIR}-werror" -S . -DZYGOS_WERROR=ON \
+  -DZYGOS_BUILD_BENCH=OFF -DZYGOS_BUILD_EXAMPLES=OFF -DZYGOS_BUILD_TESTS=OFF
+cmake --build "${BUILD_DIR}-werror" -j "${JOBS}" --target zygos_runtime
 
 echo "CI OK"

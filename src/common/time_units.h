@@ -9,12 +9,22 @@
 #ifndef ZYGOS_COMMON_TIME_UNITS_H_
 #define ZYGOS_COMMON_TIME_UNITS_H_
 
+#include <chrono>
 #include <cstdint>
 
 namespace zygos {
 
 // Nanosecond count. Used for both virtual (simulated) time and wall-clock measurements.
 using Nanos = int64_t;
+
+// Wall-clock now, as Nanos since the steady-clock epoch: the one timestamp source for
+// every runtime-side measurement (arrival stamps, latency accounting), so all
+// wall-clock Nanos in the process are comparable.
+inline Nanos NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 inline constexpr Nanos kNanosecond = 1;
 inline constexpr Nanos kMicrosecond = 1000;

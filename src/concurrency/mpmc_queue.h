@@ -8,7 +8,8 @@
 //
 // Each slot carries a sequence number; producers claim a ticket with a CAS on the
 // enqueue cursor and publish by bumping the slot sequence, so producers never block
-// consumers and vice versa.
+// consumers and vice versa. TryPopBatch extends the scheme to claim a whole run of
+// published slots with one cursor CAS — the batch drain the per-core netstack uses.
 // Contract: any number of producer and consumer threads; bounded, TryPush fails when
 // full (callers count the drop, as a NIC would). ApproxSize is a racy snapshot.
 #ifndef ZYGOS_CONCURRENCY_MPMC_QUEUE_H_
@@ -18,6 +19,7 @@
 #include <bit>
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/concurrency/cache_line.h"
@@ -80,6 +82,52 @@ class MpmcQueue {
       } else {
         pos = dequeue_pos_.load(std::memory_order_relaxed);
       }
+    }
+  }
+
+  // Dequeues up to `out.size()` values in one synchronized operation (a single CAS
+  // claims the whole run of published slots), writing them to the front of `out` in
+  // queue order. Returns the number dequeued; 0 when empty. This is the batch the
+  // per-core netstack drains per scheduling pass — one cursor update instead of one
+  // per segment.
+  size_t TryPopBatch(std::span<T> out) {
+    if (out.empty()) {
+      return 0;
+    }
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    while (true) {
+      // Count the contiguous run of published slots starting at `pos`, capped by the
+      // output span.
+      size_t ready = 0;
+      while (ready < out.size()) {
+        const Slot& slot = slots_[(pos + ready) & mask_];
+        size_t seq = slot.sequence.load(std::memory_order_acquire);
+        if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + ready + 1) != 0) {
+          break;
+        }
+        ++ready;
+      }
+      if (ready == 0) {
+        const Slot& slot = slots_[pos & mask_];
+        size_t seq = slot.sequence.load(std::memory_order_acquire);
+        if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0) {
+          return 0;  // empty
+        }
+        pos = dequeue_pos_.load(std::memory_order_relaxed);  // lost a race; reload
+        continue;
+      }
+      if (dequeue_pos_.compare_exchange_weak(pos, pos + ready,
+                                             std::memory_order_relaxed)) {
+        // The claimed range [pos, pos+ready) is exclusively ours: no other consumer
+        // passed the CAS, and producers wait for each slot's sequence bump below.
+        for (size_t i = 0; i < ready; ++i) {
+          Slot& slot = slots_[(pos + i) & mask_];
+          out[i] = std::move(slot.value);
+          slot.sequence.store(pos + i + mask_ + 1, std::memory_order_release);
+        }
+        return ready;
+      }
+      // CAS failure reloaded `pos`; retry.
     }
   }
 

@@ -5,16 +5,6 @@
 
 namespace zygos {
 
-namespace {
-
-Nanos NowNanos() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
-
 TpccMeasurement TpccDriver::Measure(uint64_t count, uint64_t warmup, uint64_t seed) {
   TpccMeasurement result;
   TxnExecutor executor(db_);

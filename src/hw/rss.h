@@ -6,7 +6,11 @@
 // queue — and builds work stealing above it. We reproduce the same structure: a 64-bit
 // mixing hash stands in for Toeplitz (only distribution quality matters), and the
 // indirection table is reprogrammable so tests and ablations can create skewed layouts
-// (the persistent-imbalance scenarios of §2.3).
+// (the persistent-imbalance scenarios of §2.3). Both runtime transports steer through
+// this table: LoopbackTransport hashes injected flow ids to rings, and TcpTransport
+// hashes each accepted connection to a worker's epoll set at accept time (the software
+// analogue of SO_INCOMING_CPU-style steering), so a connection's home core is fixed by
+// the same mechanism in-process and over real sockets.
 // Contract: HomeCoreOf/GroupCore are thread-safe against each other; SetGroupCore/
 // SetIndirection must happen at quiescence (no concurrent dispatch), mirroring a real
 // NIC's out-of-band table update.

@@ -19,9 +19,13 @@ void PutU64(std::string& out, uint64_t v) {
 }  // namespace
 
 void EncodeMessage(const Message& msg, std::string& out) {
-  PutU32(out, static_cast<uint32_t>(msg.payload.size()));
-  PutU64(out, msg.request_id);
-  out.append(msg.payload);
+  EncodeMessage(msg.request_id, msg.payload, out);
+}
+
+void EncodeMessage(uint64_t request_id, std::string_view payload, std::string& out) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU64(out, request_id);
+  out.append(payload);
 }
 
 bool FrameParser::Feed(const char* data, size_t len) {
@@ -53,6 +57,17 @@ std::vector<Message> FrameParser::TakeMessages() {
   std::vector<Message> out;
   out.swap(messages_);
   return out;
+}
+
+void FrameParser::TakeMessagesInto(std::vector<Message>& out) {
+  if (out.empty()) {
+    out.swap(messages_);
+    return;
+  }
+  for (Message& msg : messages_) {
+    out.push_back(std::move(msg));
+  }
+  messages_.clear();
 }
 
 }  // namespace zygos

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace zygos {
@@ -30,6 +31,10 @@ struct Message {
 
 // Appends the wire encoding of `msg` to `out`.
 void EncodeMessage(const Message& msg, std::string& out);
+
+// Copy-free variant for TX paths that already hold the payload elsewhere (the
+// transports encode frames straight out of TxSegment buffers).
+void EncodeMessage(uint64_t request_id, std::string_view payload, std::string& out);
 
 // Incremental frame parser. Feed() consumes any number of bytes; complete messages are
 // appended to an internal queue drained with TakeMessages().
@@ -45,6 +50,11 @@ class FrameParser {
 
   // Moves out all fully parsed messages, in stream order.
   std::vector<Message> TakeMessages();
+
+  // Appends all fully parsed messages to `out`, in stream order, reusing the caller's
+  // storage (the batched netstack drains many segments per pass into one scratch
+  // vector instead of allocating a fresh one per segment).
+  void TakeMessagesInto(std::vector<Message>& out);
 
   bool HasMessages() const { return !messages_.empty(); }
   bool Poisoned() const { return poisoned_; }

@@ -1,0 +1,87 @@
+// Loopback transport: the in-process Transport backend, standing in for a multi-queue
+// 10GbE NIC (the harness every test and DES-side experiment drives).
+//
+// Clients inject byte segments tagged with a flow id; RSS (src/hw/rss.h) maps the flow
+// to its home core's receive ring, exactly like hardware flow steering. Rings are
+// bounded (a full ring drops the segment and counts it, as a NIC would) and
+// multi-producer (any client thread) / single-consumer (the home core drains its ring
+// in one batched pass — but any core may *poll* occupancy, which is what the ZygOS
+// idle loop does). Transmission is a loopback: the response never serializes onto a
+// wire, it completes straight into the completion callback.
+//
+// Contract: Inject/PollBatch/TransmitBatch/ApproxNonEmpty follow the Transport
+// contract (src/runtime/transport.h); RSS reprogramming (mutable_rss) is NOT
+// synchronized against concurrent Inject and must happen at quiescence.
+// Segment::arrival is the client's wall-clock inject time.
+#ifndef ZYGOS_RUNTIME_LOOPBACK_TRANSPORT_H_
+#define ZYGOS_RUNTIME_LOOPBACK_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/concurrency/mpmc_queue.h"
+#include "src/hw/rss.h"
+#include "src/runtime/transport.h"
+
+namespace zygos {
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(int num_queues, int num_flow_groups, size_t ring_capacity)
+      : rss_(num_flow_groups, num_queues) {
+    rings_.reserve(static_cast<size_t>(num_queues));
+    for (int q = 0; q < num_queues; ++q) {
+      rings_.push_back(std::make_unique<MpmcQueue<Segment>>(ring_capacity));
+    }
+  }
+
+  int num_queues() const override { return static_cast<int>(rings_.size()); }
+  const RssTable& rss() const override { return rss_; }
+  RssTable& mutable_rss() override { return rss_; }
+
+  int QueueOf(uint64_t flow_id) const override { return rss_.HomeCoreOf(flow_id); }
+
+  // Injects a segment; returns false (and counts a drop) when the ring is full.
+  bool Inject(Segment segment) override {
+    int queue = QueueOf(segment.flow_id);
+    if (!rings_[static_cast<size_t>(queue)]->TryPush(std::move(segment))) {
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  // Drains the ring in one synchronized batch (single dequeue-cursor CAS).
+  size_t PollBatch(int queue, std::span<Segment> out) override {
+    return rings_[static_cast<size_t>(queue)]->TryPopBatch(out);
+  }
+
+  // Loopback TX: completion *is* delivery — the response returns to the in-process
+  // client through the completion callback, with no wire in between.
+  size_t TransmitBatch(int queue, std::span<TxSegment> batch) override {
+    (void)queue;
+    for (const TxSegment& tx : batch) {
+      NotifyComplete(tx);
+    }
+    return batch.size();
+  }
+
+  bool ApproxNonEmpty(int queue) const override {
+    return !rings_[static_cast<size_t>(queue)]->ApproxEmpty();
+  }
+
+  uint64_t Drops() const override { return drops_.load(std::memory_order_relaxed); }
+
+ private:
+  RssTable rss_;
+  std::vector<std::unique_ptr<MpmcQueue<Segment>>> rings_;
+  std::atomic<uint64_t> drops_{0};
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_RUNTIME_LOOPBACK_TRANSPORT_H_

@@ -1,17 +1,24 @@
 #include "src/runtime/runtime.h"
 
+#include <algorithm>
+#include <array>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/core/idle_policy.h"
+#include "src/runtime/loopback_transport.h"
 
 namespace zygos {
 
 namespace {
 
-Nanos NowNanos() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+std::unique_ptr<Transport> MakeLoopbackTransport(const RuntimeOptions& options,
+                                                 CompletionHandler on_complete) {
+  auto transport = std::make_unique<LoopbackTransport>(
+      options.num_workers, options.num_flow_groups, options.ring_capacity);
+  transport->set_on_complete(std::move(on_complete));
+  return transport;
 }
 
 }  // namespace
@@ -23,7 +30,7 @@ class Runtime::WorkerView final : public IdleLoopView {
 
   int NumCores() const override { return runtime_.options_.num_workers; }
   bool OwnHwRingNonEmpty(int self) const override {
-    return runtime_.nic_.ApproxNonEmpty(self);
+    return runtime_.transport_->ApproxNonEmpty(self);
   }
   bool ShuffleNonEmpty(int core) const override {
     return !runtime_.shuffle_.ApproxEmpty(core);
@@ -33,7 +40,7 @@ class Runtime::WorkerView final : public IdleLoopView {
     return false;  // the runtime parses segments immediately; no staging queue
   }
   bool HwRingNonEmpty(int core) const override {
-    return runtime_.nic_.ApproxNonEmpty(core);
+    return runtime_.transport_->ApproxNonEmpty(core);
   }
   bool InUserMode(int core) const override {
     return runtime_.in_user_mode_[static_cast<size_t>(core)]->load(
@@ -46,11 +53,26 @@ class Runtime::WorkerView final : public IdleLoopView {
 
 Runtime::Runtime(RuntimeOptions options, RequestHandler handler,
                  CompletionHandler on_complete)
+    : Runtime(options, MakeLoopbackTransport(options, std::move(on_complete)),
+              std::move(handler)) {}
+
+Runtime::Runtime(RuntimeOptions options, std::unique_ptr<Transport> transport,
+                 RequestHandler handler)
     : options_(options),
       handler_(std::move(handler)),
-      on_complete_(std::move(on_complete)),
-      nic_(options.num_workers, options.num_flow_groups, options.ring_capacity),
+      transport_(std::move(transport)),
       shuffle_(options.num_workers) {
+  if (transport_->num_queues() != options_.num_workers) {
+    std::fprintf(stderr,
+                 "zygos: transport has %d queues but the runtime has %d workers\n",
+                 transport_->num_queues(), options_.num_workers);
+    std::abort();
+  }
+  // Connection slots are created lazily on the home core at first segment; the table
+  // itself is sized up front so slot addresses are stable without synchronization.
+  size_t capacity = std::max<size_t>(static_cast<size_t>(options_.num_flows),
+                                     options_.max_flows != 0 ? options_.max_flows : 4096);
+  connections_.resize(capacity);
   Rng seeder(0x2e67a5u);
   for (int c = 0; c < options_.num_workers; ++c) {
     remote_queues_.push_back(std::make_unique<MpmcQueue<RemoteSyscall>>(
@@ -63,21 +85,14 @@ Runtime::Runtime(RuntimeOptions options, RequestHandler handler,
 }
 
 Runtime::~Runtime() {
-  if (started_.load() && !stop_.load()) {
+  if (started_.load() && !stopped_.load()) {
     Shutdown();
   }
 }
 
 void Runtime::Start() {
-  // Connections are built here (not in the constructor) so tests may reprogram the RSS
-  // indirection table first; the PCB home core is fixed for the connection's lifetime,
-  // as in the paper (flow-group reprogramming migrates *future* connections).
-  connections_.reserve(static_cast<size_t>(options_.num_flows));
-  for (int flow = 0; flow < options_.num_flows; ++flow) {
-    auto id = static_cast<uint64_t>(flow);
-    connections_.push_back(std::make_unique<Connection>(id, nic_.QueueOf(id)));
-  }
   started_.store(true);
+  transport_->Start();
   for (int c = 0; c < options_.num_workers; ++c) {
     workers_.emplace_back([this, c] { WorkerLoop(c); });
   }
@@ -85,8 +100,12 @@ void Runtime::Start() {
 
 void Runtime::Shutdown() {
   // Drain: every accepted request must complete (work conservation makes this finite).
+  // `injected_` covers loopback-side accounting (bytes may still sit unparsed in a
+  // ring); `accepted_` covers transports whose traffic arrives from real I/O.
   while (completed_.load(std::memory_order_acquire) <
-         injected_.load(std::memory_order_acquire)) {
+             injected_.load(std::memory_order_acquire) ||
+         completed_.load(std::memory_order_acquire) <
+             accepted_.load(std::memory_order_acquire)) {
     std::this_thread::yield();
   }
   stop_.store(true, std::memory_order_release);
@@ -94,6 +113,8 @@ void Runtime::Shutdown() {
     worker.join();
   }
   workers_.clear();
+  transport_->Stop();
+  stopped_.store(true, std::memory_order_release);
 }
 
 bool Runtime::Inject(uint64_t flow_id, uint64_t request_id, const std::string& payload) {
@@ -108,17 +129,29 @@ bool Runtime::InjectBytes(uint64_t flow_id, std::string bytes,
   segment.flow_id = flow_id;
   segment.bytes = std::move(bytes);
   segment.arrival = NowNanos();
-  if (!nic_.Inject(std::move(segment))) {
+  if (!transport_->Inject(std::move(segment))) {
     return false;
   }
   injected_.fetch_add(expected_messages, std::memory_order_release);
   return true;
 }
 
+RssTable& Runtime::mutable_rss() {
+  if (started_.load(std::memory_order_acquire) &&
+      !stopped_.load(std::memory_order_acquire)) {
+    std::fprintf(stderr,
+                 "zygos: mutable_rss() requires a quiescent runtime (not started, or "
+                 "stopped); reprogramming RSS races with concurrent delivery\n");
+    std::abort();
+  }
+  return transport_->mutable_rss();
+}
+
 WorkerStats Runtime::TotalStats() const {
   WorkerStats total;
   for (const auto& stats : stats_) {
     total.rx_segments += stats->rx_segments;
+    total.rx_batches += stats->rx_batches;
     total.app_events += stats->app_events;
     total.stolen_events += stats->stolen_events;
     total.remote_syscalls += stats->remote_syscalls;
@@ -144,8 +177,8 @@ void Runtime::WorkerLoop(int core) {
     // Priority 1: remote batched syscalls (they hold socket ownership and directly
     // add to RPC latency, §4.5).
     worked |= DrainRemoteSyscalls(core) > 0;
-    // Priority 2: own ring through the netstack.
-    worked |= NetstackRx(core, /*budget=*/64) > 0;
+    // Priority 2: own receive queue through the netstack, one batch per pass.
+    worked |= NetstackRx(core) > 0;
     // Priority 3: local shuffle queue.
     if (Pcb* pcb = shuffle_.DequeueLocal(core)) {
       ExecuteConnection(core, pcb, /*stolen=*/false);
@@ -189,40 +222,100 @@ void Runtime::WorkerLoop(int core) {
 uint64_t Runtime::DrainRemoteSyscalls(int core) {
   WorkerStats& stats = *stats_[static_cast<size_t>(core)];
   uint64_t executed = 0;
-  while (auto call = remote_queues_[static_cast<size_t>(core)]->TryPop()) {
-    Transmit(core, *call);
-    stats.remote_syscalls++;
-    executed++;
-    if (call->pcb != nullptr) {
-      // Final syscall of a stolen batch: release exclusive ownership (busy -> ready
-      // or idle); a re-enqueue becomes visible to this core and to thieves.
-      shuffle_.CompleteExecution(call->pcb);
+  std::array<RemoteSyscall, kTxBatch> calls;
+  std::vector<TxSegment> batch;
+  while (true) {
+    size_t n = remote_queues_[static_cast<size_t>(core)]->TryPopBatch(
+        std::span<RemoteSyscall>(calls.data(), kTxBatch));
+    if (n == 0) {
+      break;
     }
+    batch.clear();
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(calls[i].tx));
+    }
+    // One batched TX pass over the transport, then the ownership releases — a release
+    // must follow its connection's TX (§4.4's state machine discipline).
+    TransmitBatch(core, std::span<TxSegment>(batch.data(), n));
+    for (size_t i = 0; i < n; ++i) {
+      if (calls[i].pcb != nullptr) {
+        // Final syscall of a stolen batch: release exclusive ownership (busy -> ready
+        // or idle); a re-enqueue becomes visible to this core and to thieves.
+        shuffle_.CompleteExecution(calls[i].pcb);
+      }
+    }
+    stats.remote_syscalls += n;
+    executed += n;
   }
   return executed;
 }
 
-uint64_t Runtime::NetstackRx(int core, int budget) {
+uint64_t Runtime::NetstackRx(int core) {
   WorkerStats& stats = *stats_[static_cast<size_t>(core)];
-  uint64_t consumed = 0;
-  for (int i = 0; i < budget; ++i) {
-    auto segment = nic_.Poll(core);
-    if (!segment.has_value()) {
-      break;
+  std::array<Segment, kRxBatch> segments;
+  size_t n = transport_->PollBatch(core, std::span<Segment>(segments.data(), kRxBatch));
+  if (n == 0) {
+    return 0;
+  }
+  stats.rx_batches++;
+  stats.rx_segments += n;
+  std::vector<Message> scratch;
+  for (size_t i = 0; i < n; ++i) {
+    Segment& segment = segments[i];
+    Connection* conn = ConnectionFor(segment.flow_id, core);
+    if (conn == nullptr) {
+      // Unserviceable flow id (beyond the connection table): sever it at the
+      // transport so the peer sees a reset instead of silence.
+      transport_->CloseFlow(core, segment.flow_id);
+      continue;
     }
-    consumed++;
-    stats.rx_segments++;
-    Connection& conn = *connections_[static_cast<size_t>(segment->flow_id)];
-    conn.parser.Feed(segment->bytes.data(), segment->bytes.size());
-    for (Message& message : conn.parser.TakeMessages()) {
-      conn.pcb.PushEvent(PcbEvent{message.request_id, segment->arrival, 0,
-                                  std::move(message.payload)});
+    bool healthy = conn->parser.Feed(segment.bytes.data(), segment.bytes.size());
+    // Messages fully parsed before a poisoning header still execute (a valid request
+    // ahead of garbage in the same segment must not be silently lost); their
+    // responses to a severed connection are dropped at TX, with normal accounting.
+    scratch.clear();
+    conn->parser.TakeMessagesInto(scratch);
+    if (!scratch.empty()) {
+      for (Message& message : scratch) {
+        conn->pcb.PushEvent(PcbEvent{message.request_id, segment.arrival, 0,
+                                     std::move(message.payload)});
+      }
+      accepted_.fetch_add(scratch.size(), std::memory_order_release);
+      if (conn->pcb.HasPendingEvents()) {
+        shuffle_.NotifyPending(&conn->pcb);
+      }
     }
-    if (conn.pcb.HasPendingEvents()) {
-      shuffle_.NotifyPending(&conn.pcb);
+    if (!healthy) {
+      // Malformed frame stream (oversized length): the parser is poisoned and will
+      // never produce another message — drop the connection rather than keep
+      // receiving bytes into a black hole (remote input must not pin the core).
+      transport_->CloseFlow(core, segment.flow_id);
     }
   }
-  return consumed;
+  return n;
+}
+
+Runtime::Connection* Runtime::ConnectionFor(uint64_t flow_id, int core) {
+  if (flow_id >= connections_.size()) {
+    // Transport misconfiguration (its flow-id cap exceeds RuntimeOptions::max_flows):
+    // refuse the flow instead of crashing a live server on remote input. Warn once.
+    if (!flow_overflow_warned_.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "zygos: flow id %llu exceeds the connection table (max_flows=%zu); "
+                   "refusing — align the transport's flow cap with RuntimeOptions\n",
+                   static_cast<unsigned long long>(flow_id), connections_.size());
+    }
+    return nullptr;
+  }
+  auto& slot = connections_[flow_id];
+  if (!slot) {
+    // First segment of the flow: it arrived on `core` because the transport's RSS
+    // steers it there, so `core` is the home core for the connection's lifetime (as in
+    // the paper, flow-group reprogramming migrates *future* connections only).
+    slot = std::make_unique<Connection>(flow_id, core);
+  }
+  return slot.get();
 }
 
 uint64_t Runtime::ExecuteConnection(int core, Pcb* pcb, bool stolen) {
@@ -234,14 +327,14 @@ uint64_t Runtime::ExecuteConnection(int core, Pcb* pcb, bool stolen) {
     events.push_back(std::move(*event));
   }
   in_user_mode_[static_cast<size_t>(core)]->store(true, std::memory_order_release);
-  std::vector<RemoteSyscall> responses;
+  std::vector<TxSegment> responses;
   responses.reserve(events.size());
   for (PcbEvent& event : events) {
-    RemoteSyscall response;
+    TxSegment response;
     response.flow_id = pcb->flow_id();
     response.request_id = event.request_id;
     response.arrival = event.arrival;
-    response.response = handler_(pcb->flow_id(), event.payload);
+    response.payload = handler_(pcb->flow_id(), event.payload);
     responses.push_back(std::move(response));
     stats.app_events++;
     if (stolen) {
@@ -252,9 +345,7 @@ uint64_t Runtime::ExecuteConnection(int core, Pcb* pcb, bool stolen) {
 
   if (!stolen || responses.empty()) {
     // Home-core path (or a raced-to-empty claim): transmit directly, release ownership.
-    for (const RemoteSyscall& response : responses) {
-      Transmit(core, response);
-    }
+    TransmitBatch(core, std::span<TxSegment>(responses.data(), responses.size()));
     shuffle_.CompleteExecution(pcb);
     return events.size();
   }
@@ -262,10 +353,12 @@ uint64_t Runtime::ExecuteConnection(int core, Pcb* pcb, bool stolen) {
   // ownership there, after its TX (§4.4's state machine discipline).
   int home = pcb->home_core();
   for (size_t i = 0; i < responses.size(); ++i) {
-    responses[i].pcb = (i + 1 == responses.size()) ? pcb : nullptr;
+    RemoteSyscall call;
+    call.tx = std::move(responses[i]);
+    call.pcb = (i + 1 == responses.size()) ? pcb : nullptr;
     // The remote queue is bounded; a full queue back-pressures the thief (responses
     // must not be dropped).
-    while (!remote_queues_[static_cast<size_t>(home)]->TryPushRef(responses[i])) {
+    while (!remote_queues_[static_cast<size_t>(home)]->TryPushRef(call)) {
       std::this_thread::yield();
     }
   }
@@ -275,13 +368,12 @@ uint64_t Runtime::ExecuteConnection(int core, Pcb* pcb, bool stolen) {
   return events.size();
 }
 
-void Runtime::Transmit(int core, const RemoteSyscall& response) {
-  (void)core;
-  if (on_complete_) {
-    on_complete_(response.flow_id, response.request_id, response.response,
-                 response.arrival);
+void Runtime::TransmitBatch(int core, std::span<TxSegment> batch) {
+  if (batch.empty()) {
+    return;
   }
-  completed_.fetch_add(1, std::memory_order_release);
+  transport_->TransmitBatch(core, batch);
+  completed_.fetch_add(batch.size(), std::memory_order_release);
 }
 
 }  // namespace zygos

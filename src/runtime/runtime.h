@@ -1,16 +1,19 @@
 // The ZygOS runtime: the paper's three-layer architecture (§4.2) executed by real
 // threads.
 //
-//   layer 1  per-core "netstack": each worker drains its own loopback-NIC ring and
-//            reassembles message frames into per-connection (PCB) event queues —
-//            coherency-free, home-core-only, like the paper's lwIP-on-RSS layer 1.
+//   layer 1  a pluggable Transport (src/runtime/transport.h): per-core receive queues
+//            steered by RSS, batch-polled by each worker; frames are reassembled into
+//            per-connection (PCB) event queues — coherency-free, home-core-only, like
+//            the paper's lwIP-on-RSS layer 1. Backends: LoopbackTransport (in-process
+//            harness) and TcpTransport (real epoll sockets).
 //   layer 2  shuffle layer: ready connections enter the home core's shuffle queue
 //            (src/core/shuffle_layer.h); the home core or any idle remote core
 //            atomically claims exclusive socket ownership (idle→ready→busy machine).
 //   layer 3  execution layer: the claimed connection's pending requests are handed to
 //            the application handler; responses from a *stolen* connection are shipped
 //            back to the home core over an MPSC queue ("remote batched syscalls",
-//            Fig. 4 step (b)) and transmitted there, keeping TX home-core-only.
+//            Fig. 4 step (b)) and transmitted there in one TransmitBatch pass, keeping
+//            TX home-core-only.
 //
 // Work conservation comes from the idle loop (§5): an idle worker scans — own ring,
 // remote shuffle queues (steal), remote rings (doorbell the home core). IPIs are
@@ -25,9 +28,13 @@
 //                   flows, run-to-completion): the IX/shared-nothing baseline.
 //
 // Contract: all timestamps are wall-clock Nanos (std::steady_clock based). Inject/
-// InjectBytes are thread-safe (any client thread, any time between Start and Shutdown);
-// Start and Shutdown must each be called exactly once from one thread; stats getters
-// are racy-but-safe snapshots while running and exact after Shutdown returns.
+// InjectBytes are thread-safe (any client thread, any time between Start and Shutdown;
+// loopback-backed runtimes only). Start and Shutdown must each be called exactly once
+// from one thread; Shutdown assumes external traffic sources have quiesced (every
+// in-flight request's bytes fully delivered). Stats getters are racy-but-safe
+// snapshots while running and exact after Shutdown returns. mutable_rss() may only be
+// called while the runtime is quiescent (before Start or after Shutdown) — it aborts
+// otherwise, mirroring a NIC's out-of-band indirection-table update.
 #ifndef ZYGOS_RUNTIME_RUNTIME_H_
 #define ZYGOS_RUNTIME_RUNTIME_H_
 
@@ -46,7 +53,7 @@
 #include "src/core/shuffle_layer.h"
 #include "src/net/message.h"
 #include "src/net/pcb.h"
-#include "src/runtime/loopback_nic.h"
+#include "src/runtime/transport.h"
 
 namespace zygos {
 
@@ -58,17 +65,16 @@ enum class RuntimeMode { kZygos, kPartitioned };
 using RequestHandler =
     std::function<std::string(uint64_t flow_id, const std::string& request)>;
 
-// Completion hook: response leaving the "NIC". Runs on the connection's home core.
-// `arrival` is the client inject timestamp (latency = now - arrival).
-using CompletionHandler = std::function<void(uint64_t flow_id, uint64_t request_id,
-                                             const std::string& response, Nanos arrival)>;
-
 struct RuntimeOptions {
   int num_workers = 4;
   RuntimeMode mode = RuntimeMode::kZygos;
   int num_flows = 64;
   int num_flow_groups = 128;
   size_t ring_capacity = 4096;
+  // Upper bound on distinct flow ids the runtime will serve (connection-table size;
+  // transports that mint flow ids dynamically, like TcpTransport, must stay below it).
+  // 0 means max(num_flows, 4096).
+  size_t max_flows = 0;
   // Yield the OS thread inside the idle loop (essential on machines with fewer
   // hardware threads than workers; harmless elsewhere).
   bool yield_when_idle = true;
@@ -76,6 +82,7 @@ struct RuntimeOptions {
 
 struct WorkerStats {
   uint64_t rx_segments = 0;
+  uint64_t rx_batches = 0;        // PollBatch calls that returned ≥1 segment
   uint64_t app_events = 0;        // requests executed on this core
   uint64_t stolen_events = 0;     // requests this core executed for another home core
   uint64_t remote_syscalls = 0;   // responses executed here on behalf of thieves
@@ -85,20 +92,32 @@ struct WorkerStats {
 
 class Runtime {
  public:
+  // Loopback-backed runtime: builds a LoopbackTransport sized from `options` and wires
+  // `on_complete` as its completion handler (the historical harness constructor).
   Runtime(RuntimeOptions options, RequestHandler handler, CompletionHandler on_complete);
+
+  // Transport-agnostic form: the runtime drives whatever layer-1 substrate it is
+  // given. `transport->num_queues()` must equal options.num_workers. The completion
+  // handler is the transport's property — set it there before Start.
+  Runtime(RuntimeOptions options, std::unique_ptr<Transport> transport,
+          RequestHandler handler);
+
   ~Runtime();
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  // Launches the worker threads. Must be called once before Inject.
+  // Launches the transport and the worker threads. Must be called once before Inject.
   void Start();
 
-  // Waits until every injected request has completed, then stops the workers.
+  // Waits until every accepted request has completed, then stops the workers and the
+  // transport. Callers must first quiesce traffic sources (loopback: stop injecting;
+  // TCP: clients received every response they will wait for).
   void Shutdown();
 
   // Client-side entry: frames `payload` as one RPC message on `flow_id` and delivers
-  // the bytes to the flow's home ring. Returns false on a full ring (dropped).
+  // the bytes to the flow's home ring. Returns false on a full ring (dropped) and
+  // always false on transports without in-process ingress (TcpTransport).
   bool Inject(uint64_t flow_id, uint64_t request_id, const std::string& payload);
 
   // Raw-bytes entry for tests: delivers exactly `bytes` (which may contain partial or
@@ -110,25 +129,29 @@ class Runtime {
   const WorkerStats& StatsFor(int worker) const { return *stats_[static_cast<size_t>(worker)]; }
   WorkerStats TotalStats() const;
   ShuffleStats TotalShuffleStats() const;
-  uint64_t NicDrops() const { return nic_.Drops(); }
+  uint64_t NicDrops() const { return transport_->Drops(); }
   uint64_t Injected() const { return injected_.load(std::memory_order_relaxed); }
+  // Messages fully parsed by the netstack (the TCP-side analogue of Injected()).
+  uint64_t Accepted() const { return accepted_.load(std::memory_order_relaxed); }
   uint64_t Completed() const { return completed_.load(std::memory_order_relaxed); }
 
   // Home core of a flow under the current RSS programming (tests use this to build
   // skewed layouts).
-  int HomeCoreOf(uint64_t flow_id) const { return nic_.QueueOf(flow_id); }
-  RssTable& mutable_rss() { return nic_.mutable_rss(); }
+  int HomeCoreOf(uint64_t flow_id) const { return transport_->QueueOf(flow_id); }
+  // Aborts unless the runtime is quiescent (not started, or stopped): reprogramming
+  // the indirection table races with concurrent delivery otherwise.
+  RssTable& mutable_rss();
+
+  Transport& transport() { return *transport_; }
+  const Transport& transport() const { return *transport_; }
 
   const RuntimeOptions& options() const { return options_; }
 
  private:
   // One response shipped from a thief back to the home core (Fig. 4 step (b)).
   struct RemoteSyscall {
+    TxSegment tx;
     Pcb* pcb = nullptr;  // non-null on the batch's last response: releases ownership
-    uint64_t request_id = 0;
-    Nanos arrival = 0;
-    std::string response;
-    uint64_t flow_id = 0;
   };
 
   struct Connection {
@@ -139,24 +162,29 @@ class Runtime {
 
   class WorkerView;
 
+  // RX/TX batch sizes per scheduling pass.
+  static constexpr size_t kRxBatch = 64;
+  static constexpr size_t kTxBatch = 64;
+
   void WorkerLoop(int core);
-  // Drains this core's remote-syscall queue; returns the number executed.
+  // Drains this core's remote-syscall queue in batches; returns the number executed.
   uint64_t DrainRemoteSyscalls(int core);
-  // Pulls up to `budget` segments from the core's ring through the parser into PCB
-  // event queues; returns segments consumed.
-  uint64_t NetstackRx(int core, int budget);
+  // Pulls one transport batch from the core's queue through the parser into PCB event
+  // queues; returns segments consumed.
+  uint64_t NetstackRx(int core);
   // Executes every pending event of a claimed connection; handles home vs stolen
   // response paths. Returns events executed.
   uint64_t ExecuteConnection(int core, Pcb* pcb, bool stolen);
-  // Transmits one response on the home core and records completion.
-  void Transmit(int core, const RemoteSyscall& response);
-  // Idle-loop body; returns true if any work was found.
-  bool IdleScan(int core);
+  // Transmits a batch of responses on the home core and records their completion.
+  void TransmitBatch(int core, std::span<TxSegment> batch);
+  // Home-core connection lookup, created on first segment (the flow's home core is the
+  // queue its bytes arrive on, so creation is single-threaded per slot). Returns
+  // nullptr for flow ids beyond the table; the caller severs the flow.
+  Connection* ConnectionFor(uint64_t flow_id, int core);
 
   RuntimeOptions options_;
   RequestHandler handler_;
-  CompletionHandler on_complete_;
-  LoopbackNic nic_;
+  std::unique_ptr<Transport> transport_;
   ShuffleLayer shuffle_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::vector<std::unique_ptr<MpmcQueue<RemoteSyscall>>> remote_queues_;
@@ -167,7 +195,10 @@ class Runtime {
   std::vector<Rng> worker_rngs_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> flow_overflow_warned_{false};
   std::atomic<uint64_t> injected_{0};
+  std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> completed_{0};
 };
 

@@ -1,0 +1,299 @@
+#include "src/runtime/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "src/net/message.h"
+
+namespace zygos {
+
+namespace {
+
+constexpr int kMaxEpollEvents = 64;
+constexpr int kAcceptPollMillis = 20;
+constexpr int kTxPollMillis = 10;
+// A peer that stops reading stalls its home core's TX — and every other flow homed
+// there behind it. Bound the stall tightly and close the offending connection, so one
+// misbehaving client costs the core at most ~50 ms once, not per response.
+constexpr int kTxPollRetries = 5;
+
+[[noreturn]] void Fatal(const char* what) {
+  std::fprintf(stderr, "zygos: tcp transport: %s: %s\n", what, std::strerror(errno));
+  std::abort();
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpTransportOptions options)
+    : options_(std::move(options)),
+      rss_(options_.num_flow_groups, options_.num_queues) {
+  queues_.reserve(static_cast<size_t>(options_.num_queues));
+  for (int q = 0; q < options_.num_queues; ++q) {
+    queues_.push_back(std::make_unique<PerQueue>());
+  }
+}
+
+TcpTransport::~TcpTransport() { Stop(); }
+
+void TcpTransport::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) {
+    Fatal("socket");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    Fatal("inet_pton");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    Fatal("bind");
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    Fatal("listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Fatal("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  for (auto& pq : queues_) {
+    pq->epfd = ::epoll_create1(0);
+    if (pq->epfd < 0) {
+      Fatal("epoll_create1");
+    }
+  }
+  accepting_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+}
+
+void TcpTransport::Stop() {
+  if (accepting_.exchange(false, std::memory_order_acq_rel)) {
+    acceptor_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& pq : queues_) {
+    Spinlock::Guard guard(pq->lock);
+    for (auto& [flow, conn] : pq->conns) {
+      if (pq->epfd >= 0) {
+        ::epoll_ctl(pq->epfd, EPOLL_CTL_DEL, conn->fd, nullptr);
+      }
+      ::close(conn->fd);
+    }
+    pq->conns.clear();
+    if (pq->epfd >= 0) {
+      ::close(pq->epfd);
+      pq->epfd = -1;
+    }
+  }
+}
+
+void TcpTransport::AcceptLoop() {
+  while (accepting_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kAcceptPollMillis);
+    if (ready <= 0) {
+      continue;
+    }
+    while (true) {
+      int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (errno != EAGAIN && errno != EWOULDBLOCK) {
+          // Hard error (e.g. EMFILE): the listener stays readable, so breaking
+          // straight back to poll() would busy-spin. Back off before retrying.
+          std::this_thread::sleep_for(std::chrono::milliseconds(kAcceptPollMillis));
+        }
+        break;
+      }
+      if (next_flow_.load(std::memory_order_relaxed) >= options_.max_flows) {
+        // Out of flow ids for this transport's lifetime (ids are not recycled, see
+        // TcpTransportOptions::max_flows): refuse rather than overrun the runtime's
+        // connection table.
+        ::close(fd);
+        drops_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      // Mint a flow id and steer it through the indirection table, as RSS would hash
+      // a new 5-tuple: the connection's home queue is fixed here, at accept time.
+      uint64_t flow = next_flow_.fetch_add(1, std::memory_order_relaxed);
+      int queue = rss_.HomeCoreOf(flow);
+      PerQueue& pq = *queues_[static_cast<size_t>(queue)];
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      conn->flow_id = flow;
+      conn->home_queue = queue;
+      Conn* raw = conn.get();
+      {
+        Spinlock::Guard guard(pq.lock);
+        pq.conns.emplace(flow, std::move(conn));
+      }
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.ptr = raw;
+      if (::epoll_ctl(pq.epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        Spinlock::Guard guard(pq.lock);
+        ::close(fd);
+        pq.conns.erase(flow);
+        continue;
+      }
+      accepted_connections_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void TcpTransport::CloseConn(PerQueue& pq, Conn* conn) {
+  ::epoll_ctl(pq.epfd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  Spinlock::Guard guard(pq.lock);
+  pq.conns.erase(conn->flow_id);  // frees *conn
+}
+
+size_t TcpTransport::PollBatch(int queue, std::span<Segment> out) {
+  PerQueue& pq = *queues_[static_cast<size_t>(queue)];
+  if (pq.epfd < 0 || out.empty()) {
+    return 0;
+  }
+  std::array<epoll_event, kMaxEpollEvents> events;
+  int max_events = static_cast<int>(std::min(out.size(), events.size()));
+  int ready = ::epoll_wait(pq.epfd, events.data(), max_events, 0);
+  if (ready <= 0) {
+    return 0;
+  }
+  size_t produced = 0;
+  if (pq.rx_scratch.size() < options_.max_segment_bytes) {
+    pq.rx_scratch.resize(options_.max_segment_bytes);  // one-time, home-core-only
+  }
+  for (int i = 0; i < ready; ++i) {
+    Conn* conn = static_cast<Conn*>(events[static_cast<size_t>(i)].data.ptr);
+    // One recv per ready connection per pass: level-triggered epoll re-reports any
+    // residue next pass, so a chatty connection cannot monopolize the batch. The recv
+    // lands in the queue's reusable scratch so each Segment allocates only the bytes
+    // actually received, not the full segment budget.
+    ssize_t r = ::recv(conn->fd, pq.rx_scratch.data(), pq.rx_scratch.size(), 0);
+    if (r > 0) {
+      Segment& segment = out[produced++];
+      segment.flow_id = conn->flow_id;
+      segment.bytes.assign(pq.rx_scratch.data(), static_cast<size_t>(r));
+      segment.arrival = NowNanos();
+    } else if (r == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      CloseConn(pq, conn);  // orderly hangup or hard error
+    }
+  }
+  return produced;
+}
+
+size_t TcpTransport::TransmitBatch(int queue, std::span<TxSegment> batch) {
+  PerQueue& pq = *queues_[static_cast<size_t>(queue)];
+  // One locked pass resolves every flow in the batch. Holding the raw Conn* pointers
+  // outside the lock is safe on the home core: only this worker erases entries
+  // (CloseConn) — and when it does so mid-batch below, it removes them from the local
+  // view too — while the accept thread only inserts.
+  std::unordered_map<uint64_t, Conn*>& resolved = pq.tx_resolved;
+  resolved.clear();
+  {
+    Spinlock::Guard guard(pq.lock);
+    for (const TxSegment& tx : batch) {
+      auto it = pq.conns.find(tx.flow_id);
+      resolved[tx.flow_id] = it == pq.conns.end() ? nullptr : it->second.get();
+    }
+  }
+  for (const TxSegment& tx : batch) {
+    Conn* conn = resolved[tx.flow_id];
+    if (conn == nullptr) {
+      // Connection hung up before its response: the TX hits the floor, as a NIC would
+      // drop a frame for a dead link. Completion still fires (the request retired).
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      NotifyComplete(tx);
+      continue;
+    }
+    std::string& frame = pq.tx_frame;
+    frame.clear();
+    EncodeMessage(tx.request_id, tx.payload, frame);
+    size_t sent = 0;
+    int retries = 0;
+    while (sent < frame.size()) {
+      ssize_t w =
+          ::send(conn->fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+      if (w > 0) {
+        sent += static_cast<size_t>(w);
+        continue;
+      }
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (++retries > kTxPollRetries) {
+          break;  // peer stopped reading; give up on it below
+        }
+        pollfd pfd{conn->fd, POLLOUT, 0};
+        ::poll(&pfd, 1, kTxPollMillis);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) {
+        continue;
+      }
+      break;  // EPIPE/ECONNRESET etc.
+    }
+    if (sent < frame.size()) {
+      // Failed or timed-out TX: drop the response AND the connection, so a stalled
+      // peer cannot head-of-line-block the rest of this core's flows response after
+      // response.
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      resolved[tx.flow_id] = nullptr;  // later responses in this batch see it gone
+      CloseConn(pq, conn);
+    }
+    NotifyComplete(tx);
+  }
+  return batch.size();
+}
+
+void TcpTransport::CloseFlow(int queue, uint64_t flow_id) {
+  PerQueue& pq = *queues_[static_cast<size_t>(queue)];
+  Conn* conn = nullptr;
+  {
+    Spinlock::Guard guard(pq.lock);
+    auto it = pq.conns.find(flow_id);
+    if (it != pq.conns.end()) {
+      conn = it->second.get();
+    }
+  }
+  if (conn != nullptr) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    CloseConn(pq, conn);
+  }
+}
+
+bool TcpTransport::ApproxNonEmpty(int queue) const {
+  const PerQueue& pq = *queues_[static_cast<size_t>(queue)];
+  if (pq.epfd < 0) {
+    return false;
+  }
+  // Zero-timeout peek: level-triggered readiness is not consumed by observing it, so
+  // any idle core may ask "does this home core have pending packets?" — the remote-
+  // ring polling step of the ZygOS idle loop.
+  epoll_event ev;
+  return ::epoll_wait(pq.epfd, &ev, 1, 0) > 0;
+}
+
+}  // namespace zygos

@@ -1,0 +1,128 @@
+// TCP transport: the Transport backend that makes the runtime a real server.
+//
+// One non-blocking listener accepts connections on a background thread; each accepted
+// connection is assigned a flow id and hashed through the same RssTable the loopback
+// harness uses, which picks its home queue — the software analogue of programming the
+// NIC's indirection table (or SO_INCOMING_CPU steering), so every connection has a
+// genuine home core for its whole lifetime. The accept thread registers the socket
+// with that queue's epoll instance and never touches it again.
+//
+// From there the data plane is per-core and batch-oriented:
+//
+//   RX  PollBatch(q) is called only by worker q: a zero-timeout epoll_wait over the
+//       queue's own epoll set, one recv() per ready connection per pass (level-
+//       triggered, so residue is re-reported next pass). Each recv yields one Segment;
+//       frame reassembly stays in the runtime's netstack, exactly as with loopback.
+//   TX  TransmitBatch(q) is called only by the flow's home worker: responses are
+//       framed (src/net/message.h) and sent with non-blocking send(), preserving the
+//       home-core-only TX discipline — a thief never touches a socket, it ships
+//       responses home over the remote-syscall queue and the home core makes one
+//       batched pass here.
+//
+// ApproxNonEmpty peeks the queue's epoll set with a zero-timeout wait from any thread
+// (level-triggered readiness is not consumed by observers), which is what lets the
+// ZygOS idle loop notice a busy core's backlog and doorbell it.
+//
+// Contract: Start binds/listens and launches the acceptor; port() is valid after
+// Start (bind to port 0 for an ephemeral port). Stop joins the acceptor and closes
+// every socket; Poll/Transmit must not be in flight. Per-queue calls are single-caller
+// (the owning worker). Connections that hang up are closed on their home core's next
+// poll; responses to closed connections complete into the drop counter.
+#ifndef ZYGOS_RUNTIME_TCP_TRANSPORT_H_
+#define ZYGOS_RUNTIME_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/concurrency/cache_line.h"
+#include "src/concurrency/spinlock.h"
+#include "src/hw/rss.h"
+#include "src/runtime/transport.h"
+
+namespace zygos {
+
+struct TcpTransportOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read the bound port back with port()
+  int num_queues = 4;
+  int num_flow_groups = 128;
+  size_t max_segment_bytes = 16 * 1024;  // recv() size per connection per poll pass
+  int listen_backlog = 128;
+  // Lifetime cap on minted flow ids. Flow ids are NOT recycled when a connection
+  // closes (recycling would need a close notification through the runtime so stale
+  // per-flow parser state could be reset — future work); once the cap is reached new
+  // connections are refused (closed at accept) and counted as drops. Keep equal to
+  // the runtime's connection-table size (RuntimeOptions::max_flows); ids beyond the
+  // runtime's table are refused there as well (severed, never served).
+  uint64_t max_flows = 4096;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportOptions options);
+  ~TcpTransport() override;
+
+  int num_queues() const override { return options_.num_queues; }
+  const RssTable& rss() const override { return rss_; }
+  RssTable& mutable_rss() override { return rss_; }
+  int QueueOf(uint64_t flow_id) const override { return rss_.HomeCoreOf(flow_id); }
+
+  void Start() override;
+  void Stop() override;
+
+  size_t PollBatch(int queue, std::span<Segment> out) override;
+  size_t TransmitBatch(int queue, std::span<TxSegment> batch) override;
+  bool ApproxNonEmpty(int queue) const override;
+  void CloseFlow(int queue, uint64_t flow_id) override;
+  uint64_t Drops() const override { return drops_.load(std::memory_order_relaxed); }
+
+  // TCP bound port (valid after Start).
+  uint16_t port() const { return port_; }
+  // Connections accepted so far (diagnostics).
+  uint64_t AcceptedConnections() const {
+    return accepted_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    uint64_t flow_id = 0;
+    int home_queue = 0;
+  };
+
+  struct alignas(kCacheLineSize) PerQueue {
+    int epfd = -1;
+    // Guards `conns`: the accept thread inserts, the home worker erases on hangup and
+    // looks up fds for TX, Stop tears down. Two-party contention at most.
+    mutable Spinlock lock;
+    std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;
+    std::string tx_frame;    // home-core-only frame-encoding scratch
+    std::string rx_scratch;  // home-core-only recv() landing buffer
+    std::unordered_map<uint64_t, Conn*> tx_resolved;  // home-core-only batch scratch
+  };
+
+  void AcceptLoop();
+  // Home-core hangup/error path: deregister, close, forget.
+  void CloseConn(PerQueue& pq, Conn* conn);
+
+  TcpTransportOptions options_;
+  RssTable rss_;
+  std::vector<std::unique_ptr<PerQueue>> queues_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> accepting_{false};
+  std::atomic<uint64_t> next_flow_{0};
+  std::atomic<uint64_t> accepted_connections_{0};
+  std::atomic<uint64_t> drops_{0};
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_RUNTIME_TCP_TRANSPORT_H_

@@ -1,0 +1,132 @@
+// Transport: the runtime's layer-1 substrate as a first-class, swappable interface.
+//
+// The paper's layer 1 is explicitly a pluggable NIC/netstack pairing (lwIP over RSS
+// flow steering, §4.2); the runtime mirrors that by pushing everything below frame
+// reassembly behind this boundary. A Transport owns:
+//
+//   RX   per-queue delivery of byte segments (PollBatch) — queue q is the home core q's
+//        receive ring; flow→queue steering is RSS-consistent (QueueOf) so every segment
+//        of a flow arrives on the same queue, the invariant all stealing builds on.
+//   TX   per-queue transmission of responses (TransmitBatch) — the runtime calls it
+//        only from the flow's home core, preserving the home-core-only TX discipline
+//        (the "remote batched syscalls" of Fig. 4 hand responses *to* the home core,
+//        which then makes one batched pass over this interface).
+//   Completion  the transport decides what "a response left the NIC" means (loopback:
+//        hand it back to the in-process client; TCP: bytes written to the socket), so
+//        the completion callback is a property of the transport, not the runtime.
+//
+// Backends: LoopbackTransport (src/runtime/loopback_transport.h) for in-process
+// harnesses, TcpTransport (src/runtime/tcp_transport.h) for real sockets.
+//
+// Contract: PollBatch(q)/TransmitBatch(q) are single-caller per queue (the worker that
+// owns queue q; callers serialize per queue). ApproxNonEmpty/QueueOf are thread-safe
+// from any thread. Start/Stop bracket the worker threads' lifetime: Start before any
+// Poll/Transmit, Stop only after the last one returned. mutable_rss only at quiescence.
+#ifndef ZYGOS_RUNTIME_TRANSPORT_H_
+#define ZYGOS_RUNTIME_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "src/common/time_units.h"
+#include "src/hw/rss.h"
+
+namespace zygos {
+
+// One unit of arriving bytes for a flow. Segment boundaries are arbitrary relative to
+// message frames — reassembly is the netstack layer's job (FrameParser).
+struct Segment {
+  uint64_t flow_id = 0;
+  std::string bytes;
+  Nanos arrival = 0;  // receive timestamp (loopback: client inject time)
+};
+
+// One response leaving the server: the unit of TransmitBatch. `payload` is the
+// application response; the transport frames it (src/net/message.h) if it puts bytes
+// on a wire. `arrival` is the matching request's arrival timestamp (latency = TX time
+// - arrival, the accounting the completion callback performs).
+struct TxSegment {
+  uint64_t flow_id = 0;
+  uint64_t request_id = 0;
+  Nanos arrival = 0;
+  std::string payload;
+};
+
+// Completion hook: response left the "NIC". Runs on the connection's home core, inside
+// TransmitBatch.
+using CompletionHandler = std::function<void(uint64_t flow_id, uint64_t request_id,
+                                             const std::string& response, Nanos arrival)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Number of receive/transmit queue pairs (== runtime worker count).
+  virtual int num_queues() const = 0;
+
+  // Queue (home core) serving `flow_id` under the current RSS programming.
+  virtual int QueueOf(uint64_t flow_id) const = 0;
+
+  virtual const RssTable& rss() const = 0;
+  // Reprogrammable only at quiescence (no concurrent delivery); Runtime::mutable_rss
+  // enforces this.
+  virtual RssTable& mutable_rss() = 0;
+
+  // Lifecycle brackets for backends with real resources (sockets, threads). Called by
+  // Runtime::Start before workers launch / by Runtime::Shutdown after workers join.
+  virtual void Start() {}
+  virtual void Stop() {}
+
+  // Drains up to `out.size()` segments from `queue` in one pass; returns the count
+  // written to the front of `out`.
+  virtual size_t PollBatch(int queue, std::span<Segment> out) = 0;
+
+  // Transmits every response in `batch` on `queue` and fires the completion handler
+  // for each; returns the number transmitted (== batch.size(); responses whose
+  // connection vanished still complete, they just hit the floor like a TX to a closed
+  // socket). Home-core-only: `queue` must be QueueOf(flow) for every element.
+  virtual size_t TransmitBatch(int queue, std::span<TxSegment> batch) = 0;
+
+  // Racy occupancy peek: the remote-ring polling step of the ZygOS idle loop.
+  virtual bool ApproxNonEmpty(int queue) const = 0;
+
+  // Severs a flow at the transport level (poisoned frame stream, unserviceable flow
+  // id): no more segments will be delivered for it and pending responses to it may be
+  // dropped. Home-core-only, like TransmitBatch. No-op for backends with nothing to
+  // close and for unknown flows.
+  virtual void CloseFlow(int queue, uint64_t flow_id) {
+    (void)queue;
+    (void)flow_id;
+  }
+
+  // Segments rejected at ingress (full ring / failed TX), as a NIC drop counter would.
+  virtual uint64_t Drops() const { return 0; }
+
+  // In-process ingress for loopback-style backends; transports fed by real I/O return
+  // false (their traffic arrives on sockets, not through the API).
+  virtual bool Inject(Segment segment) {
+    (void)segment;
+    return false;
+  }
+
+  void set_on_complete(CompletionHandler handler) { on_complete_ = std::move(handler); }
+  const CompletionHandler& on_complete() const { return on_complete_; }
+
+ protected:
+  // Fires the completion callback for one transmitted response.
+  void NotifyComplete(const TxSegment& tx) const {
+    if (on_complete_) {
+      on_complete_(tx.flow_id, tx.request_id, tx.payload, tx.arrival);
+    }
+  }
+
+ private:
+  CompletionHandler on_complete_;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_RUNTIME_TRANSPORT_H_

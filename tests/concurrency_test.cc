@@ -1,7 +1,9 @@
 // Unit and multi-threaded stress tests for the concurrency primitives.
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -184,6 +186,132 @@ TEST(MpmcQueueTest, MultiProducerMultiConsumerTotalSum) {
   }
   uint64_t expected = kProducers * (kPerProducer * (kPerProducer + 1) / 2);
   EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(MpmcQueueTest, TryPopBatchDrainsInOrder) {
+  MpmcQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.TryPush(i));
+  }
+  std::array<int, 4> out{};
+  EXPECT_EQ(q.TryPopBatch(std::span<int>(out.data(), out.size())), 4u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[3], 3);
+  // Partial batch: only 6 remain, span asks for 8.
+  std::array<int, 8> rest{};
+  EXPECT_EQ(q.TryPopBatch(std::span<int>(rest.data(), rest.size())), 6u);
+  EXPECT_EQ(rest[0], 4);
+  EXPECT_EQ(rest[5], 9);
+  EXPECT_EQ(q.TryPopBatch(std::span<int>(out.data(), out.size())), 0u) << "now empty";
+  EXPECT_EQ(q.TryPopBatch(std::span<int>()), 0u) << "empty span is a no-op";
+}
+
+TEST(MpmcQueueTest, TryPopBatchInterleavesWithSinglePopAndPush) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.TryPush(i));
+  }
+  EXPECT_EQ(q.TryPop().value(), 0);
+  std::array<int, 2> out{};
+  EXPECT_EQ(q.TryPopBatch(std::span<int>(out.data(), out.size())), 2u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+  // Slots freed by the batch pop are reusable by producers (sequence bookkeeping):
+  // 2 values remain (3, 4), so 6 more pushes fill the capacity-8 queue exactly.
+  for (int i = 5; i < 11; ++i) {
+    ASSERT_TRUE(q.TryPush(i)) << "slot " << i << " not recycled";
+  }
+  EXPECT_FALSE(q.TryPush(99)) << "queue is full again";
+  std::array<int, 8> rest{};
+  EXPECT_EQ(q.TryPopBatch(std::span<int>(rest.data(), rest.size())), 8u);
+  EXPECT_EQ(rest[0], 3);
+  EXPECT_EQ(rest[7], 10);
+}
+
+TEST(MpmcQueueTest, TryPopBatchConcurrentProducersNoLossNoDup) {
+  // The netstack-drain pattern: many client threads produce, the home core batch-pops.
+  MpmcQueue<uint64_t> q(512);
+  constexpr int kProducers = 4;
+  constexpr uint64_t kPerProducer = 30000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        uint64_t value = static_cast<uint64_t>(p) * kPerProducer + i;
+        while (!q.TryPush(value)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::vector<uint64_t> last_seen(kProducers, 0);
+  std::vector<bool> seen_any(kProducers, false);
+  uint64_t received = 0;
+  std::array<uint64_t, 64> batch{};
+  while (received < kProducers * kPerProducer) {
+    size_t n = q.TryPopBatch(std::span<uint64_t>(batch.data(), batch.size()));
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      auto producer = static_cast<int>(batch[i] / kPerProducer);
+      uint64_t seq = batch[i] % kPerProducer;
+      if (seen_any[producer]) {
+        ASSERT_GT(seq, last_seen[producer]) << "per-producer FIFO broken by batch pop";
+      }
+      seen_any[producer] = true;
+      last_seen[producer] = seq;
+    }
+    received += n;
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  EXPECT_EQ(received, kProducers * kPerProducer);
+  EXPECT_EQ(q.TryPopBatch(std::span<uint64_t>(batch.data(), batch.size())), 0u);
+}
+
+TEST(MpmcQueueTest, TryPopBatchConcurrentWithSingleConsumers) {
+  // Mixed consumers (batch and single) must partition the stream without loss or dup.
+  MpmcQueue<uint64_t> q(256);
+  constexpr uint64_t kTotal = 120000;
+  std::atomic<uint64_t> sum{0};
+  std::atomic<uint64_t> popped{0};
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    for (uint64_t i = 1; i <= kTotal; ++i) {
+      while (!q.TryPush(i)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&, c] {
+      std::array<uint64_t, 32> batch{};
+      while (popped.load() < kTotal) {
+        if (c == 0) {
+          size_t n = q.TryPopBatch(std::span<uint64_t>(batch.data(), batch.size()));
+          for (size_t i = 0; i < n; ++i) {
+            sum.fetch_add(batch[i]);
+          }
+          if (n > 0) {
+            popped.fetch_add(n);
+            continue;
+          }
+        } else if (auto v = q.TryPop()) {
+          sum.fetch_add(*v);
+          popped.fetch_add(1);
+          continue;
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(sum.load(), kTotal * (kTotal + 1) / 2);
 }
 
 TEST(DoorbellTest, RingReportsFirstRinger) {

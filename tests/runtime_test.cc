@@ -1,14 +1,26 @@
 // Tests for the real-thread runtime: completion of every accepted request, the §4.3
 // per-connection ordering guarantee under stealing, exclusive socket ownership
 // (handlers for one flow never run concurrently), work stealing under skewed RSS
-// layouts, partitioned-mode isolation, frame reassembly through the loopback NIC, and
-// clean shutdown.
+// layouts, partitioned-mode isolation, frame reassembly, and clean shutdown — all
+// exercised through the Transport interface with BOTH backends: LoopbackTransport
+// (in-process rings) and TcpTransport (real epoll sockets over the loopback
+// interface). The TCP tests assert that stealing, remote batched syscalls and
+// doorbells remain observable in WorkerStats when traffic arrives from real I/O, and
+// that pathological 1-byte segmentation cannot reorder a flow's responses.
 //
 // All assertions are functional (counts, orderings, invariants), never timing-based —
 // the host may have a single hardware thread.
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -19,7 +31,9 @@
 
 #include "src/net/message.h"
 #include "src/runtime/client.h"
+#include "src/runtime/loopback_transport.h"
 #include "src/runtime/runtime.h"
+#include "src/runtime/tcp_transport.h"
 
 namespace zygos {
 namespace {
@@ -73,6 +87,148 @@ RuntimeOptions SmallOptions(RuntimeMode mode, int workers = 3, int flows = 16) {
   options.num_flows = flows;
   options.yield_when_idle = true;
   return options;
+}
+
+// A handler busy enough that the home core cannot drain its backlog alone, forcing
+// the shuffle layer's steal path under skewed layouts.
+RequestHandler BusyEchoHandler(int spins = 2000) {
+  return [spins](uint64_t, const std::string& request) {
+    volatile int sink = 0;
+    for (int i = 0; i < spins; ++i) {
+      sink = sink + i;
+    }
+    return request;
+  };
+}
+
+// --- TCP backend test support ----------------------------------------------------------
+
+// Builds a Runtime on a TcpTransport listening on an ephemeral loopback port.
+// `transport_out` stays valid for the runtime's lifetime (the runtime owns it).
+std::unique_ptr<Runtime> MakeTcpRuntime(RuntimeOptions options, RequestHandler handler,
+                                        CompletionHandler on_complete,
+                                        TcpTransport** transport_out) {
+  TcpTransportOptions tcp;
+  tcp.port = 0;
+  tcp.num_queues = options.num_workers;
+  tcp.num_flow_groups = options.num_flow_groups;
+  auto transport = std::make_unique<TcpTransport>(tcp);
+  *transport_out = transport.get();
+  transport->set_on_complete(std::move(on_complete));
+  return std::make_unique<Runtime>(options, std::move(transport), std::move(handler));
+}
+
+// Minimal blocking TCP client speaking the framed RPC protocol.
+class TestTcpClient {
+ public:
+  explicit TestTcpClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  ~TestTcpClient() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+  TestTcpClient(const TestTcpClient&) = delete;
+  TestTcpClient& operator=(const TestTcpClient&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+
+  bool SendBytes(const char* data, size_t len) {
+    size_t sent = 0;
+    while (sent < len) {
+      ssize_t w = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+      if (w < 0 && errno == EINTR) {
+        continue;
+      }
+      if (w <= 0) {
+        return false;
+      }
+      sent += static_cast<size_t>(w);
+    }
+    return true;
+  }
+  bool SendRequest(uint64_t request_id, const std::string& payload) {
+    std::string frame;
+    EncodeMessage(request_id, payload, frame);
+    return SendBytes(frame.data(), frame.size());
+  }
+  // Sends one frame a single byte at a time: pathological segmentation on the wire.
+  bool SendRequestByteByByte(uint64_t request_id, const std::string& payload) {
+    std::string frame;
+    EncodeMessage(request_id, payload, frame);
+    for (char byte : frame) {
+      if (!SendBytes(&byte, 1)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Blocks until one complete response frame is available.
+  bool RecvMessage(Message* out) {
+    while (inbox_.empty()) {
+      char buf[4096];
+      ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+      if (r < 0 && errno == EINTR) {
+        continue;
+      }
+      if (r <= 0) {
+        return false;
+      }
+      if (!parser_.Feed(buf, static_cast<size_t>(r))) {
+        return false;
+      }
+      for (Message& msg : parser_.TakeMessages()) {
+        inbox_.push_back(std::move(msg));
+      }
+    }
+    *out = std::move(inbox_.front());
+    inbox_.pop_front();
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+  FrameParser parser_;
+  std::deque<Message> inbox_;
+};
+
+// Closed-loop pipelined echo exchange on one connection; returns false on any
+// transport failure or out-of-order / corrupted response.
+bool RunEchoExchange(TestTcpClient& client, uint64_t requests, int window,
+                     const std::string& payload_prefix) {
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  while (received < requests) {
+    while (sent < requests && sent - received < static_cast<uint64_t>(window)) {
+      if (!client.SendRequest(sent, payload_prefix + std::to_string(sent))) {
+        return false;
+      }
+      sent++;
+    }
+    Message response;
+    if (!client.RecvMessage(&response)) {
+      return false;
+    }
+    if (response.request_id != received ||
+        response.payload != payload_prefix + std::to_string(received)) {
+      return false;
+    }
+    received++;
+  }
+  return true;
 }
 
 TEST(RuntimeTest, EchoesEveryRequestExactlyOnce) {
@@ -152,19 +308,26 @@ TEST(RuntimeTest, SkewedRssTriggersStealing) {
   RuntimeOptions options = SmallOptions(RuntimeMode::kZygos, /*workers=*/4, /*flows=*/32);
   CompletionLog log;
   // Busy-ish handler so core 0 cannot drain everything between injections.
-  RequestHandler handler = [](uint64_t, const std::string& request) {
-    volatile int sink = 0;
-    for (int i = 0; i < 2000; ++i) {
-      sink = sink + i;
-    }
-    return request;
-  };
-  Runtime runtime(options, handler, log.Handler());
+  Runtime runtime(options, BusyEchoHandler(), log.Handler());
   runtime.mutable_rss().SetIndirection(
       std::vector<int>(static_cast<size_t>(options.num_flow_groups), 0));
   runtime.Start();
-  for (uint64_t i = 0; i < 4000; ++i) {
-    ASSERT_TRUE(runtime.Inject(i % 32, i, "x"));
+  // Keep a continuous backlog on core 0 until the first steal is claimed (time-capped,
+  // not timing-asserted): on a loaded single-hardware-thread host a fixed batch can be
+  // drained run-to-completion inside core 0's scheduling quantum, but under sustained
+  // ring back-pressure every slice another worker gets is a steal opportunity. A
+  // broken steal path simply exhausts the cap and fails the assertion below.
+  uint64_t injected = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(8);
+  while (runtime.TotalShuffleStats().steals == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int burst = 0; burst < 500; ++burst) {
+      if (runtime.Inject(injected % 32, injected, "x")) {
+        injected++;
+      } else {
+        std::this_thread::yield();  // ring full: let the workers run, keep the backlog
+      }
+    }
   }
   runtime.Shutdown();
   // Every flow is homed on core 0...
@@ -173,7 +336,7 @@ TEST(RuntimeTest, SkewedRssTriggersStealing) {
   }
   // ...yet remote cores executed a share of the events.
   WorkerStats total = runtime.TotalStats();
-  EXPECT_EQ(total.app_events, 4000u);
+  EXPECT_EQ(total.app_events, injected);
   EXPECT_GT(total.stolen_events, 0u) << "no steals despite a fully skewed layout";
   // Each shuffle-layer steal claims one connection, which may batch several pipelined
   // events; so event count >= claim count > 0.
@@ -321,6 +484,347 @@ TEST(RuntimeTest, RingBackpressureDropsAreCountedNotLost) {
   runtime.Start();
   runtime.Shutdown();
   EXPECT_EQ(runtime.Completed(), accepted);
+}
+
+// --- The transport seam: satellite guarantees that hold across backends ----------------
+
+TEST(RuntimeTest, MutableRssRequiresQuiescence) {
+  // Reprogramming before Start is the supported path...
+  Runtime runtime(SmallOptions(RuntimeMode::kZygos), EchoHandler(), nullptr);
+  runtime.mutable_rss().SetGroupCore(0, 1);
+  // ...and doing it while the runtime is live must abort rather than race Inject.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Runtime live(SmallOptions(RuntimeMode::kZygos, /*workers=*/1), EchoHandler(),
+                     nullptr);
+        live.Start();
+        live.mutable_rss();
+      },
+      "quiescent");
+}
+
+TEST(RuntimeTest, MutableRssUsableAgainAfterShutdown) {
+  Runtime runtime(SmallOptions(RuntimeMode::kZygos, /*workers=*/2), EchoHandler(),
+                  nullptr);
+  runtime.Start();
+  ASSERT_TRUE(runtime.Inject(0, 0, "x"));
+  runtime.Shutdown();
+  runtime.mutable_rss().SetGroupCore(0, 1);  // stopped == quiescent again
+  EXPECT_EQ(runtime.mutable_rss().GroupCore(0), 1);
+}
+
+TEST(RuntimeTest, LatencyCollectorShardsMergeAcrossThreads) {
+  // The sharded collector must lose nothing when many threads record concurrently
+  // (the 8+ worker completion-callback pattern that used to serialize on one lock).
+  LatencyCollector collector;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&collector] {
+      for (int i = 0; i < kPerThread; ++i) {
+        collector.Record(/*arrival=*/0);  // latency = now, always positive
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  LatencyHistogram merged = collector.Snapshot();
+  EXPECT_EQ(merged.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_GT(merged.Mean(), 0.0);
+}
+
+TEST(RuntimeTest, OneByteSegmentsStayOrderedUnderStealingLoopback) {
+  // §4.3 under the worst framing the transport seam allows: every byte of the probe
+  // flow arrives as its own segment while bulk flows force the steal path (all flow
+  // groups homed on core 0).
+  RuntimeOptions options = SmallOptions(RuntimeMode::kZygos, /*workers=*/3, /*flows=*/8);
+  CompletionLog log;
+  Runtime runtime(options, BusyEchoHandler(), log.Handler());
+  runtime.mutable_rss().SetIndirection(
+      std::vector<int>(static_cast<size_t>(options.num_flow_groups), 0));
+  runtime.Start();
+
+  // Continuous bulk back-pressure (same single-hardware-thread rationale as
+  // SkewedRssTriggersStealing): sustain a backlog on core 0 until a steal is claimed,
+  // then dribble the probe frames byte-by-byte with bulk interleaved so stolen
+  // executions keep overlapping half-received frames.
+  uint64_t bulk_sent = 0;
+  auto inject_bulk = [&runtime, &bulk_sent](int count) {
+    for (int k = 0; k < count; ++k) {
+      uint64_t flow = 1 + (bulk_sent % 7);
+      if (runtime.Inject(flow, 1'000'000 + bulk_sent, "bulk")) {
+        bulk_sent++;
+      } else {
+        std::this_thread::yield();  // ring full: keep the backlog, let workers run
+      }
+    }
+  };
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(8);
+  while (runtime.TotalShuffleStats().steals == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    inject_bulk(200);
+  }
+  constexpr uint64_t kProbeMessages = 60;
+  uint64_t probe_sent = 0;
+  for (uint64_t i = 0; i < kProbeMessages; ++i) {
+    std::string frame;
+    EncodeMessage(Message{probe_sent, "probe" + std::to_string(probe_sent)}, frame);
+    for (size_t b = 0; b < frame.size(); ++b) {
+      // Only the frame's last byte completes a message (Shutdown accounting).
+      uint64_t completes = (b + 1 == frame.size()) ? 1 : 0;
+      while (!runtime.InjectBytes(0, frame.substr(b, 1), completes)) {
+        std::this_thread::yield();
+      }
+    }
+    probe_sent++;
+    inject_bulk(20);  // keep the steal pressure alive across the probe
+  }
+  runtime.Shutdown();
+
+  auto order = log.FlowOrder(0);
+  ASSERT_EQ(order.size(), probe_sent);
+  for (uint64_t i = 0; i < probe_sent; ++i) {
+    EXPECT_EQ(order[i], i) << "probe response " << i << " out of order";
+    EXPECT_EQ(log.ResponseFor(i), "probe" + std::to_string(i));
+  }
+  EXPECT_GT(runtime.TotalStats().stolen_events, 0u)
+      << "skew produced no steals; the ordering guarantee was not stressed";
+}
+
+// --- TcpTransport: the runtime through the Transport seam on real sockets --------------
+
+TEST(RuntimeTcpTest, EchoRoundTripOverRealSockets) {
+  TcpTransport* transport = nullptr;
+  auto runtime = MakeTcpRuntime(SmallOptions(RuntimeMode::kZygos, /*workers=*/2),
+                                BusyEchoHandler(/*spins=*/0), nullptr, &transport);
+  runtime->Start();
+  ASSERT_GT(transport->port(), 0);
+
+  constexpr int kConnections = 3;
+  constexpr uint64_t kRequests = 50;
+  std::vector<std::unique_ptr<TestTcpClient>> clients;
+  for (int c = 0; c < kConnections; ++c) {
+    clients.push_back(std::make_unique<TestTcpClient>(transport->port()));
+    ASSERT_TRUE(clients.back()->ok()) << "connect failed";
+  }
+  for (auto& client : clients) {
+    EXPECT_TRUE(RunEchoExchange(*client, kRequests, /*window=*/8, "req"));
+  }
+  clients.clear();  // hang up before shutdown
+  runtime->Shutdown();
+  EXPECT_EQ(runtime->Completed(), kConnections * kRequests);
+  EXPECT_EQ(runtime->Accepted(), kConnections * kRequests);
+  EXPECT_EQ(transport->AcceptedConnections(), static_cast<uint64_t>(kConnections));
+}
+
+TEST(RuntimeTcpTest, SkewedRssStealsAndShipsRemoteSyscallsOverTcp) {
+  // The acceptance bar for the transport refactor: with every connection homed on
+  // core 0, stealing, remote batched syscalls and doorbells must all remain
+  // observable in WorkerStats when the traffic arrives over real TCP.
+  RuntimeOptions options = SmallOptions(RuntimeMode::kZygos, /*workers=*/4);
+  TcpTransport* transport = nullptr;
+  auto runtime =
+      MakeTcpRuntime(options, BusyEchoHandler(), nullptr, &transport);
+  runtime->mutable_rss().SetIndirection(
+      std::vector<int>(static_cast<size_t>(options.num_flow_groups), 0));
+  runtime->Start();
+
+  constexpr int kConnections = 8;
+  constexpr uint64_t kPerConnection = 250;
+  std::atomic<int> failures{0};
+  uint64_t total_requests = 0;
+  // Rounds, not one shot: on a loaded single-hardware-thread host one round can be
+  // served run-to-completion by core 0 alone; each round is a fresh chance for the
+  // thieves to interleave. A broken steal path still fails after the bounded retries.
+  for (int round = 0; round < 10 && runtime->TotalStats().stolen_events == 0; ++round) {
+    std::vector<std::thread> drivers;
+    for (int c = 0; c < kConnections; ++c) {
+      drivers.emplace_back([&, c] {
+        TestTcpClient client(transport->port());
+        if (!client.ok() ||
+            !RunEchoExchange(client, kPerConnection, /*window=*/8,
+                             "c" + std::to_string(c) + "-")) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& driver : drivers) {
+      driver.join();
+    }
+    total_requests += kConnections * kPerConnection;
+  }
+  EXPECT_EQ(failures.load(), 0);
+  runtime->Shutdown();
+
+  WorkerStats total = runtime->TotalStats();
+  EXPECT_EQ(total.app_events, total_requests);
+  EXPECT_GT(total.stolen_events, 0u) << "no steals despite a fully skewed layout";
+  EXPECT_GT(runtime->TotalShuffleStats().steals, 0u);
+  EXPECT_GT(runtime->StatsFor(0).remote_syscalls, 0u)
+      << "stolen responses were not shipped home";
+  EXPECT_GT(total.doorbells_sent, 0u);
+  // Every connection was homed on core 0: remote cores never polled segments.
+  EXPECT_EQ(runtime->StatsFor(0).rx_segments, total.rx_segments);
+}
+
+TEST(RuntimeTcpTest, OneByteWireSegmentsStayOrderedUnderStealing) {
+  // The §4.3 test at the real socket boundary: one probe connection dribbles its
+  // requests a byte per send() while bulk connections keep the (skewed) home core
+  // saturated, so stolen executions interleave with half-received frames.
+  RuntimeOptions options = SmallOptions(RuntimeMode::kZygos, /*workers=*/3);
+  TcpTransport* transport = nullptr;
+  auto runtime = MakeTcpRuntime(options, BusyEchoHandler(), nullptr, &transport);
+  runtime->mutable_rss().SetIndirection(
+      std::vector<int>(static_cast<size_t>(options.num_flow_groups), 0));
+  runtime->Start();
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop_bulk{false};
+  std::vector<std::thread> bulk;
+  for (int c = 0; c < 3; ++c) {
+    bulk.emplace_back([&, c] {
+      TestTcpClient client(transport->port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      uint64_t id = 0;
+      while (!stop_bulk.load(std::memory_order_acquire)) {
+        // Bursts of 4 pipelined requests keep the home core's shuffle queue deep
+        // enough that idle cores must steal.
+        constexpr uint64_t kBurst = 4;
+        for (uint64_t k = 0; k < kBurst; ++k) {
+          std::string payload = "b" + std::to_string(c) + "-" + std::to_string(id + k);
+          if (!client.SendRequest(id + k, payload)) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+        for (uint64_t k = 0; k < kBurst; ++k) {
+          Message response;
+          if (!client.RecvMessage(&response) || response.request_id != id + k) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+        id += kBurst;
+      }
+    });
+  }
+
+  constexpr uint64_t kProbePerRound = 40;
+  {
+    TestTcpClient probe(transport->port());
+    ASSERT_TRUE(probe.ok());
+    uint64_t sent = 0;
+    uint64_t received = 0;
+    // Probe in rounds (same connection, continuing ids) until a steal has actually
+    // interleaved with the dribbled frames — one round can be served by core 0 alone
+    // on a loaded single-hardware-thread host.
+    for (int round = 0; round < 10; ++round) {
+      uint64_t target = received + kProbePerRound;
+      while (received < target) {
+        // Window of 4 in-flight, every frame split into 1-byte wire segments.
+        while (sent < target && sent - received < 4) {
+          ASSERT_TRUE(probe.SendRequestByteByByte(sent, "p" + std::to_string(sent)));
+          sent++;
+        }
+        Message response;
+        ASSERT_TRUE(probe.RecvMessage(&response));
+        EXPECT_EQ(response.request_id, received) << "probe response out of order";
+        EXPECT_EQ(response.payload, "p" + std::to_string(received));
+        received++;
+      }
+      if (runtime->TotalStats().stolen_events > 0) {
+        break;
+      }
+    }
+  }
+  stop_bulk.store(true, std::memory_order_release);
+  for (auto& thread : bulk) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  runtime->Shutdown();
+  EXPECT_GT(runtime->TotalStats().stolen_events, 0u)
+      << "skew produced no steals; the wire-segmentation ordering was not stressed";
+}
+
+TEST(RuntimeTcpTest, MalformedFrameSeversOnlyTheOffendingConnection) {
+  // A frame whose length field exceeds FrameParser::kMaxPayload poisons the parser;
+  // the runtime must drop that connection at the transport (remote garbage cannot pin
+  // a core or hold a socket open forever) while other connections keep being served.
+  TcpTransport* transport = nullptr;
+  auto runtime = MakeTcpRuntime(SmallOptions(RuntimeMode::kZygos, /*workers=*/2),
+                                BusyEchoHandler(/*spins=*/0), nullptr, &transport);
+  runtime->Start();
+
+  TestTcpClient good(transport->port());
+  TestTcpClient bad(transport->port());
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(bad.ok());
+  EXPECT_TRUE(RunEchoExchange(good, /*requests=*/5, /*window=*/2, "g"));
+
+  std::string poison(16, '\xFF');  // length field 0xFFFFFFFF >> kMaxPayload
+  ASSERT_TRUE(bad.SendBytes(poison.data(), poison.size()));
+  Message never;
+  EXPECT_FALSE(bad.RecvMessage(&never)) << "poisoned connection must be severed";
+
+  EXPECT_TRUE(RunEchoExchange(good, /*requests=*/5, /*window=*/2, "h"))
+      << "healthy connection must survive a neighbour's garbage";
+  runtime->Shutdown();
+  EXPECT_GT(runtime->NicDrops(), 0u) << "the severance is accounted as a drop";
+}
+
+TEST(RuntimeTcpTest, RefusesConnectionsBeyondFlowCap) {
+  // Flow ids are minted per connection and never recycled; at the cap the transport
+  // must refuse new connections instead of overrunning the runtime's table.
+  RuntimeOptions options = SmallOptions(RuntimeMode::kZygos, /*workers=*/2);
+  TcpTransportOptions tcp;
+  tcp.num_queues = options.num_workers;
+  tcp.num_flow_groups = options.num_flow_groups;
+  tcp.max_flows = 2;
+  auto transport = std::make_unique<TcpTransport>(tcp);
+  TcpTransport* raw = transport.get();
+  Runtime runtime(options, std::move(transport), BusyEchoHandler(/*spins=*/0));
+  runtime.Start();
+
+  TestTcpClient first(raw->port());
+  TestTcpClient second(raw->port());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(RunEchoExchange(first, /*requests=*/5, /*window=*/2, "a"));
+  EXPECT_TRUE(RunEchoExchange(second, /*requests=*/5, /*window=*/2, "b"));
+
+  TestTcpClient third(raw->port());
+  ASSERT_TRUE(third.ok()) << "refusal happens after accept, so connect succeeds";
+  third.SendRequest(0, "x");  // may or may not reach the closed socket
+  Message never;
+  EXPECT_FALSE(third.RecvMessage(&never)) << "capped connection must be closed unserved";
+  runtime.Shutdown();
+  EXPECT_EQ(raw->AcceptedConnections(), 2u);
+  EXPECT_GT(runtime.NicDrops(), 0u) << "the refusal is accounted as a drop";
+}
+
+TEST(RuntimeTcpTest, PartitionedModeServesTcpWithoutStealing) {
+  RuntimeOptions options = SmallOptions(RuntimeMode::kPartitioned, /*workers=*/2);
+  TcpTransport* transport = nullptr;
+  auto runtime =
+      MakeTcpRuntime(options, BusyEchoHandler(/*spins=*/0), nullptr, &transport);
+  runtime->Start();
+  {
+    TestTcpClient client(transport->port());
+    ASSERT_TRUE(client.ok());
+    EXPECT_TRUE(RunEchoExchange(client, /*requests=*/200, /*window=*/4, "p"));
+  }
+  runtime->Shutdown();
+  WorkerStats total = runtime->TotalStats();
+  EXPECT_EQ(total.app_events, 200u);
+  EXPECT_EQ(total.stolen_events, 0u);
+  EXPECT_EQ(runtime->TotalShuffleStats().steals, 0u);
 }
 
 // --- Parameterized sweep: every mode x worker count upholds the core guarantees --------
