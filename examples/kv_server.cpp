@@ -288,15 +288,17 @@ std::unique_ptr<Server> StartServer(const Flags& flags, const KvWorkloadSpec& sp
               static_cast<unsigned long long>(spec.num_keys), spec.Name());
   workload.Populate(server->service);
 
-  RequestHandler handler = [srv = server.get()](uint64_t, const std::string& request) {
-    std::string response = srv->service.Handle(request);
-    auto decoded = DecodeKvResponse(response);
-    if (decoded.has_value() && decoded->status == KvStatus::kOk) {
+  // Zero-copy fast path: the request is a view into pooled RX memory, the response
+  // is written straight into the pooled TX frame, and the returned status feeds the
+  // hit counters without re-decoding the response.
+  ViewHandler handler = [srv = server.get()](uint64_t, std::string_view request,
+                                             ResponseBuilder& response) {
+    KvStatus status = srv->service.HandleView(request, response);
+    if (status == KvStatus::kOk) {
       srv->hits.fetch_add(1, std::memory_order_relaxed);
     } else {
       srv->misses.fetch_add(1, std::memory_order_relaxed);
     }
-    return response;
   };
 
   RuntimeOptions options;
@@ -342,6 +344,11 @@ void PrintServerStats(Server& server) {
               static_cast<unsigned long long>(stats.doorbells_sent),
               static_cast<unsigned long long>(stats.rx_batches),
               static_cast<unsigned long long>(stats.rx_segments));
+  std::printf("data plane: %llu pooled allocs, %llu heap misses, %llu cross-core "
+              "frees (worker pools)\n",
+              static_cast<unsigned long long>(stats.pool_hits),
+              static_cast<unsigned long long>(stats.pool_misses),
+              static_cast<unsigned long long>(stats.pool_remote_frees));
   std::printf("store size: %zu keys\n", server.service.table().Size());
 }
 

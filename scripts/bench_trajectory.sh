@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Longitudinal benchmark harness (the `BENCH_*.json` contract from bench/README.md).
 #
-# Runs the fixed trajectory subset — fig8_steal_rate and fig6_latency_throughput — on
-# their fixed seeds, parses the stable CSV from stdout, and writes one
-# BENCH_<name>.json per binary ({metric, value, unit, commit, params}) so successive
-# commits can be compared for regressions in steal-path behaviour and max-load@SLO.
-# The DES-side experiments are deterministic for a fixed seed and host-independent,
-# so the values are comparable across machines.
+# Runs the fixed trajectory subset — fig8_steal_rate, fig6_latency_throughput and
+# micro_dataplane — on their fixed seeds, parses the stable CSV from stdout, and
+# writes one BENCH_<name>.json per binary ({metric, value, unit, commit, params}) so
+# successive commits can be compared for regressions in steal-path behaviour,
+# max-load@SLO and data-plane cost. The DES-side experiments are deterministic for a
+# fixed seed and host-independent; micro_dataplane's ns/op is host-dependent but its
+# allocs/op (tracked in params) is exact and must stay 0.
 #
 # Usage:
 #   scripts/bench_trajectory.sh [out_dir]       # default out_dir: bench
@@ -21,7 +22,7 @@ REQUESTS="${BENCH_REQUESTS:-20000}"
 POINTS="${BENCH_POINTS:-6}"
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
-for bin in fig8_steal_rate fig6_latency_throughput; do
+for bin in fig8_steal_rate fig6_latency_throughput micro_dataplane; do
   if [[ ! -x "${BUILD_DIR}/bench/${bin}" ]]; then
     echo "bench_trajectory: ${BUILD_DIR}/bench/${bin} not built (run cmake --build first)" >&2
     exit 1
@@ -71,5 +72,35 @@ cat > "${OUT_DIR}/BENCH_fig6_latency_throughput.json" <<EOF
 }
 EOF
 echo "   zygos_frac_of_theoretical_max_load = ${frac} %  -> ${OUT_DIR}/BENCH_fig6_latency_throughput.json"
+
+# --- micro_dataplane: ns/op and allocs/op for one echo RPC, string vs pooled -----------
+# CSV contract: path,ns_per_op,allocs_per_op with rows `string` and `pooled`.
+echo "== micro_dataplane (requests=200000)"
+dp_csv="$("${BUILD_DIR}/bench/micro_dataplane" --requests=200000 --warmup=20000)"
+pooled_ns="$(printf '%s\n' "${dp_csv}" | awk -F, '$1 == "pooled" {print $2}')"
+pooled_allocs="$(printf '%s\n' "${dp_csv}" | awk -F, '$1 == "pooled" {print $3}')"
+string_ns="$(printf '%s\n' "${dp_csv}" | awk -F, '$1 == "string" {print $2}')"
+string_allocs="$(printf '%s\n' "${dp_csv}" | awk -F, '$1 == "string" {print $3}')"
+if [[ -z "${pooled_ns}" || -z "${string_ns}" ]]; then
+  echo "bench_trajectory: micro_dataplane rows missing — the CSV contract changed?" >&2
+  exit 1
+fi
+speedup="$(awk -v s="${string_ns}" -v p="${pooled_ns}" 'BEGIN {printf "%.2f", s / p}')"
+dp_json="$(cat <<EOF
+{
+  "metric": "dataplane_pooled_echo_ns_per_op",
+  "value": ${pooled_ns},
+  "unit": "ns_per_op",
+  "commit": "${COMMIT}",
+  "params": {"requests": 200000, "warmup": 20000, "payload": 32,
+             "pooled_allocs_per_op": ${pooled_allocs}, "string_ns_per_op": ${string_ns},
+             "string_allocs_per_op": ${string_allocs}, "speedup_vs_string": ${speedup}}
+}
+EOF
+)"
+printf '%s\n' "${dp_json}" > "${OUT_DIR}/BENCH_micro_dataplane.json"
+# PR-numbered snapshot: this refactor's acceptance record (pooled vs string).
+printf '%s\n' "${dp_json}" > "${OUT_DIR}/BENCH_0003.json"
+echo "   dataplane_pooled_echo_ns_per_op = ${pooled_ns} ns (string ${string_ns} ns, ${speedup}x, ${pooled_allocs} allocs/op) -> ${OUT_DIR}/BENCH_micro_dataplane.json"
 
 echo "bench_trajectory OK (commit ${COMMIT})"

@@ -31,6 +31,15 @@ echo "== smoke: examples/quickstart"
 echo "== smoke: examples/kv_server over real TCP (loopback interface)"
 "${BUILD_DIR}/examples/kv_server" --requests=4000 --connections=8 --threads=2
 
+echo "== smoke: bench/micro_dataplane (pooled path must stay allocation-free)"
+dataplane_out="$("${BUILD_DIR}/bench/micro_dataplane" --requests=50000 --warmup=10000)"
+printf '%s\n' "${dataplane_out}"
+pooled_allocs="$(printf '%s\n' "${dataplane_out}" | awk -F, '$1 == "pooled" {print $3}')"
+if [[ -z "${pooled_allocs}" ]] || ! awk -v a="${pooled_allocs}" 'BEGIN {exit !(a == 0)}'; then
+  echo "ci: pooled data plane allocates (${pooled_allocs:-missing} allocs/op)" >&2
+  exit 1
+fi
+
 echo "== warnings-as-errors configure of the transport layer (${BUILD_DIR}-werror)"
 cmake -B "${BUILD_DIR}-werror" -S . -DZYGOS_WERROR=ON \
   -DZYGOS_BUILD_BENCH=OFF -DZYGOS_BUILD_EXAMPLES=OFF -DZYGOS_BUILD_TESTS=OFF

@@ -1,0 +1,184 @@
+#include "src/common/buffer_pool.h"
+
+#include <mutex>
+#include <new>
+
+#include "src/concurrency/cache_line.h"
+
+namespace zygos {
+
+namespace {
+
+// Registry of every thread's pool, for GlobalSnapshot(). Pools are never removed:
+// they are leaked at thread exit so outstanding buffers (and late remote frees) stay
+// valid. Function-local statics dodge initialization-order issues.
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::vector<BufferPool*>& Registry() {
+  static std::vector<BufferPool*> pools;
+  return pools;
+}
+
+constexpr size_t ClassCapacity(size_t cls) {
+  return cls == 0 ? BufferPool::kSmallCapacity : BufferPool::kLargeCapacity;
+}
+
+}  // namespace
+
+void IoBuf::ReleaseRef() {
+  if (slab_ != nullptr &&
+      slab_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    BufferPool::Release(slab_);
+  }
+}
+
+BufferPool::BufferPool() : remote_ring_(kRemoteRingCapacity) {
+  for (auto& freelist : freelists_) {
+    freelist.reserve(64);
+  }
+}
+
+BufferPool& BufferPool::ForThisThread() {
+  thread_local BufferPool* pool = [] {
+    auto* fresh = new BufferPool();  // leaked by design (see header contract)
+    std::lock_guard<std::mutex> guard(RegistryMutex());
+    Registry().push_back(fresh);
+    return fresh;
+  }();
+  return *pool;
+}
+
+BufferPoolStats BufferPool::GlobalSnapshot() {
+  BufferPoolStats total;
+  std::lock_guard<std::mutex> guard(RegistryMutex());
+  for (const BufferPool* pool : Registry()) {
+    BufferPoolStats s = pool->Snapshot();
+    total.freelist_hits += s.freelist_hits;
+    total.slab_allocs += s.slab_allocs;
+    total.fallback_allocs += s.fallback_allocs;
+    total.local_frees += s.local_frees;
+    total.remote_frees += s.remote_frees;
+    total.ring_drains += s.ring_drains;
+    total.unpooled_frees += s.unpooled_frees;
+  }
+  return total;
+}
+
+BufferPoolStats BufferPool::Snapshot() const {
+  BufferPoolStats s;
+  s.freelist_hits = freelist_hits_.load(std::memory_order_relaxed);
+  s.slab_allocs = slab_allocs_.load(std::memory_order_relaxed);
+  s.fallback_allocs = fallback_allocs_.load(std::memory_order_relaxed);
+  s.local_frees = local_frees_.load(std::memory_order_relaxed);
+  s.remote_frees = remote_frees_.load(std::memory_order_relaxed);
+  s.ring_drains = ring_drains_.load(std::memory_order_relaxed);
+  s.unpooled_frees = unpooled_frees_.load(std::memory_order_relaxed);
+  return s;
+}
+
+IoSlab* BufferPool::NewSlab(size_t capacity, uint8_t size_class, BufferPool* owner) {
+  void* raw = ::operator new(IoSlab::kDataOffset + capacity,
+                             std::align_val_t{kCacheLineSize});
+  auto* slab = new (raw) IoSlab();
+  slab->capacity = static_cast<uint32_t>(capacity);
+  slab->size = 0;
+  slab->size_class = size_class;
+  slab->owner = owner;
+  return slab;
+}
+
+void BufferPool::HeapFree(IoSlab* slab) {
+  slab->~IoSlab();
+  ::operator delete(static_cast<void*>(slab), std::align_val_t{kCacheLineSize});
+}
+
+IoBuf BufferPool::Alloc(size_t min_capacity) {
+  size_t cls;
+  if (min_capacity <= kSmallCapacity) {
+    cls = 0;
+  } else if (min_capacity <= kLargeCapacity) {
+    cls = 1;
+  } else {
+    // Oversized (e.g. a multi-megabyte frame): exact-size heap slab, pool-less.
+    fallback_allocs_.fetch_add(1, std::memory_order_relaxed);
+    return IoBuf(NewSlab(min_capacity, kFallbackClass, nullptr));
+  }
+  std::vector<IoSlab*>& freelist = freelists_[cls];
+  if (freelist.empty()) {
+    DrainRemoteRing();
+  }
+  if (!freelist.empty()) {
+    IoSlab* slab = freelist.back();
+    freelist.pop_back();
+    slab->refs.store(1, std::memory_order_relaxed);
+    slab->size = 0;
+    freelist_hits_.fetch_add(1, std::memory_order_relaxed);
+    return IoBuf(slab);
+  }
+  slab_allocs_.fetch_add(1, std::memory_order_relaxed);
+  return IoBuf(NewSlab(ClassCapacity(cls), static_cast<uint8_t>(cls), this));
+}
+
+size_t BufferPool::DrainRemoteRing() {
+  IoSlab* batch[64];
+  size_t drained = 0;
+  while (true) {
+    size_t n = remote_ring_.TryPopBatch(std::span<IoSlab*>(batch, 64));
+    if (n == 0) {
+      break;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      LocalFree(batch[i]);
+    }
+    drained += n;
+  }
+  if (drained != 0) {
+    ring_drains_.fetch_add(drained, std::memory_order_relaxed);
+  }
+  return drained;
+}
+
+void BufferPool::LocalFree(IoSlab* slab) {
+  std::vector<IoSlab*>& freelist = freelists_[slab->size_class];
+  if (freelist.size() >= kFreelistCap[slab->size_class]) {
+    unpooled_frees_.fetch_add(1, std::memory_order_relaxed);
+    HeapFree(slab);
+    return;
+  }
+  freelist.push_back(slab);
+}
+
+void BufferPool::RemoteFree(IoSlab* slab) {
+  BufferPool* owner = slab->owner;
+  IoSlab* value = slab;
+  if (owner->remote_ring_.TryPushRef(value)) {
+    remote_frees_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Owner's ring is full (it has stopped draining, or a huge burst is in flight):
+  // a heap free is always correct, never blocking.
+  unpooled_frees_.fetch_add(1, std::memory_order_relaxed);
+  HeapFree(slab);
+}
+
+void BufferPool::Release(IoSlab* slab) {
+  BufferPool* owner = slab->owner;
+  if (owner == nullptr) {  // fallback slab: heap-backed, heap-freed
+    BufferPool& self = ForThisThread();
+    self.unpooled_frees_.fetch_add(1, std::memory_order_relaxed);
+    HeapFree(slab);
+    return;
+  }
+  BufferPool& self = ForThisThread();
+  if (&self == owner) {
+    self.local_frees_.fetch_add(1, std::memory_order_relaxed);
+    self.LocalFree(slab);
+  } else {
+    self.RemoteFree(slab);
+  }
+}
+
+}  // namespace zygos

@@ -1,6 +1,14 @@
 // Cache-line utilities shared by the lock-free / locked data structures.
 // Contract: kCacheLineSize is the alignment unit for every per-core structure; keep
 // per-core hot state in separate lines to avoid false sharing.
+//
+// Users (audit when adding per-core state): WorkerStats and Runtime::UserModeFlag
+// (src/runtime/runtime.h) — per-worker counters/flags written every scheduling pass;
+// MpmcQueue's enqueue/dequeue cursors (mpmc_queue.h); TcpTransport::PerQueue
+// (src/runtime/tcp_transport.h); LatencyCollector's histogram shards
+// (src/runtime/client.h); IoSlab's data offset (src/common/buffer_pool.h) — the
+// refcount churns cross-core, the payload bytes must not ride the same line.
+// Doorbells are already one heap object per core (src/concurrency/doorbell.h).
 #ifndef ZYGOS_CONCURRENCY_CACHE_LINE_H_
 #define ZYGOS_CONCURRENCY_CACHE_LINE_H_
 

@@ -11,7 +11,7 @@ HashTable::HashTable(size_t bucket_count, size_t stripes)
       stripe_mask_(std::bit_ceil(stripes) - 1),
       locks_(stripe_mask_ + 1) {}
 
-uint64_t HashTable::Hash(const std::string& key) {
+uint64_t HashTable::Hash(std::string_view key) {
   // FNV-1a, finished with a mix step: fast and adequate for short memcached keys.
   uint64_t h = 0xcbf29ce484222325ULL;
   for (char c : key) {
@@ -23,39 +23,33 @@ uint64_t HashTable::Hash(const std::string& key) {
 
 Spinlock& HashTable::LockFor(uint64_t hash) const { return locks_[hash & stripe_mask_]; }
 
-bool HashTable::Set(const std::string& key, const std::string& value) {
+bool HashTable::Set(std::string_view key, std::string_view value) {
   uint64_t h = Hash(key);
   Spinlock::Guard guard(LockFor(h));
   Bucket& bucket = buckets_[h & bucket_mask_];
   for (Entry& entry : bucket.entries) {
-    if (entry.key == key) {
+    if (std::string_view(entry.key) == key) {
       entry.value = value;
       return false;
     }
   }
-  bucket.entries.push_back(Entry{key, value});
+  bucket.entries.push_back(Entry{std::string(key), std::string(value)});
   size_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-std::optional<std::string> HashTable::Get(const std::string& key) const {
-  uint64_t h = Hash(key);
-  Spinlock::Guard guard(LockFor(h));
-  const Bucket& bucket = buckets_[h & bucket_mask_];
-  for (const Entry& entry : bucket.entries) {
-    if (entry.key == key) {
-      return entry.value;
-    }
-  }
-  return std::nullopt;
+std::optional<std::string> HashTable::Get(std::string_view key) const {
+  std::optional<std::string> result;
+  Visit(key, [&result](std::string_view value) { result = std::string(value); });
+  return result;
 }
 
-bool HashTable::Delete(const std::string& key) {
+bool HashTable::Delete(std::string_view key) {
   uint64_t h = Hash(key);
   Spinlock::Guard guard(LockFor(h));
   Bucket& bucket = buckets_[h & bucket_mask_];
   for (size_t i = 0; i < bucket.entries.size(); ++i) {
-    if (bucket.entries[i].key == key) {
+    if (std::string_view(bucket.entries[i].key) == key) {
       bucket.entries[i] = std::move(bucket.entries.back());
       bucket.entries.pop_back();
       size_.fetch_sub(1, std::memory_order_relaxed);

@@ -4,14 +4,23 @@
 // experiments only the operation cost profile matters (sub-microsecond lookups with
 // a short lock hold). The table uses per-stripe spinlocks so the multi-core runtime can
 // serve concurrent GET/SET traffic, and chains collisions in per-bucket vectors.
-// Contract: Get/Set/Erase are thread-safe (per-stripe spinlocks, short critical
-// sections); Size is exact only at quiescence. Values are copied in and out.
+//
+// Keys and values are passed as string_views so the zero-copy request path
+// (src/kvstore/protocol.h decode views) reaches the table without materializing
+// strings; Visit() additionally lets the caller consume the value under the stripe
+// lock (e.g. copy it straight into a pooled TX frame) instead of through an
+// intermediate std::string.
+// Contract: Set/Get/Delete/Visit are thread-safe (per-stripe spinlocks, short
+// critical sections); Size is exact only at quiescence. Values are copied in; Get
+// copies out, Visit exposes a view only for the duration of the callback (do not
+// retain it past the call).
 #ifndef ZYGOS_KVSTORE_HASH_TABLE_H_
 #define ZYGOS_KVSTORE_HASH_TABLE_H_
 
 #include <atomic>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/concurrency/spinlock.h"
@@ -25,13 +34,29 @@ class HashTable {
   explicit HashTable(size_t bucket_count = 1 << 16, size_t stripes = 64);
 
   // Inserts or overwrites. Returns true if the key was newly inserted.
-  bool Set(const std::string& key, const std::string& value);
+  bool Set(std::string_view key, std::string_view value);
 
-  // Returns the value or nullopt.
-  std::optional<std::string> Get(const std::string& key) const;
+  // Returns a copy of the value or nullopt.
+  std::optional<std::string> Get(std::string_view key) const;
+
+  // Invokes `sink(value_view)` under the stripe lock if the key exists; returns true
+  // on a hit. The view is valid only inside the callback — the zero-copy read path.
+  template <typename Sink>
+  bool Visit(std::string_view key, Sink&& sink) const {
+    uint64_t h = Hash(key);
+    Spinlock::Guard guard(LockFor(h));
+    const Bucket& bucket = buckets_[h & bucket_mask_];
+    for (const Entry& entry : bucket.entries) {
+      if (std::string_view(entry.key) == key) {
+        sink(std::string_view(entry.value));
+        return true;
+      }
+    }
+    return false;
+  }
 
   // Removes the key; returns true if it existed.
-  bool Delete(const std::string& key);
+  bool Delete(std::string_view key);
 
   size_t Size() const;
 
@@ -44,7 +69,7 @@ class HashTable {
     std::vector<Entry> entries;
   };
 
-  static uint64_t Hash(const std::string& key);
+  static uint64_t Hash(std::string_view key);
   Spinlock& LockFor(uint64_t hash) const;
 
   size_t bucket_mask_;

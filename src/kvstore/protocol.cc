@@ -15,11 +15,11 @@ std::string EncodeKvRequest(const KvRequest& request) {
   return out;
 }
 
-std::optional<KvRequest> DecodeKvRequest(const std::string& payload) {
+std::optional<KvRequestView> DecodeKvRequestView(std::string_view payload) {
   if (payload.size() < 3) {
     return std::nullopt;
   }
-  KvRequest request;
+  KvRequestView request;
   auto op = static_cast<uint8_t>(payload[0]);
   if (op > static_cast<uint8_t>(KvOp::kDelete)) {
     return std::nullopt;
@@ -30,9 +30,17 @@ std::optional<KvRequest> DecodeKvRequest(const std::string& payload) {
   if (payload.size() < 3u + key_len) {
     return std::nullopt;
   }
-  request.key.assign(payload.data() + 3, key_len);
-  request.value.assign(payload.data() + 3 + key_len, payload.size() - 3 - key_len);
+  request.key = payload.substr(3, key_len);
+  request.value = payload.substr(3u + key_len);
   return request;
+}
+
+std::optional<KvRequest> DecodeKvRequest(std::string_view payload) {
+  auto view = DecodeKvRequestView(payload);
+  if (!view.has_value()) {
+    return std::nullopt;
+  }
+  return KvRequest{view->op, std::string(view->key), std::string(view->value)};
 }
 
 std::string EncodeKvResponse(const KvResponse& response) {
@@ -43,7 +51,15 @@ std::string EncodeKvResponse(const KvResponse& response) {
   return out;
 }
 
-std::optional<KvResponse> DecodeKvResponse(const std::string& payload) {
+void EncodeKvResponseInto(KvStatus status, std::string_view value,
+                          ResponseBuilder& out) {
+  out.PushByte(static_cast<char>(status));
+  if (!value.empty()) {
+    out.Append(value);
+  }
+}
+
+std::optional<KvResponse> DecodeKvResponse(std::string_view payload) {
   if (payload.empty()) {
     return std::nullopt;
   }

@@ -8,8 +8,14 @@
 //
 // This stands in for the memcached binary protocol: same information content, same
 // parse cost profile (a header read plus bounded copies).
+//
+// Two decode/encode surfaces:
+//   - the view forms (KvRequestView, EncodeKvResponseInto) parse in place and write
+//     straight into the pooled TX frame — the runtime's allocation-free fast path;
+//   - the owning forms (KvRequest/KvResponse) copy, for clients and tests.
 // Contract: Encode* and Decode* are pure; Decode* validate lengths and return
-// std::nullopt on malformed input rather than reading out of bounds. All integers
+// std::nullopt on malformed input rather than reading out of bounds. View decodes
+// alias the input payload — the views live only as long as those bytes. All integers
 // little-endian.
 #ifndef ZYGOS_KVSTORE_PROTOCOL_H_
 #define ZYGOS_KVSTORE_PROTOCOL_H_
@@ -17,6 +23,9 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
+
+#include "src/net/message.h"
 
 namespace zygos {
 
@@ -29,17 +38,28 @@ struct KvRequest {
   std::string value;  // SET only
 };
 
+// Zero-copy request: key/value alias the decoded payload bytes.
+struct KvRequestView {
+  KvOp op = KvOp::kGet;
+  std::string_view key;
+  std::string_view value;  // SET only
+};
+
 struct KvResponse {
   KvStatus status = KvStatus::kError;
   std::string value;  // GET hits only
 };
 
 std::string EncodeKvRequest(const KvRequest& request);
-// Returns nullopt on malformed input.
-std::optional<KvRequest> DecodeKvRequest(const std::string& payload);
+// Returns nullopt on malformed input. The view form allocates nothing.
+std::optional<KvRequestView> DecodeKvRequestView(std::string_view payload);
+std::optional<KvRequest> DecodeKvRequest(std::string_view payload);
 
 std::string EncodeKvResponse(const KvResponse& response);
-std::optional<KvResponse> DecodeKvResponse(const std::string& payload);
+// Writes [status][value] straight into the TX frame builder (no scratch string).
+void EncodeKvResponseInto(KvStatus status, std::string_view value,
+                          ResponseBuilder& out);
+std::optional<KvResponse> DecodeKvResponse(std::string_view payload);
 
 }  // namespace zygos
 

@@ -2,15 +2,23 @@
 //
 // This is the application-layer callback plugged into both the real-thread runtime and
 // the service-time measurement harness that feeds Fig. 9's system-model runs.
-// Contract: Handle is thread-safe (delegates to the striped hash table) and is safe
-// to call concurrently from every runtime worker; payloads are copied.
+//
+// HandleView is the allocation-free fast path: the request is decoded in place
+// (views into pooled RX memory), GET values are copied once — under the stripe lock,
+// straight into the pooled TX frame — and the returned status lets the server count
+// hits without re-decoding its own response. Handle keeps the owning-string surface
+// for harnesses and tests.
+// Contract: Handle/HandleView are thread-safe (delegate to the striped hash table)
+// and safe to call concurrently from every runtime worker.
 #ifndef ZYGOS_KVSTORE_SERVICE_H_
 #define ZYGOS_KVSTORE_SERVICE_H_
 
 #include <string>
+#include <string_view>
 
 #include "src/kvstore/hash_table.h"
 #include "src/kvstore/protocol.h"
+#include "src/net/message.h"
 
 namespace zygos {
 
@@ -18,28 +26,51 @@ class KvService {
  public:
   explicit KvService(size_t bucket_count = 1 << 16) : table_(bucket_count) {}
 
-  // Executes one request; always produces a well-formed response payload.
-  std::string Handle(const std::string& request_payload) {
-    auto request = DecodeKvRequest(request_payload);
+  // Executes one request, writing a well-formed response payload directly into the
+  // TX frame builder. Returns the response status (kError covers malformed input).
+  KvStatus HandleView(std::string_view request_payload, ResponseBuilder& out) {
+    auto request = DecodeKvRequestView(request_payload);
     if (!request.has_value()) {
-      return EncodeKvResponse({KvStatus::kError, ""});
+      EncodeKvResponseInto(KvStatus::kError, {}, out);
+      return KvStatus::kError;
     }
     switch (request->op) {
       case KvOp::kGet: {
-        auto value = table_.Get(request->key);
-        if (value.has_value()) {
-          return EncodeKvResponse({KvStatus::kOk, *std::move(value)});
+        // Status byte first (optimistically OK), then the value copied once — table
+        // memory to TX frame, under the stripe lock (Visit's view does not outlive
+        // the callback). A miss patches the status byte in place.
+        size_t status_at = out.payload_size();
+        out.PushByte(static_cast<char>(KvStatus::kOk));
+        bool hit = table_.Visit(request->key,
+                                [&out](std::string_view value) { out.Append(value); });
+        if (!hit) {
+          out.payload_data()[status_at] = static_cast<char>(KvStatus::kMiss);
+          return KvStatus::kMiss;
         }
-        return EncodeKvResponse({KvStatus::kMiss, ""});
+        return KvStatus::kOk;
       }
       case KvOp::kSet:
         table_.Set(request->key, request->value);
-        return EncodeKvResponse({KvStatus::kOk, ""});
-      case KvOp::kDelete:
-        return EncodeKvResponse(
-            {table_.Delete(request->key) ? KvStatus::kOk : KvStatus::kMiss, ""});
+        EncodeKvResponseInto(KvStatus::kOk, {}, out);
+        return KvStatus::kOk;
+      case KvOp::kDelete: {
+        KvStatus status = table_.Delete(request->key) ? KvStatus::kOk : KvStatus::kMiss;
+        EncodeKvResponseInto(status, {}, out);
+        return status;
+      }
     }
-    return EncodeKvResponse({KvStatus::kError, ""});
+    EncodeKvResponseInto(KvStatus::kError, {}, out);
+    return KvStatus::kError;
+  }
+
+  // Owning-string surface (service-time measurement, tests): same semantics, plus
+  // the two string materializations the fast path exists to avoid.
+  std::string Handle(std::string_view request_payload) {
+    ResponseBuilder builder;
+    HandleView(request_payload, builder);
+    IoBuf frame = builder.Finish(0);
+    std::string_view wire = frame.view();
+    return std::string(wire.substr(kFrameHeaderSize));
   }
 
   HashTable& table() { return table_; }

@@ -16,6 +16,11 @@ void PutU64(std::string& out, uint64_t v) {
   out.append(buf, 8);
 }
 
+void StampHeader(char* frame, uint32_t payload_len, uint64_t request_id) {
+  std::memcpy(frame, &payload_len, 4);
+  std::memcpy(frame + 4, &request_id, 8);
+}
+
 }  // namespace
 
 void EncodeMessage(const Message& msg, std::string& out) {
@@ -28,46 +33,131 @@ void EncodeMessage(uint64_t request_id, std::string_view payload, std::string& o
   out.append(payload);
 }
 
-bool FrameParser::Feed(const char* data, size_t len) {
+IoBuf EncodeFrame(uint64_t request_id, std::string_view payload) {
+  IoBuf frame = AllocBuffer(kFrameHeaderSize + payload.size());
+  StampHeader(frame.data(), static_cast<uint32_t>(payload.size()), request_id);
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kFrameHeaderSize, payload.data(), payload.size());
+  }
+  frame.set_size(kFrameHeaderSize + payload.size());
+  return frame;
+}
+
+IoBuf ResponseBuilder::Finish(uint64_t request_id) {
+  if (!buf_) {
+    // Finish() already consumed the buffer (e.g. a handler called it directly):
+    // produce a fresh, valid empty frame instead of dereferencing a null slab.
+    buf_ = AllocBuffer(kFrameHeaderSize);
+  }
+  StampHeader(buf_.data(), static_cast<uint32_t>(payload_size_), request_id);
+  buf_.set_size(kFrameHeaderSize + payload_size_);
+  payload_size_ = 0;
+  return std::move(buf_);
+}
+
+void ResponseBuilder::EnsureRoom(size_t additional) {
+  size_t needed = kFrameHeaderSize + payload_size_ + additional;
+  if (!buf_) {  // builder was Finish()ed: start a fresh frame
+    buf_ = AllocBuffer(needed);
+    return;
+  }
+  if (needed <= buf_.capacity()) {
+    return;
+  }
+  IoBuf grown = AllocBuffer(std::max(needed, buf_.capacity() * 2));
+  std::memcpy(grown.data(), buf_.data(), kFrameHeaderSize + payload_size_);
+  buf_ = std::move(grown);
+}
+
+bool FrameParser::Feed(const IoBuf& buf, std::string_view bytes) {
   if (poisoned_) {
     return false;
   }
-  buffer_.append(data, len);
-  while (buffer_.size() >= kHeaderSize) {
-    uint32_t payload_len;
-    std::memcpy(&payload_len, buffer_.data(), 4);
-    if (payload_len > kMaxPayload) {
-      poisoned_ = true;
-      return false;
+  const char* p = bytes.data();
+  size_t n = bytes.size();
+  while (n > 0) {
+    if (!have_header_) {
+      size_t take = std::min(kHeaderSize - header_filled_, n);
+      std::memcpy(header_ + header_filled_, p, take);
+      header_filled_ += take;
+      p += take;
+      n -= take;
+      if (header_filled_ < kHeaderSize) {
+        break;
+      }
+      std::memcpy(&pending_len_, header_, 4);
+      std::memcpy(&pending_id_, header_ + 4, 8);
+      if (pending_len_ > kMaxPayload) {
+        poisoned_ = true;
+        return false;
+      }
+      have_header_ = true;
+      pending_filled_ = 0;
+      // Fast path: the whole payload sits in this segment — the view aliases the
+      // segment buffer, no copy, no allocation.
+      if (n >= pending_len_) {
+        views_.push_back(MessageView{pending_id_, std::string_view(p, pending_len_),
+                                     buf});
+        p += pending_len_;
+        n -= pending_len_;
+        have_header_ = false;
+        header_filled_ = 0;
+        continue;
+      }
+      // Straddling frame: reassemble into one pooled buffer (the only copy on the RX
+      // path), sized exactly for the frame.
+      pending_ = AllocBuffer(pending_len_);
     }
-    size_t frame = kHeaderSize + payload_len;
-    if (buffer_.size() < frame) {
-      break;
+    size_t take = std::min(static_cast<size_t>(pending_len_) - pending_filled_, n);
+    std::memcpy(pending_.data() + pending_filled_, p, take);
+    pending_filled_ += take;
+    p += take;
+    n -= take;
+    if (pending_filled_ == pending_len_) {
+      pending_.set_size(pending_len_);
+      std::string_view payload = pending_.view();
+      views_.push_back(MessageView{pending_id_, payload, std::move(pending_)});
+      pending_ = IoBuf();
+      have_header_ = false;
+      header_filled_ = 0;
     }
-    Message msg;
-    std::memcpy(&msg.request_id, buffer_.data() + 4, 8);
-    msg.payload.assign(buffer_.data() + kHeaderSize, payload_len);
-    messages_.push_back(std::move(msg));
-    buffer_.erase(0, frame);
   }
   return true;
 }
 
+bool FrameParser::Feed(const char* data, size_t len) {
+  if (poisoned_) {
+    return false;
+  }
+  if (len == 0) {
+    return true;
+  }
+  IoBuf segment = AllocBuffer(len);
+  std::memcpy(segment.data(), data, len);
+  segment.set_size(len);
+  std::string_view bytes = segment.view();
+  return Feed(segment, bytes);
+}
+
 std::vector<Message> FrameParser::TakeMessages() {
   std::vector<Message> out;
-  out.swap(messages_);
+  out.reserve(views_.size());
+  for (MessageView& view : views_) {
+    out.push_back(Message{view.request_id, std::string(view.payload)});
+  }
+  views_.clear();
   return out;
 }
 
-void FrameParser::TakeMessagesInto(std::vector<Message>& out) {
+void FrameParser::TakeViewsInto(std::vector<MessageView>& out) {
   if (out.empty()) {
-    out.swap(messages_);
+    out.swap(views_);
     return;
   }
-  for (Message& msg : messages_) {
-    out.push_back(std::move(msg));
+  for (MessageView& view : views_) {
+    out.push_back(std::move(view));
   }
-  messages_.clear();
+  views_.clear();
 }
 
 }  // namespace zygos

@@ -26,10 +26,10 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <string>
 
 #include "src/common/time_units.h"
 #include "src/concurrency/spinlock.h"
+#include "src/net/message.h"
 
 namespace zygos {
 
@@ -40,7 +40,10 @@ struct PcbEvent {
   uint64_t request_id = 0;
   Nanos arrival = 0;       // client send time (latency accounting)
   Nanos service = 0;       // pre-sampled demand (synthetic workloads; 0 otherwise)
-  std::string payload;     // request bytes (runtime); empty in the system models
+  // Request bytes as a view into a pooled buffer (runtime); empty in the system
+  // models. The view's IoBuf ref keeps the bytes alive until the event retires,
+  // even when a thief executes it on another core.
+  MessageView msg;
 };
 
 class Pcb {

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "src/common/histogram.h"
@@ -46,7 +47,7 @@ class LatencyCollector {
   }
 
   CompletionHandler Handler() {
-    return [this](uint64_t flow_id, uint64_t request_id, const std::string& response,
+    return [this](uint64_t flow_id, uint64_t request_id, std::string_view response,
                   Nanos arrival) {
       (void)flow_id;
       (void)request_id;

@@ -60,8 +60,9 @@ class LoopbackTransport final : public Transport {
     return rings_[static_cast<size_t>(queue)]->TryPopBatch(out);
   }
 
-  // Loopback TX: completion *is* delivery — the response returns to the in-process
-  // client through the completion callback, with no wire in between.
+  // Loopback TX: completion *is* delivery — the response payload (a view into the
+  // pooled TX frame) returns to the in-process client through the completion
+  // callback, with no wire and no serialization in between.
   size_t TransmitBatch(int queue, std::span<TxSegment> batch) override {
     (void)queue;
     for (const TxSegment& tx : batch) {

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "src/core/idle_policy.h"
 #include "src/runtime/loopback_transport.h"
@@ -22,6 +23,13 @@ std::unique_ptr<Transport> MakeLoopbackTransport(const RuntimeOptions& options,
 }
 
 }  // namespace
+
+ViewHandler WrapStringHandler(RequestHandler handler) {
+  return [handler = std::move(handler)](uint64_t flow_id, std::string_view request,
+                                        ResponseBuilder& response) {
+    response.Append(handler(flow_id, std::string(request)));
+  };
+}
 
 // Snapshot of remotely observable state for the shared idle-loop policy.
 class Runtime::WorkerView final : public IdleLoopView {
@@ -43,7 +51,7 @@ class Runtime::WorkerView final : public IdleLoopView {
     return runtime_.transport_->ApproxNonEmpty(core);
   }
   bool InUserMode(int core) const override {
-    return runtime_.in_user_mode_[static_cast<size_t>(core)]->load(
+    return runtime_.in_user_mode_[static_cast<size_t>(core)]->value.load(
         std::memory_order_acquire);
   }
 
@@ -51,13 +59,22 @@ class Runtime::WorkerView final : public IdleLoopView {
   const Runtime& runtime_;
 };
 
-Runtime::Runtime(RuntimeOptions options, RequestHandler handler,
+Runtime::Runtime(RuntimeOptions options, ViewHandler handler,
                  CompletionHandler on_complete)
     : Runtime(options, MakeLoopbackTransport(options, std::move(on_complete)),
               std::move(handler)) {}
 
+Runtime::Runtime(RuntimeOptions options, RequestHandler handler,
+                 CompletionHandler on_complete)
+    : Runtime(options, MakeLoopbackTransport(options, std::move(on_complete)),
+              WrapStringHandler(std::move(handler))) {}
+
 Runtime::Runtime(RuntimeOptions options, std::unique_ptr<Transport> transport,
                  RequestHandler handler)
+    : Runtime(options, std::move(transport), WrapStringHandler(std::move(handler))) {}
+
+Runtime::Runtime(RuntimeOptions options, std::unique_ptr<Transport> transport,
+                 ViewHandler handler)
     : options_(options),
       handler_(std::move(handler)),
       transport_(std::move(transport)),
@@ -79,7 +96,7 @@ Runtime::Runtime(RuntimeOptions options, std::unique_ptr<Transport> transport,
         options_.ring_capacity));
     doorbells_.push_back(std::make_unique<Doorbell>());
     stats_.push_back(std::make_unique<WorkerStats>());
-    in_user_mode_.push_back(std::make_unique<std::atomic<bool>>(false));
+    in_user_mode_.push_back(std::make_unique<UserModeFlag>());
     worker_rngs_.push_back(seeder.Fork());
   }
 }
@@ -118,16 +135,28 @@ void Runtime::Shutdown() {
 }
 
 bool Runtime::Inject(uint64_t flow_id, uint64_t request_id, const std::string& payload) {
-  std::string bytes;
-  EncodeMessage(Message{request_id, payload}, bytes);
-  return InjectBytes(flow_id, std::move(bytes), 1);
+  // One pooled frame per request, allocated from the injecting thread's pool and
+  // released (remotely) by the netstack once parsing drops the last view of it.
+  Segment segment;
+  segment.flow_id = flow_id;
+  segment.buf = EncodeFrame(request_id, payload);
+  segment.arrival = NowNanos();
+  if (!transport_->Inject(std::move(segment))) {
+    return false;
+  }
+  injected_.fetch_add(1, std::memory_order_release);
+  return true;
 }
 
 bool Runtime::InjectBytes(uint64_t flow_id, std::string bytes,
                           uint64_t expected_messages) {
   Segment segment;
   segment.flow_id = flow_id;
-  segment.bytes = std::move(bytes);
+  segment.buf = AllocBuffer(bytes.size());
+  if (!bytes.empty()) {
+    std::memcpy(segment.buf.data(), bytes.data(), bytes.size());
+  }
+  segment.buf.set_size(bytes.size());
   segment.arrival = NowNanos();
   if (!transport_->Inject(std::move(segment))) {
     return false;
@@ -157,6 +186,9 @@ WorkerStats Runtime::TotalStats() const {
     total.remote_syscalls += stats->remote_syscalls;
     total.doorbells_sent += stats->doorbells_sent;
     total.doorbells_received += stats->doorbells_received;
+    total.pool_hits += stats->pool_hits;
+    total.pool_misses += stats->pool_misses;
+    total.pool_remote_frees += stats->pool_remote_frees;
   }
   return total;
 }
@@ -168,6 +200,16 @@ void Runtime::WorkerLoop(int core) {
   WorkerView view(*this);
   IdlePolicy policy;
   Rng& rng = worker_rngs_[static_cast<size_t>(core)];
+  // This worker's thread-local buffer pool; its counters are mirrored into
+  // WorkerStats every pass so per-core allocation behaviour is observable from
+  // outside (workers are fresh threads, so the counters start at zero).
+  const BufferPool& pool = BufferPool::ForThisThread();
+  auto mirror_pool_stats = [&stats, &pool] {
+    BufferPoolStats snapshot = pool.Snapshot();
+    stats.pool_hits = snapshot.freelist_hits;
+    stats.pool_misses = snapshot.misses();
+    stats.pool_remote_frees = snapshot.remote_frees;
+  };
 
   while (true) {
     if (doorbells_[static_cast<size_t>(core)]->Drain() != 0) {
@@ -185,6 +227,9 @@ void Runtime::WorkerLoop(int core) {
       worked = true;
     }
     if (worked) {
+      // Mirror only after useful passes: an idle spin must not pay even relaxed
+      // atomic traffic for observability nobody is reading.
+      mirror_pool_stats();
       continue;
     }
     // Priority 4: the idle loop (ZygOS mode only; partitioned cores just spin on
@@ -211,6 +256,7 @@ void Runtime::WorkerLoop(int core) {
       }
     }
     if (stop_.load(std::memory_order_acquire)) {
+      mirror_pool_stats();  // final exact values for post-Shutdown readers
       return;
     }
     if (options_.yield_when_idle) {
@@ -223,7 +269,9 @@ uint64_t Runtime::DrainRemoteSyscalls(int core) {
   WorkerStats& stats = *stats_[static_cast<size_t>(core)];
   uint64_t executed = 0;
   std::array<RemoteSyscall, kTxBatch> calls;
-  std::vector<TxSegment> batch;
+  // Per-worker scratch (threads are never nested into this function): its capacity
+  // persists across passes, so the steady-state drain performs no vector growth.
+  static thread_local std::vector<TxSegment> batch;
   while (true) {
     size_t n = remote_queues_[static_cast<size_t>(core)]->TryPopBatch(
         std::span<RemoteSyscall>(calls.data(), kTxBatch));
@@ -238,6 +286,9 @@ uint64_t Runtime::DrainRemoteSyscalls(int core) {
     // One batched TX pass over the transport, then the ownership releases — a release
     // must follow its connection's TX (§4.4's state machine discipline).
     TransmitBatch(core, std::span<TxSegment>(batch.data(), n));
+    // Release the transmitted frames now: the thread_local scratch must keep only
+    // its capacity, never pin pooled buffers across idle periods.
+    batch.clear();
     for (size_t i = 0; i < n; ++i) {
       if (calls[i].pcb != nullptr) {
         // Final syscall of a stolen batch: release exclusive ownership (busy -> ready
@@ -260,7 +311,7 @@ uint64_t Runtime::NetstackRx(int core) {
   }
   stats.rx_batches++;
   stats.rx_segments += n;
-  std::vector<Message> scratch;
+  static thread_local std::vector<MessageView> scratch;  // per-worker, never nested
   for (size_t i = 0; i < n; ++i) {
     Segment& segment = segments[i];
     Connection* conn = ConnectionFor(segment.flow_id, core);
@@ -270,18 +321,22 @@ uint64_t Runtime::NetstackRx(int core) {
       transport_->CloseFlow(core, segment.flow_id);
       continue;
     }
-    bool healthy = conn->parser.Feed(segment.bytes.data(), segment.bytes.size());
+    // Zero-copy reassembly: views alias the segment's pooled buffer (or a pooled
+    // straddle buffer); the segment's refcount keeps the bytes alive through handler
+    // execution on whichever core claims the connection.
+    bool healthy = conn->parser.Feed(segment.buf, segment.buf.view());
     // Messages fully parsed before a poisoning header still execute (a valid request
     // ahead of garbage in the same segment must not be silently lost); their
     // responses to a severed connection are dropped at TX, with normal accounting.
     scratch.clear();
-    conn->parser.TakeMessagesInto(scratch);
+    conn->parser.TakeViewsInto(scratch);
     if (!scratch.empty()) {
-      for (Message& message : scratch) {
-        conn->pcb.PushEvent(PcbEvent{message.request_id, segment.arrival, 0,
-                                     std::move(message.payload)});
+      size_t accepted = scratch.size();
+      for (MessageView& view : scratch) {
+        uint64_t request_id = view.request_id;
+        conn->pcb.PushEvent(PcbEvent{request_id, segment.arrival, 0, std::move(view)});
       }
-      accepted_.fetch_add(scratch.size(), std::memory_order_release);
+      accepted_.fetch_add(accepted, std::memory_order_release);
       if (conn->pcb.HasPendingEvents()) {
         shuffle_.NotifyPending(&conn->pcb);
       }
@@ -321,33 +376,48 @@ Runtime::Connection* Runtime::ConnectionFor(uint64_t flow_id, int core) {
 uint64_t Runtime::ExecuteConnection(int core, Pcb* pcb, bool stolen) {
   WorkerStats& stats = *stats_[static_cast<size_t>(core)];
   // Grab every pending event: exclusive ownership covers the whole pipelined batch
-  // (the paper's implicit per-flow batching, §6.2).
-  std::vector<PcbEvent> events;
+  // (the paper's implicit per-flow batching, §6.2). Scratch is per-worker and this
+  // function never nests, so steady state performs no vector growth.
+  static thread_local std::vector<PcbEvent> events;
+  events.clear();
   while (auto event = pcb->PopEvent()) {
     events.push_back(std::move(*event));
   }
-  in_user_mode_[static_cast<size_t>(core)]->store(true, std::memory_order_release);
-  std::vector<TxSegment> responses;
+  in_user_mode_[static_cast<size_t>(core)]->value.store(true, std::memory_order_release);
+  static thread_local std::vector<TxSegment> responses;
+  responses.clear();
   responses.reserve(events.size());
   for (PcbEvent& event : events) {
     TxSegment response;
     response.flow_id = pcb->flow_id();
     response.request_id = event.request_id;
     response.arrival = event.arrival;
-    response.payload = handler_(pcb->flow_id(), event.payload);
+    // The handler reads the request straight out of pooled RX memory and writes the
+    // response payload straight into the pooled TX frame; Finish stamps the header.
+    ResponseBuilder builder(event.msg.payload.size());
+    handler_(pcb->flow_id(), event.msg.payload, builder);
+    response.frame = builder.Finish(event.request_id);
+    // Drop the request bytes now (possibly a remote free back to the home core's
+    // pool): the RX buffer must not stay pinned behind TX latency.
+    event.msg = MessageView();
     responses.push_back(std::move(response));
     stats.app_events++;
     if (stolen) {
       stats.stolen_events++;
     }
   }
-  in_user_mode_[static_cast<size_t>(core)]->store(false, std::memory_order_release);
+  in_user_mode_[static_cast<size_t>(core)]->value.store(false, std::memory_order_release);
 
   if (!stolen || responses.empty()) {
     // Home-core path (or a raced-to-empty claim): transmit directly, release ownership.
     TransmitBatch(core, std::span<TxSegment>(responses.data(), responses.size()));
     shuffle_.CompleteExecution(pcb);
-    return events.size();
+    size_t executed = events.size();
+    // Thread-local scratch keeps capacity only — transmitted frames release now,
+    // not at this worker's next (possibly distant) execution.
+    responses.clear();
+    events.clear();
+    return executed;
   }
   // Stolen path: ship response syscalls to the home core; the last one releases
   // ownership there, after its TX (§4.4's state machine discipline).
@@ -365,7 +435,10 @@ uint64_t Runtime::ExecuteConnection(int core, Pcb* pcb, bool stolen) {
   if (doorbells_[static_cast<size_t>(home)]->Ring(IpiReason::kRemoteSyscalls)) {
     stats.doorbells_sent++;
   }
-  return events.size();
+  size_t executed = events.size();
+  responses.clear();  // elements were moved into the remote queue; drop the husks
+  events.clear();
+  return executed;
 }
 
 void Runtime::TransmitBatch(int core, std::span<TxSegment> batch) {

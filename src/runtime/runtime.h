@@ -43,11 +43,14 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "src/common/buffer_pool.h"
 #include "src/common/rng.h"
 #include "src/common/time_units.h"
+#include "src/concurrency/cache_line.h"
 #include "src/concurrency/doorbell.h"
 #include "src/concurrency/mpmc_queue.h"
 #include "src/core/shuffle_layer.h"
@@ -59,11 +62,24 @@ namespace zygos {
 
 enum class RuntimeMode { kZygos, kPartitioned };
 
-// Application request handler: body of one RPC. Runs on whichever core claimed the
-// connection; per-connection calls are serialized by socket ownership, so handlers for
-// the same flow never run concurrently (the §4.3 ordering guarantee).
+// Application request handler, zero-copy form: the request is a view into pooled RX
+// memory (valid only for the duration of the call) and the response payload is
+// written directly into the pooled TX frame through the builder. Runs on whichever
+// core claimed the connection; per-connection calls are serialized by socket
+// ownership, so handlers for the same flow never run concurrently (the §4.3 ordering
+// guarantee).
+using ViewHandler = std::function<void(uint64_t flow_id, std::string_view request,
+                                       ResponseBuilder& response)>;
+
+// Legacy string-based handler: one string materialization per request on each side.
+// Kept as a compatibility surface; the runtime wraps it in a ViewHandler shim
+// (WrapStringHandler). Prefer ViewHandler on hot paths.
 using RequestHandler =
     std::function<std::string(uint64_t flow_id, const std::string& request)>;
+
+// Adapts a legacy string handler onto the zero-copy contract (costs the two copies
+// the old data plane always paid: request materialization and response append).
+ViewHandler WrapStringHandler(RequestHandler handler);
 
 struct RuntimeOptions {
   int num_workers = 4;
@@ -80,7 +96,10 @@ struct RuntimeOptions {
   bool yield_when_idle = true;
 };
 
-struct WorkerStats {
+// Cache-line aligned: each worker writes its own struct every scheduling pass, and
+// adjacent workers' stats sharing a line would turn those writes into coherence
+// traffic (the false-sharing hazard kCacheLineSize exists to prevent).
+struct alignas(kCacheLineSize) WorkerStats {
   uint64_t rx_segments = 0;
   uint64_t rx_batches = 0;        // PollBatch calls that returned ≥1 segment
   uint64_t app_events = 0;        // requests executed on this core
@@ -88,17 +107,26 @@ struct WorkerStats {
   uint64_t remote_syscalls = 0;   // responses executed here on behalf of thieves
   uint64_t doorbells_sent = 0;
   uint64_t doorbells_received = 0;
+  // Buffer-pool observability (this worker's thread pool, refreshed every pass):
+  // heap allocations per request on this core == pool_misses / app_events; flat
+  // pool_misses after warmup is the allocation-free steady state.
+  uint64_t pool_hits = 0;         // allocations served from the freelist
+  uint64_t pool_misses = 0;       // slab growth + oversized fallbacks (heap allocs)
+  uint64_t pool_remote_frees = 0; // buffers this core shipped home to another pool
 };
 
 class Runtime {
  public:
   // Loopback-backed runtime: builds a LoopbackTransport sized from `options` and wires
   // `on_complete` as its completion handler (the historical harness constructor).
+  Runtime(RuntimeOptions options, ViewHandler handler, CompletionHandler on_complete);
   Runtime(RuntimeOptions options, RequestHandler handler, CompletionHandler on_complete);
 
   // Transport-agnostic form: the runtime drives whatever layer-1 substrate it is
   // given. `transport->num_queues()` must equal options.num_workers. The completion
   // handler is the transport's property — set it there before Start.
+  Runtime(RuntimeOptions options, std::unique_ptr<Transport> transport,
+          ViewHandler handler);
   Runtime(RuntimeOptions options, std::unique_ptr<Transport> transport,
           RequestHandler handler);
 
@@ -182,15 +210,22 @@ class Runtime {
   // nullptr for flow ids beyond the table; the caller severs the flow.
   Connection* ConnectionFor(uint64_t flow_id, int core);
 
+  // Cache-line isolated per-core flag: remote cores poll it from the idle loop while
+  // the owner toggles it around every handler invocation — sharing a line with any
+  // other hot state would make each toggle a cross-core invalidation.
+  struct alignas(kCacheLineSize) UserModeFlag {
+    std::atomic<bool> value{false};
+  };
+
   RuntimeOptions options_;
-  RequestHandler handler_;
+  ViewHandler handler_;
   std::unique_ptr<Transport> transport_;
   ShuffleLayer shuffle_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::vector<std::unique_ptr<MpmcQueue<RemoteSyscall>>> remote_queues_;
   std::vector<std::unique_ptr<Doorbell>> doorbells_;
   std::vector<std::unique_ptr<WorkerStats>> stats_;
-  std::vector<std::unique_ptr<std::atomic<bool>>> in_user_mode_;
+  std::vector<std::unique_ptr<UserModeFlag>> in_user_mode_;
   std::vector<std::thread> workers_;
   std::vector<Rng> worker_rngs_;
   std::atomic<bool> stop_{false};

@@ -17,8 +17,6 @@
 #include <cstring>
 #include <thread>
 
-#include "src/net/message.h"
-
 namespace zygos {
 
 namespace {
@@ -184,20 +182,23 @@ size_t TcpTransport::PollBatch(int queue, std::span<Segment> out) {
     return 0;
   }
   size_t produced = 0;
-  if (pq.rx_scratch.size() < options_.max_segment_bytes) {
-    pq.rx_scratch.resize(options_.max_segment_bytes);  // one-time, home-core-only
-  }
   for (int i = 0; i < ready; ++i) {
     Conn* conn = static_cast<Conn*>(events[static_cast<size_t>(i)].data.ptr);
     // One recv per ready connection per pass: level-triggered epoll re-reports any
     // residue next pass, so a chatty connection cannot monopolize the batch. The recv
-    // lands in the queue's reusable scratch so each Segment allocates only the bytes
-    // actually received, not the full segment budget.
-    ssize_t r = ::recv(conn->fd, pq.rx_scratch.data(), pq.rx_scratch.size(), 0);
+    // lands directly in a pooled buffer that becomes the Segment — zero copies from
+    // socket to parser. The spare survives EAGAIN/hangup passes, so a spurious
+    // readiness event costs no pool round-trip.
+    if (!pq.rx_spare) {
+      pq.rx_spare = AllocBuffer(options_.max_segment_bytes);
+    }
+    size_t budget = std::min(pq.rx_spare.capacity(), options_.max_segment_bytes);
+    ssize_t r = ::recv(conn->fd, pq.rx_spare.data(), budget, 0);
     if (r > 0) {
+      pq.rx_spare.set_size(static_cast<size_t>(r));
       Segment& segment = out[produced++];
       segment.flow_id = conn->flow_id;
-      segment.bytes.assign(pq.rx_scratch.data(), static_cast<size_t>(r));
+      segment.buf = std::move(pq.rx_spare);
       segment.arrival = NowNanos();
     } else if (r == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
       CloseConn(pq, conn);  // orderly hangup or hard error
@@ -230,9 +231,9 @@ size_t TcpTransport::TransmitBatch(int queue, std::span<TxSegment> batch) {
       NotifyComplete(tx);
       continue;
     }
-    std::string& frame = pq.tx_frame;
-    frame.clear();
-    EncodeMessage(tx.request_id, tx.payload, frame);
+    // The frame was built in place by the executing core (possibly a thief); TX is a
+    // straight write from pooled memory — no encoding, no scratch, no copy.
+    std::string_view frame = tx.frame.view();
     size_t sent = 0;
     int retries = 0;
     while (sent < frame.size()) {

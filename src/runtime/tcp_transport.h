@@ -11,13 +11,15 @@
 //
 //   RX  PollBatch(q) is called only by worker q: a zero-timeout epoll_wait over the
 //       queue's own epoll set, one recv() per ready connection per pass (level-
-//       triggered, so residue is re-reported next pass). Each recv yields one Segment;
-//       frame reassembly stays in the runtime's netstack, exactly as with loopback.
-//   TX  TransmitBatch(q) is called only by the flow's home worker: responses are
-//       framed (src/net/message.h) and sent with non-blocking send(), preserving the
-//       home-core-only TX discipline — a thief never touches a socket, it ships
-//       responses home over the remote-syscall queue and the home core makes one
-//       batched pass here.
+//       triggered, so residue is re-reported next pass). Each recv() lands directly
+//       in a pooled buffer (src/common/buffer_pool.h) that becomes the Segment — the
+//       bytes are never copied again; frame reassembly aliases views into them.
+//   TX  TransmitBatch(q) is called only by the flow's home worker: each TxSegment
+//       already carries its complete wire frame (built in place by the executing
+//       core's ResponseBuilder), so TX is a single send() from pooled memory —
+//       preserving the home-core-only TX discipline: a thief never touches a socket,
+//       it ships the finished frame home over the remote-syscall queue and the home
+//       core makes one batched pass here.
 //
 // ApproxNonEmpty peeks the queue's epoll set with a zero-timeout wait from any thread
 // (level-triggered readiness is not consumed by observers), which is what lets the
@@ -52,7 +54,11 @@ struct TcpTransportOptions {
   uint16_t port = 0;  // 0 = ephemeral; read the bound port back with port()
   int num_queues = 4;
   int num_flow_groups = 128;
-  size_t max_segment_bytes = 16 * 1024;  // recv() size per connection per poll pass
+  // recv() size per connection per poll pass. The default matches the buffer pool's
+  // large size class so every RX segment is a pooled slab; raising it past
+  // BufferPool::kLargeCapacity makes each segment an exact-size heap fallback
+  // (correct, but no longer allocation-free).
+  size_t max_segment_bytes = 4096;
   int listen_backlog = 128;
   // Lifetime cap on minted flow ids. Flow ids are NOT recycled when a connection
   // closes (recycling would need a close notification through the runtime so stale
@@ -102,8 +108,9 @@ class TcpTransport final : public Transport {
     // looks up fds for TX, Stop tears down. Two-party contention at most.
     mutable Spinlock lock;
     std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;
-    std::string tx_frame;    // home-core-only frame-encoding scratch
-    std::string rx_scratch;  // home-core-only recv() landing buffer
+    // Home-core-only spare RX buffer: allocated before recv(), consumed only when
+    // bytes actually arrive, so an idle poll pass costs zero pool traffic.
+    IoBuf rx_spare;
     std::unordered_map<uint64_t, Conn*> tx_resolved;  // home-core-only batch scratch
   };
 

@@ -28,37 +28,49 @@
 #include <cstdint>
 #include <functional>
 #include <span>
-#include <string>
+#include <string_view>
 #include <utility>
 
+#include "src/common/buffer_pool.h"
 #include "src/common/time_units.h"
 #include "src/hw/rss.h"
+#include "src/net/message.h"
 
 namespace zygos {
 
-// One unit of arriving bytes for a flow. Segment boundaries are arbitrary relative to
-// message frames — reassembly is the netstack layer's job (FrameParser).
+// One unit of arriving bytes for a flow, landed in a pooled buffer (`buf.size()`
+// valid bytes). Segment boundaries are arbitrary relative to message frames —
+// reassembly is the netstack layer's job (FrameParser), which aliases views into
+// this buffer instead of copying it.
 struct Segment {
   uint64_t flow_id = 0;
-  std::string bytes;
+  IoBuf buf;
   Nanos arrival = 0;  // receive timestamp (loopback: client inject time)
 };
 
-// One response leaving the server: the unit of TransmitBatch. `payload` is the
-// application response; the transport frames it (src/net/message.h) if it puts bytes
-// on a wire. `arrival` is the matching request's arrival timestamp (latency = TX time
-// - arrival, the accounting the completion callback performs).
+// One response leaving the server: the unit of TransmitBatch. `frame` is the complete
+// wire frame ([header][payload], src/net/message.h) in one pooled buffer, built by
+// the executing core — the transport writes it verbatim, no re-encoding, no scratch.
+// `arrival` is the matching request's arrival timestamp (latency = TX time - arrival,
+// the accounting the completion callback performs).
 struct TxSegment {
   uint64_t flow_id = 0;
   uint64_t request_id = 0;
   Nanos arrival = 0;
-  std::string payload;
+  IoBuf frame;
+
+  // Application payload inside the frame (what an in-process client receives).
+  std::string_view payload() const {
+    std::string_view wire = frame.view();
+    return wire.size() >= kFrameHeaderSize ? wire.substr(kFrameHeaderSize)
+                                           : std::string_view();
+  }
 };
 
 // Completion hook: response left the "NIC". Runs on the connection's home core, inside
-// TransmitBatch.
+// TransmitBatch. `response` views the pooled frame — copy it to keep it.
 using CompletionHandler = std::function<void(uint64_t flow_id, uint64_t request_id,
-                                             const std::string& response, Nanos arrival)>;
+                                             std::string_view response, Nanos arrival)>;
 
 class Transport {
  public:
@@ -119,7 +131,7 @@ class Transport {
   // Fires the completion callback for one transmitted response.
   void NotifyComplete(const TxSegment& tx) const {
     if (on_complete_) {
-      on_complete_(tx.flow_id, tx.request_id, tx.payload, tx.arrival);
+      on_complete_(tx.flow_id, tx.request_id, tx.payload(), tx.arrival);
     }
   }
 

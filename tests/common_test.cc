@@ -1,10 +1,15 @@
-// Unit and property tests for src/common: RNG, distributions, histogram, stats, flags.
+// Unit and property tests for src/common: RNG, distributions, histogram, stats,
+// flags, and the pooled buffer subsystem of the allocation-free data plane.
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/common/buffer_pool.h"
 #include "src/common/distribution.h"
 #include "src/common/flags.h"
 #include "src/common/histogram.h"
@@ -340,6 +345,123 @@ TEST(TimeUnitsTest, Conversions) {
   EXPECT_EQ(FromMicros(10.0), 10 * kMicrosecond);
   EXPECT_DOUBLE_EQ(ToMicros(25 * kMicrosecond), 25.0);
   EXPECT_EQ(kSecond, 1000000000);
+}
+
+// --- Buffer pool (the allocation-free data plane's memory substrate) -----------------
+
+TEST(BufferPoolTest, ClassSelectionAndAlignment) {
+  IoBuf small = AllocBuffer(17);
+  EXPECT_EQ(small.capacity(), BufferPool::kSmallCapacity);
+  IoBuf large = AllocBuffer(BufferPool::kSmallCapacity + 1);
+  EXPECT_EQ(large.capacity(), BufferPool::kLargeCapacity);
+  // Payload bytes start cache-line aligned (the refcount must not share their line).
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(small.data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(large.data()) % 64, 0u);
+}
+
+TEST(BufferPoolTest, SteadyStateReusesSlabsWithoutHeapGrowth) {
+  // Warm the pool, then a churn loop must be served entirely from the freelist.
+  for (int i = 0; i < 8; ++i) {
+    IoBuf warm = AllocBuffer(64);
+    (void)warm;
+  }
+  BufferPoolStats before = BufferPool::ForThisThread().Snapshot();
+  for (int i = 0; i < 10'000; ++i) {
+    IoBuf buf = AllocBuffer(64);
+    buf.data()[0] = static_cast<char>(i);
+    buf.set_size(1);
+  }
+  BufferPoolStats after = BufferPool::ForThisThread().Snapshot();
+  EXPECT_EQ(after.misses(), before.misses()) << "steady-state churn hit the heap";
+  EXPECT_GE(after.freelist_hits, before.freelist_hits + 10'000);
+}
+
+TEST(BufferPoolTest, RefcountKeepsBytesAliveAcrossHandles) {
+  IoBuf original = AllocBuffer(32);
+  std::memcpy(original.data(), "payload", 7);
+  original.set_size(7);
+  IoBuf copied = original;    // ref++
+  IoBuf moved = std::move(original);
+  original.Reset();           // releasing a moved-from/reset handle is a no-op
+  EXPECT_EQ(copied.view(), std::string_view("payload"));
+  EXPECT_EQ(moved.view(), std::string_view("payload"));
+  EXPECT_EQ(copied.data(), moved.data()) << "handles alias one slab";
+}
+
+TEST(BufferPoolTest, CrossThreadReleaseShipsSlabHomeAndGetsReused) {
+  // Allocate on this thread, hand the last reference to another thread (the thief),
+  // and verify (a) the remote free is counted on the releasing thread's stats and
+  // (b) the slab comes home: subsequent local allocations don't grow the heap.
+  for (int i = 0; i < 4; ++i) {
+    IoBuf warm = AllocBuffer(64);
+    (void)warm;
+  }
+  BufferPoolStats owner_before = BufferPool::ForThisThread().Snapshot();
+  constexpr int kHandoffs = 1000;
+  for (int i = 0; i < kHandoffs; ++i) {
+    IoBuf buf = AllocBuffer(64);
+    std::memcpy(buf.data(), "steal", 5);
+    buf.set_size(5);
+    std::thread thief([moved = std::move(buf)] {
+      // The last handle dies on this thread: a cross-core release into the owner's
+      // remote free ring.
+      EXPECT_EQ(moved.view(), std::string_view("steal"));
+    });
+    thief.join();
+  }
+  BufferPoolStats owner_after = BufferPool::ForThisThread().Snapshot();
+  // Every slab came back through the ring and was reused: the owner's heap growth
+  // stays bounded by its initial warmup, not by kHandoffs.
+  EXPECT_EQ(owner_after.misses(), owner_before.misses());
+  EXPECT_GE(owner_after.ring_drains - owner_before.ring_drains,
+            static_cast<uint64_t>(kHandoffs) - 8)
+      << "remote frees did not come home through the ring";
+}
+
+TEST(BufferPoolTest, OversizedAllocationFallsBackToHeapAndFreesCleanly) {
+  BufferPoolStats before = BufferPool::ForThisThread().Snapshot();
+  {
+    IoBuf huge = AllocBuffer(1 << 20);
+    EXPECT_GE(huge.capacity(), static_cast<size_t>(1 << 20));
+    huge.data()[(1 << 20) - 1] = 'x';  // the whole capacity is really writable
+    huge.set_size(1 << 20);
+    IoBuf shared = huge;  // refcounting works on fallback slabs too
+    EXPECT_EQ(shared.data(), huge.data());
+  }
+  BufferPoolStats after = BufferPool::ForThisThread().Snapshot();
+  EXPECT_EQ(after.fallback_allocs, before.fallback_allocs + 1);
+  EXPECT_GE(after.unpooled_frees, before.unpooled_frees + 1);
+}
+
+TEST(BufferPoolTest, ConcurrentAllocAndRemoteFreeIsSafe) {
+  // Refcount lifetime under stealing: many threads concurrently clone, read and drop
+  // handles to buffers allocated by this thread. TSan-friendly correctness test.
+  constexpr int kBuffers = 64;
+  constexpr int kThreads = 4;
+  std::vector<IoBuf> buffers;
+  buffers.reserve(kBuffers);
+  for (int i = 0; i < kBuffers; ++i) {
+    IoBuf buf = AllocBuffer(128);
+    std::snprintf(buf.data(), 128, "buf-%d", i);
+    buf.set_size(std::strlen(buf.data()));
+    buffers.push_back(std::move(buf));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&buffers] {
+      for (int round = 0; round < 200; ++round) {
+        for (int i = 0; i < kBuffers; ++i) {
+          IoBuf local = buffers[static_cast<size_t>(i)];  // ref++ under contention
+          std::string expect = "buf-" + std::to_string(i);
+          EXPECT_EQ(local.view(), std::string_view(expect));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  buffers.clear();  // final releases; must not double-free or leak refs
 }
 
 }  // namespace

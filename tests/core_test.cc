@@ -16,7 +16,7 @@
 namespace zygos {
 namespace {
 
-PcbEvent Ev(uint64_t id) { return PcbEvent{id, 0, 0, ""}; }
+PcbEvent Ev(uint64_t id) { return PcbEvent{id, 0, 0, {}}; }
 
 TEST(ShuffleLayerTest, NotifyEnqueuesIdleConnectionOnce) {
   ShuffleLayer shuffle(2);

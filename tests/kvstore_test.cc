@@ -188,6 +188,61 @@ TEST(KvServiceTest, MalformedRequestYieldsErrorNotCrash) {
   EXPECT_EQ(response->status, KvStatus::kError);
 }
 
+// --- Zero-copy fast path --------------------------------------------------------------
+
+TEST(KvServiceTest, HandleViewWritesResponseIntoTheFrameBuilder) {
+  KvService service;
+  service.table().Set("k", "value-bytes");
+
+  ResponseBuilder get(/*payload_hint=*/16);
+  EXPECT_EQ(service.HandleView(EncodeKvRequest({KvOp::kGet, "k", ""}), get),
+            KvStatus::kOk);
+  IoBuf frame = get.Finish(/*request_id=*/1);
+  auto decoded = DecodeKvResponse(frame.view().substr(kFrameHeaderSize));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->status, KvStatus::kOk);
+  EXPECT_EQ(decoded->value, "value-bytes");
+
+  // A miss patches the optimistic status byte in place: exactly one byte, kMiss.
+  ResponseBuilder miss;
+  EXPECT_EQ(service.HandleView(EncodeKvRequest({KvOp::kGet, "absent", ""}), miss),
+            KvStatus::kMiss);
+  IoBuf miss_frame = miss.Finish(2);
+  std::string_view miss_payload = miss_frame.view().substr(kFrameHeaderSize);
+  ASSERT_EQ(miss_payload.size(), 1u);
+  EXPECT_EQ(static_cast<KvStatus>(miss_payload[0]), KvStatus::kMiss);
+
+  ResponseBuilder bad;
+  EXPECT_EQ(service.HandleView("x", bad), KvStatus::kError);
+  ResponseBuilder del;
+  EXPECT_EQ(service.HandleView(EncodeKvRequest({KvOp::kDelete, "k", ""}), del),
+            KvStatus::kOk);
+  EXPECT_FALSE(service.table().Get("k").has_value());
+}
+
+TEST(KvProtocolTest, ViewDecodeAliasesThePayload) {
+  std::string payload = EncodeKvRequest({KvOp::kSet, "the-key", "the-value"});
+  auto view = DecodeKvRequestView(payload);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->key, "the-key");
+  EXPECT_EQ(view->value, "the-value");
+  // Zero copy: the views point into the original payload bytes.
+  EXPECT_GE(view->key.data(), payload.data());
+  EXPECT_LT(view->key.data(), payload.data() + payload.size());
+  EXPECT_GE(view->value.data(), payload.data());
+}
+
+TEST(HashTableTest, VisitExposesValueUnderTheLock) {
+  HashTable table(256, 4);
+  table.Set("visited", "through-a-view");
+  std::string copied;
+  EXPECT_TRUE(table.Visit("visited", [&copied](std::string_view value) {
+    copied = std::string(value);
+  }));
+  EXPECT_EQ(copied, "through-a-view");
+  EXPECT_FALSE(table.Visit("missing", [](std::string_view) { FAIL(); }));
+}
+
 // --- Workloads -----------------------------------------------------------------------
 
 TEST(KvWorkloadTest, KeysAreStableAndUnique) {
