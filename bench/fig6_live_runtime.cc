@@ -1,0 +1,417 @@
+// Fig. 6 on the LIVE runtime: p99 latency vs offered load for the real-thread ZygOS
+// data plane (src/runtime) under an open-loop, coordinated-omission-safe generator
+// (src/loadgen) — the measured counterpart of the model-driven fig6_latency_throughput.
+//
+// Sweeps ascending load points for each requested runtime ablation:
+//   zygos        full design (stealing + doorbells)
+//   no-steal     RuntimeOptions::enable_stealing = false
+//   no-ipi       RuntimeOptions::enable_doorbells = false
+//   partitioned  RuntimeMode::kPartitioned (the shared-nothing IX baseline)
+// and prints one CSV row per (config, load) cell; `--json=PATH` additionally writes
+// the BENCH-contract report (src/loadgen/report.h) with the acceptance booleans
+// scripts/ci.sh and scripts/bench_trajectory.sh grep.
+//
+// Load points come from `--rates` (explicit rps list) or, by default, from a
+// calibration probe: one deliberately overloaded run measures the peak sustainable
+// throughput, and `--load-fractions` of that peak become the sweep. The service is
+// the synthetic spin service (src/loadgen/spin_service.h); on hosts with fewer
+// hardware threads than workers use `--service-mode=sleep` (see that header).
+//
+// Usage: fig6_live_runtime [--transport=loopback|tcp] [--workers=N] [--connections=N]
+//   [--threads=N] [--arrivals=poisson|fixed] [--dist=NAME] [--service-us=F]
+//   [--service-mode=spin|sleep] [--configs=a,b,...] [--rates=r1,r2,...]
+//   [--load-fractions=f1,f2,...] [--calibrate-rate=R] [--duration-ms=N]
+//   [--warmup-ms=N] [--payload=N] [--seed=N] [--skew=BOOL] [--json=PATH]
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/distribution.h"
+#include "src/common/flags.h"
+#include "src/common/time_units.h"
+#include "src/loadgen/arrival.h"
+#include "src/loadgen/loadgen.h"
+#include "src/loadgen/report.h"
+#include "src/loadgen/spin_service.h"
+#include "src/loadgen/tcp_loadgen.h"
+#include "src/runtime/runtime.h"
+#include "src/runtime/tcp_transport.h"
+
+namespace zygos {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fig6_live_runtime [--transport=loopback|tcp] [--workers=N]\n"
+    "  [--connections=N] [--threads=N] [--arrivals=poisson|fixed] [--dist=NAME]\n"
+    "  [--service-us=F] [--service-mode=spin|sleep] [--configs=zygos,no-steal,...]\n"
+    "  [--rates=r1,r2,...] [--load-fractions=f1,f2,...] [--calibrate-rate=R]\n"
+    "  [--duration-ms=N] [--warmup-ms=N] [--payload=N] [--seed=N] [--skew=BOOL]\n"
+    "  [--json=PATH]";
+
+struct Config {
+  std::string name;
+  RuntimeMode mode = RuntimeMode::kZygos;
+  bool stealing = true;
+  bool doorbells = true;
+};
+
+std::optional<Config> ParseConfig(const std::string& name) {
+  if (name == "zygos") {
+    return Config{name, RuntimeMode::kZygos, true, true};
+  }
+  if (name == "no-steal") {
+    return Config{name, RuntimeMode::kZygos, false, true};
+  }
+  if (name == "no-ipi") {
+    return Config{name, RuntimeMode::kZygos, true, false};
+  }
+  if (name == "partitioned") {
+    return Config{name, RuntimeMode::kPartitioned, false, false};
+  }
+  return std::nullopt;
+}
+
+// Whole-token numeric parse with the same discipline as Flags: a malformed entry in
+// a CSV-valued flag must abort the experiment, not silently sweep the wrong loads.
+double ParseNumberOrDie(const std::string& flag, const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end == token.c_str() || *end != '\0') {
+    std::fprintf(stderr, "fig6_live_runtime: --%s entry '%s' is not a number\n%s\n",
+                 flag.c_str(), token.c_str(), kUsage);
+    std::exit(2);
+  }
+  return value;
+}
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  while (begin <= csv.size()) {
+    size_t comma = csv.find(',', begin);
+    if (comma == std::string::npos) {
+      comma = csv.size();
+    }
+    if (comma > begin) {
+      out.push_back(csv.substr(begin, comma - begin));
+    }
+    begin = comma + 1;
+  }
+  return out;
+}
+
+struct Experiment {
+  std::string transport;  // "loopback" | "tcp"
+  int workers = 2;
+  int connections = 8;
+  int threads = 2;
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+  std::shared_ptr<const ServiceTimeDistribution> service;
+  ServiceMode service_mode = ServiceMode::kSpin;
+  Nanos duration = 0;
+  Nanos warmup = 0;
+  size_t payload = 32;
+  uint64_t seed = 1;
+  bool skew = true;
+};
+
+// Runs one (config, rate) cell on the live runtime and returns the measured point.
+LivePoint RunCell(const Experiment& exp, const Config& config, double rate) {
+  RuntimeOptions options;
+  options.num_workers = exp.workers;
+  options.mode = config.mode;
+  options.num_flows = exp.connections;
+  options.enable_stealing = config.stealing;
+  options.enable_doorbells = config.doorbells;
+
+  ViewHandler handler = MakeSpinService(exp.service, exp.service_mode, exp.seed + 97);
+
+  LivePoint point;
+  point.config = config.name;
+  point.offered_rps = rate;
+
+  if (exp.transport == "tcp") {
+    TcpTransportOptions tcp;
+    tcp.num_queues = exp.workers;
+    tcp.num_flow_groups = options.num_flow_groups;
+    tcp.max_flows = options.max_flows != 0 ? options.max_flows : 4096;
+    auto transport = std::make_unique<TcpTransport>(tcp);
+    TcpTransport* tcp_ptr = transport.get();
+    Runtime runtime(options, std::move(transport), handler);
+    if (exp.skew) {
+      runtime.mutable_rss().SetIndirection(
+          std::vector<int>(static_cast<size_t>(options.num_flow_groups), 0));
+    }
+    runtime.Start();
+
+    TcpLoadgenOptions gen;
+    gen.port = tcp_ptr->port();
+    gen.connections = exp.connections;
+    gen.threads = exp.threads;
+    gen.arrivals = exp.arrivals;
+    gen.rate_rps = rate;
+    gen.duration = exp.duration;
+    gen.warmup = exp.warmup;
+    gen.seed = exp.seed;
+    gen.make_payload = [size = exp.payload](Rng&, std::string& out) {
+      out.assign(size, 'x');
+    };
+    TcpLoadgenResult result = RunTcpLoadgen(gen);
+    runtime.Shutdown();
+
+    point.achieved_rps = result.achieved_rps();
+    point.sent = result.sent;
+    point.measured = result.measured;
+    point.dropped = result.lost;
+    point.send_lag_max_us = ToMicros(result.max_send_lag);
+    point.p50_us = ToMicros(result.latency.P50());
+    point.p99_us = ToMicros(result.latency.P99());
+    point.p999_us = ToMicros(result.latency.P999());
+    point.mean_us = result.latency.Mean() / 1e3;
+    point.max_us = ToMicros(result.latency.Max());
+    WorkerStats stats = runtime.TotalStats();
+    point.steals = runtime.TotalShuffleStats().steals;
+    point.stolen_events = stats.stolen_events;
+    point.doorbells_sent = stats.doorbells_sent;
+    point.remote_syscalls = stats.remote_syscalls;
+    if (!result.clean) {
+      std::fprintf(stderr,
+                   "fig6_live_runtime: [%s @ %.0f rps] unclean TCP run "
+                   "(lost=%llu mismatches=%llu)\n",
+                   config.name.c_str(), rate,
+                   static_cast<unsigned long long>(result.lost),
+                   static_cast<unsigned long long>(result.mismatches));
+    }
+    return point;
+  }
+
+  // Loopback: in-process generator thread drives Runtime::Inject directly.
+  MeasuredCompletion completion;
+  Runtime runtime(options, handler, completion.Handler());
+  if (exp.skew) {
+    runtime.mutable_rss().SetIndirection(
+        std::vector<int>(static_cast<size_t>(options.num_flow_groups), 0));
+  }
+  runtime.Start();
+
+  GeneratorOptions gen;
+  gen.arrivals = exp.arrivals;
+  gen.rate_rps = rate;
+  gen.duration = exp.duration;
+  gen.num_flows = exp.connections;
+  gen.payload_size = exp.payload;
+  gen.seed = exp.seed;
+  OpenLoopGenerator generator(gen);
+  LoopbackSink sink(runtime);
+
+  Nanos start = NowNanos();
+  completion.set_measure_start(start + exp.warmup);
+  GeneratorResult sent = generator.RunFrom(start, sink);
+  // Quiesce before reading the clock: achieved throughput counts the drain tail, so
+  // an overloaded point honestly reports its sustainable rate, not the offered one.
+  while (runtime.Completed() < runtime.Injected()) {
+    std::this_thread::yield();
+  }
+  Nanos end = NowNanos();
+  runtime.Shutdown();
+
+  LatencyHistogram hist = completion.Snapshot();
+  Nanos window = end - completion.measure_start();
+  point.achieved_rps = window > 0 ? static_cast<double>(completion.measured_count()) *
+                                        1e9 / static_cast<double>(window)
+                                  : 0.0;
+  point.sent = sent.sent;
+  point.measured = completion.measured_count();
+  point.dropped = sent.dropped;
+  point.send_lag_max_us = ToMicros(sent.max_send_lag);
+  point.p50_us = ToMicros(hist.P50());
+  point.p99_us = ToMicros(hist.P99());
+  point.p999_us = ToMicros(hist.P999());
+  point.mean_us = hist.Mean() / 1e3;
+  point.max_us = ToMicros(hist.Max());
+  WorkerStats stats = runtime.TotalStats();
+  point.steals = runtime.TotalShuffleStats().steals;
+  point.stolen_events = stats.stolen_events;
+  point.doorbells_sent = stats.doorbells_sent;
+  point.remote_syscalls = stats.remote_syscalls;
+  return point;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Experiment exp;
+  exp.transport = flags.GetString("transport", "loopback");
+  exp.workers = static_cast<int>(flags.GetInt("workers", 2));
+  exp.connections = static_cast<int>(flags.GetInt("connections", 8));
+  exp.threads = static_cast<int>(flags.GetInt("threads", 2));
+  const std::string arrivals_name = flags.GetString("arrivals", "poisson");
+  const std::string dist_name = flags.GetString("dist", "exponential");
+  const double service_us = flags.GetDouble("service-us", 200.0);
+  const std::string mode_name = flags.GetString("service-mode", "spin");
+  const std::string configs_csv = flags.GetString("configs", "zygos,no-steal,no-ipi");
+  const std::string rates_csv = flags.GetString("rates", "");
+  const std::string fractions_csv =
+      flags.GetString("load-fractions", "0.25,0.5,0.75,0.95");
+  const double calibrate_rate = flags.GetDouble("calibrate-rate", 0.0);
+  exp.duration = flags.GetInt("duration-ms", 500) * kMillisecond;
+  exp.warmup = flags.GetInt("warmup-ms", 150) * kMillisecond;
+  exp.payload = static_cast<size_t>(flags.GetInt("payload", 32));
+  exp.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  exp.skew = flags.GetBool("skew", true);
+  const std::string json_path = flags.GetString("json", "");
+  if (!flags.CheckUnknown(kUsage)) {
+    return 2;
+  }
+
+  if (exp.transport != "loopback" && exp.transport != "tcp") {
+    std::fprintf(stderr, "fig6_live_runtime: unknown --transport=%s\n%s\n",
+                 exp.transport.c_str(), kUsage);
+    return 2;
+  }
+  auto arrivals = ParseArrivalKind(arrivals_name);
+  auto service_mode = ParseServiceMode(mode_name);
+  if (!arrivals || !service_mode) {
+    std::fprintf(stderr, "fig6_live_runtime: bad --arrivals or --service-mode\n%s\n",
+                 kUsage);
+    return 2;
+  }
+  exp.arrivals = *arrivals;
+  exp.service_mode = *service_mode;
+  exp.service = MakeDistribution(dist_name, FromMicros(service_us));
+  if (!exp.service) {
+    std::fprintf(stderr, "fig6_live_runtime: unknown --dist=%s\n%s\n",
+                 dist_name.c_str(), kUsage);
+    return 2;
+  }
+  if (exp.workers < 1 || exp.connections < 1 || exp.threads < 1 ||
+      exp.duration <= exp.warmup) {
+    std::fprintf(stderr,
+                 "fig6_live_runtime: need workers/connections/threads >= 1 and "
+                 "--duration-ms > --warmup-ms\n%s\n",
+                 kUsage);
+    return 2;
+  }
+
+  std::vector<Config> configs;
+  for (const std::string& name : SplitCsv(configs_csv)) {
+    auto config = ParseConfig(name);
+    if (!config) {
+      std::fprintf(stderr, "fig6_live_runtime: unknown config '%s' in --configs\n%s\n",
+                   name.c_str(), kUsage);
+      return 2;
+    }
+    configs.push_back(*config);
+  }
+  if (configs.empty()) {
+    std::fprintf(stderr, "fig6_live_runtime: --configs is empty\n%s\n", kUsage);
+    return 2;
+  }
+
+  std::printf("# fig6_live_runtime: transport=%s dist=%s service_us=%.1f mode=%s "
+              "arrivals=%s workers=%d connections=%d skew=%d duration_ms=%.0f "
+              "warmup_ms=%.0f seed=%llu\n",
+              exp.transport.c_str(), dist_name.c_str(), service_us,
+              ServiceModeName(exp.service_mode), ArrivalKindName(exp.arrivals),
+              exp.workers, exp.connections, exp.skew ? 1 : 0,
+              static_cast<double>(exp.duration) / 1e6,
+              static_cast<double>(exp.warmup) / 1e6,
+              static_cast<unsigned long long>(exp.seed));
+
+  // Load points: explicit list, or fractions of a calibrated peak.
+  std::vector<double> rates;
+  for (const std::string& token : SplitCsv(rates_csv)) {
+    double rate = ParseNumberOrDie("rates", token);
+    if (rate <= 0) {
+      std::fprintf(stderr, "fig6_live_runtime: --rates entries must be > 0\n");
+      return 2;
+    }
+    rates.push_back(rate);
+  }
+  if (rates.empty()) {
+    // Overload probe: offered load far beyond nominal capacity; the achieved
+    // completion rate IS the peak sustainable throughput on this host.
+    double nominal = static_cast<double>(exp.workers) * 1e9 /
+                     exp.service->MeanNanos();
+    double probe = calibrate_rate > 0 ? calibrate_rate : 3.0 * nominal;
+    std::printf("# calibration: probing peak throughput at %.0f rps (zygos)...\n",
+                probe);
+    std::fflush(stdout);
+    LivePoint peak_point = RunCell(exp, Config{"zygos", RuntimeMode::kZygos, true, true},
+                                   probe);
+    double peak = peak_point.achieved_rps;
+    if (peak <= 0) {
+      std::fprintf(stderr, "fig6_live_runtime: calibration produced no throughput\n");
+      return 1;
+    }
+    std::printf("# calibration: peak sustainable throughput = %.0f rps\n", peak);
+    for (const std::string& token : SplitCsv(fractions_csv)) {
+      double fraction = ParseNumberOrDie("load-fractions", token);
+      if (fraction <= 0) {
+        std::fprintf(stderr,
+                     "fig6_live_runtime: --load-fractions entries must be > 0\n");
+        return 2;
+      }
+      rates.push_back(fraction * peak);
+    }
+  }
+  // The peak-load headline, the JSON metric and both acceptance predicates all read
+  // the LAST point of a curve as "the highest load" — make that true by construction.
+  std::sort(rates.begin(), rates.end());
+
+  LiveRunInfo info;
+  info.transport = exp.transport;
+  info.distribution = dist_name;
+  info.service_us = service_us;
+  info.service_mode = ServiceModeName(exp.service_mode);
+  info.arrivals = ArrivalKindName(exp.arrivals);
+  info.workers = exp.workers;
+  info.connections = exp.connections;
+  info.skew = exp.skew;
+  info.duration_ms = static_cast<double>(exp.duration) / 1e6;
+  info.warmup_ms = static_cast<double>(exp.warmup) / 1e6;
+  info.seed = exp.seed;
+
+  PrintLiveCsvHeader(stdout);
+  std::vector<LivePoint> points;
+  for (const Config& config : configs) {
+    for (double rate : rates) {
+      LivePoint point = RunCell(exp, config, rate);
+      PrintLiveCsvRow(stdout, point);
+      std::fflush(stdout);
+      points.push_back(std::move(point));
+    }
+  }
+
+  // Headline: the acceptance view of the sweep (stable format; scripts grep it).
+  double zygos_peak = 0, no_steal_peak = 0;
+  for (const LivePoint& point : points) {
+    if (point.config == "zygos") {
+      zygos_peak = point.p99_us;  // rates ascend, so the last zygos row is the peak
+    }
+    if (point.config == "no-steal") {
+      no_steal_peak = point.p99_us;
+    }
+  }
+  std::printf("# headline: live p99@peak zygos=%.1fus no-steal=%.1fus monotone=%s "
+              "steal_leq_no_steal=%s\n",
+              zygos_peak, no_steal_peak,
+              ZygosP99MonotoneInLoad(points) ? "yes" : "no",
+              StealLeqNoStealAtPeak(points) ? "yes" : "no");
+
+  if (!json_path.empty() && !WriteLiveJsonReport(json_path, info, points)) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace zygos
+
+int main(int argc, char** argv) { return zygos::Main(argc, argv); }

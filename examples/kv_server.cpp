@@ -11,12 +11,19 @@
 //   --mode=demo    (default) start the server on a loopback ephemeral port, drive it
 //                  with in-process TCP clients over real sockets, print both sides.
 //   --mode=serve   serve on --port until SIGINT/SIGTERM (for an external client).
-//   --mode=client  drive an external server at --host:--port and measure latency.
+//   --mode=client  drive an external server at --host:--port and measure latency
+//                  (closed-loop, pipelined: a throughput probe).
+//   --mode=loadgen drive an external server with the open-loop Poisson generator
+//                  (src/loadgen/tcp_loadgen.h) at a fixed offered --rate: the
+//                  coordinated-omission-safe latency measurement (tail latencies are
+//                  measured from each request's *scheduled* send time).
 //
-// Common flags: [--workload=usr|etc] [--keys=50000] [--workers=4]
-// Client-side:  [--connections=16] [--threads=4] [--requests=40000] [--pipeline=8]
-// Example:      kv_server --mode=serve --port=7117 &
-//               kv_server --mode=client --port=7117 --requests=100000
+// Common flags:  [--workload=usr|etc] [--keys=50000] [--workers=4]
+// Client-side:   [--connections=16] [--threads=4] [--requests=40000] [--pipeline=8]
+// Loadgen-side:  [--rate=20000] [--duration-ms=2000] [--warmup-ms=500]
+//                [--arrivals=poisson|fixed]
+// Example:       kv_server --mode=serve --port=7117 &
+//                kv_server --mode=loadgen --port=7117 --rate=30000 --duration-ms=5000
 #include <arpa/inet.h>
 #include <netdb.h>
 #include <netinet/in.h>
@@ -42,6 +49,8 @@
 #include "src/common/time_units.h"
 #include "src/kvstore/service.h"
 #include "src/kvstore/workload.h"
+#include "src/loadgen/arrival.h"
+#include "src/loadgen/tcp_loadgen.h"
 #include "src/net/message.h"
 #include "src/runtime/client.h"
 #include "src/runtime/runtime.h"
@@ -280,8 +289,8 @@ struct Server {
   LatencyCollector server_latency;    // arrival at the transport -> TX
 };
 
-std::unique_ptr<Server> StartServer(const Flags& flags, const KvWorkloadSpec& spec,
-                                    uint16_t port) {
+std::unique_ptr<Server> StartServer(int workers, size_t max_flows,
+                                    const KvWorkloadSpec& spec, uint16_t port) {
   auto server = std::make_unique<Server>();
   KvWorkload workload(spec, /*seed=*/5);
   std::printf("kv_server: populating %llu keys (%s workload)...\n",
@@ -302,11 +311,11 @@ std::unique_ptr<Server> StartServer(const Flags& flags, const KvWorkloadSpec& sp
   };
 
   RuntimeOptions options;
-  options.num_workers = static_cast<int>(flags.GetInt("workers", 4));
+  options.num_workers = workers;
   // Flow ids are minted per accepted connection and never recycled, so the table
   // bounds the server's *lifetime* connection count — size it for churn, not for
   // concurrency (1M null slots is ~8 MB).
-  options.max_flows = static_cast<size_t>(flags.GetInt("max-flows", 1 << 20));
+  options.max_flows = max_flows;
   TcpTransportOptions tcp;
   tcp.port = port;
   tcp.num_queues = options.num_workers;
@@ -370,11 +379,6 @@ void PrintClientStats(const LatencyCollector& latency, const LoadTotals& totals)
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::string mode = flags.GetString("mode", "demo");
-  if (mode != "demo" && mode != "serve" && mode != "client") {
-    std::fprintf(stderr, "kv_server: unknown --mode=%s (expected demo|serve|client)\n",
-                 mode.c_str());
-    return 2;
-  }
   KvWorkloadSpec spec = flags.GetString("workload", "usr") == "etc"
                             ? KvWorkloadSpec::Etc()
                             : KvWorkloadSpec::Usr();
@@ -389,6 +393,29 @@ int Main(int argc, char** argv) {
   load.pipeline = static_cast<int>(flags.GetInt("pipeline", 8));
   load.seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
   load.spec = spec;
+
+  // Server-side knobs (read unconditionally so CheckUnknown knows every flag).
+  const int workers = static_cast<int>(flags.GetInt("workers", 4));
+  const auto max_flows = static_cast<size_t>(flags.GetInt("max-flows", 1 << 20));
+  // Open-loop (loadgen-mode) knobs.
+  const double rate = flags.GetDouble("rate", 20'000);
+  const Nanos duration = flags.GetInt("duration-ms", 2000) * kMillisecond;
+  const Nanos warmup = flags.GetInt("warmup-ms", 500) * kMillisecond;
+  const std::string arrivals_name = flags.GetString("arrivals", "poisson");
+  if (!flags.CheckUnknown(
+          "usage: kv_server [--mode=demo|serve|client|loadgen] [--workload=usr|etc]\n"
+          "  [--keys=N] [--workers=N] [--max-flows=N] [--host=H] [--port=P]\n"
+          "  [--connections=N] [--threads=N] [--requests=N] [--pipeline=N] [--seed=N]\n"
+          "  [--rate=RPS] [--duration-ms=N] [--warmup-ms=N] "
+          "[--arrivals=poisson|fixed]")) {
+    return 2;
+  }
+  if (mode != "demo" && mode != "serve" && mode != "client" && mode != "loadgen") {
+    std::fprintf(stderr,
+                 "kv_server: unknown --mode=%s (expected demo|serve|client|loadgen)\n",
+                 mode.c_str());
+    return 2;
+  }
   if (load.connections < 1 || load.threads < 1 || load.pipeline < 1) {
     std::fprintf(stderr, "kv_server: --connections, --threads and --pipeline must be "
                  "positive\n");
@@ -403,7 +430,49 @@ int Main(int argc, char** argv) {
     return ok && totals.order_violations.load() == 0 ? 0 : 1;
   }
 
-  auto server = StartServer(flags, spec, load.port);
+  if (mode == "loadgen") {
+    auto arrivals = ParseArrivalKind(arrivals_name);
+    if (!arrivals) {
+      std::fprintf(stderr, "kv_server: unknown --arrivals=%s (poisson|fixed)\n",
+                   arrivals_name.c_str());
+      return 2;
+    }
+    TcpLoadgenOptions gen;
+    gen.host = load.host;
+    gen.port = load.port;
+    gen.connections = load.connections;
+    gen.threads = load.threads;
+    gen.arrivals = *arrivals;
+    gen.rate_rps = rate;
+    gen.duration = duration;
+    gen.warmup = warmup;
+    gen.seed = load.seed;
+    gen.make_payload = [workload = KvWorkload(spec, load.seed)](Rng& rng,
+                                                               std::string& out) {
+      out = workload.SampleRequest(rng);
+    };
+    std::printf("kv_server: open-loop %s load, %.0f rps offered, %d connections, "
+                "%.0f ms window (%.0f ms warmup)\n",
+                ArrivalKindName(gen.arrivals), gen.rate_rps, gen.connections,
+                static_cast<double>(gen.duration) / 1e6,
+                static_cast<double>(gen.warmup) / 1e6);
+    TcpLoadgenResult result = RunTcpLoadgen(gen);
+    std::printf("loadgen: sent %llu  completed %llu  measured %llu  lost %llu  "
+                "mismatches %llu  max send lag %.1f us\n",
+                static_cast<unsigned long long>(result.sent),
+                static_cast<unsigned long long>(result.completed),
+                static_cast<unsigned long long>(result.measured),
+                static_cast<unsigned long long>(result.lost),
+                static_cast<unsigned long long>(result.mismatches),
+                ToMicros(result.max_send_lag));
+    std::printf("loadgen: achieved %.0f rps  latency p50 %.1f us  p99 %.1f us  "
+                "p999 %.1f us (scheduled-send -> response, CO-safe)\n",
+                result.achieved_rps(), ToMicros(result.latency.P50()),
+                ToMicros(result.latency.P99()), ToMicros(result.latency.P999()));
+    return result.clean ? 0 : 1;
+  }
+
+  auto server = StartServer(workers, max_flows, spec, load.port);
 
   if (mode == "serve") {
     std::signal(SIGINT, OnSignal);

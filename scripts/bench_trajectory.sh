@@ -22,7 +22,7 @@ REQUESTS="${BENCH_REQUESTS:-20000}"
 POINTS="${BENCH_POINTS:-6}"
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
-for bin in fig8_steal_rate fig6_latency_throughput micro_dataplane; do
+for bin in fig8_steal_rate fig6_latency_throughput micro_dataplane fig6_live_runtime; do
   if [[ ! -x "${BUILD_DIR}/bench/${bin}" ]]; then
     echo "bench_trajectory: ${BUILD_DIR}/bench/${bin} not built (run cmake --build first)" >&2
     exit 1
@@ -102,5 +102,32 @@ printf '%s\n' "${dp_json}" > "${OUT_DIR}/BENCH_micro_dataplane.json"
 # PR-numbered snapshot: this refactor's acceptance record (pooled vs string).
 printf '%s\n' "${dp_json}" > "${OUT_DIR}/BENCH_0003.json"
 echo "   dataplane_pooled_echo_ns_per_op = ${pooled_ns} ns (string ${string_ns} ns, ${speedup}x, ${pooled_allocs} allocs/op) -> ${OUT_DIR}/BENCH_micro_dataplane.json"
+
+# --- fig6_live: the LIVE runtime under open-loop load (zygos vs no-steal vs no-ipi) ----
+# The binary itself writes the BENCH-contract JSON (src/loadgen/report.h), including
+# the two acceptance booleans; this script stamps the commit and gates on them.
+# Wall-clock latencies are host-dependent; the *relative* curves (monotone-in-load
+# p99, stealing <= no-steal at the peak load) are the tracked invariants. The sleep-
+# mode service keeps the scheduling policies distinguishable on CI hosts with fewer
+# hardware threads than workers (see src/loadgen/spin_service.h).
+LIVE_DURATION_MS="${BENCH_LIVE_DURATION_MS:-1500}"
+echo "== fig6_live_runtime (live data plane, duration=${LIVE_DURATION_MS}ms/point)"
+live_json="${OUT_DIR}/BENCH_fig6_live.json"
+"${BUILD_DIR}/bench/fig6_live_runtime" --transport=loopback --dist=exponential \
+  --service-us=300 --service-mode=sleep --workers=2 --connections=16 \
+  --duration-ms="${LIVE_DURATION_MS}" --warmup-ms=400 --seed=3 --json="${live_json}"
+sed -i "s/\"commit\": \"\"/\"commit\": \"${COMMIT}\"/" "${live_json}"
+if ! grep -q '"zygos_p99_monotone_in_load": true' "${live_json}"; then
+  echo "bench_trajectory: live zygos p99 is not monotone in load — noisy host or regression; rerun or investigate" >&2
+  exit 1
+fi
+if ! grep -q '"steal_leq_no_steal_at_peak": true' "${live_json}"; then
+  echo "bench_trajectory: stealing did not beat no-steal at the peak load point — regression in the steal path?" >&2
+  exit 1
+fi
+# PR-numbered snapshot: the live-harness acceptance record.
+cp "${live_json}" "${OUT_DIR}/BENCH_0004.json"
+live_p99="$(sed -nE 's/^  "value": ([0-9.]+),$/\1/p' "${live_json}" | head -1)"
+echo "   live_zygos_p99_us_at_peak_load = ${live_p99} us  -> ${live_json}"
 
 echo "bench_trajectory OK (commit ${COMMIT})"

@@ -40,6 +40,33 @@ if [[ -z "${pooled_allocs}" ]] || ! awk -v a="${pooled_allocs}" 'BEGIN {exit !(a
   exit 1
 fi
 
+echo "== smoke: bench/fig6_live_runtime (one low-load point, loopback, live runtime)"
+live_json="${BUILD_DIR}/fig6_live_smoke.json"
+rm -f "${live_json}"
+"${BUILD_DIR}/bench/fig6_live_runtime" --transport=loopback --configs=zygos \
+  --rates=1500 --duration-ms=400 --warmup-ms=100 --dist=exponential \
+  --service-us=100 --service-mode=sleep --workers=2 --connections=8 --seed=7 \
+  --json="${live_json}" | tee /dev/stderr | grep -q '^zygos,' || {
+    echo "ci: fig6_live_runtime emitted no zygos CSV row" >&2; exit 1; }
+if command -v python3 > /dev/null; then
+  python3 -m json.tool "${live_json}" > /dev/null || {
+    echo "ci: ${live_json} is malformed JSON" >&2; exit 1; }
+else
+  grep -q '"metric": "live_zygos_p99_us_at_peak_load"' "${live_json}" || {
+    echo "ci: ${live_json} is missing the live-runtime metric" >&2; exit 1; }
+fi
+
+echo "== smoke: kv_server open-loop loadgen mode over real TCP"
+"${BUILD_DIR}/examples/kv_server" --mode=serve --port=7411 --workers=2 --keys=5000 &
+kv_pid=$!
+trap 'kill "${kv_pid}" 2>/dev/null || true' EXIT
+sleep 1
+"${BUILD_DIR}/examples/kv_server" --mode=loadgen --port=7411 --rate=3000 \
+  --duration-ms=600 --warmup-ms=200 --connections=4 --threads=2 --keys=5000
+kill -TERM "${kv_pid}"
+wait "${kv_pid}"
+trap - EXIT
+
 echo "== warnings-as-errors configure of the transport layer (${BUILD_DIR}-werror)"
 cmake -B "${BUILD_DIR}-werror" -S . -DZYGOS_WERROR=ON \
   -DZYGOS_BUILD_BENCH=OFF -DZYGOS_BUILD_EXAMPLES=OFF -DZYGOS_BUILD_TESTS=OFF

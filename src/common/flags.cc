@@ -1,8 +1,23 @@
 #include "src/common/flags.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace zygos {
+
+namespace {
+
+// Whole-string numeric parse: trailing garbage ("10k") or an empty value is an error.
+// Benchmarks must die on a mis-typed knob, not silently run a different experiment.
+[[noreturn]] void DieBadValue(const std::string& name, const std::string& value,
+                              const char* kind) {
+  std::fprintf(stderr, "flags: --%s=%s is not a valid %s\n", name.c_str(),
+               value.c_str(), kind);
+  std::exit(2);
+}
+
+}  // namespace
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -24,28 +39,85 @@ Flags::Flags(int argc, char** argv) {
 }
 
 std::string Flags::GetString(const std::string& name, const std::string& def) const {
+  known_.insert(name);
   auto it = values_.find(name);
   return it == values_.end() ? def : it->second;
 }
 
 int64_t Flags::GetInt(const std::string& name, int64_t def) const {
-  auto it = values_.find(name);
-  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
-}
-
-double Flags::GetDouble(const std::string& name, double def) const {
-  auto it = values_.find(name);
-  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
-}
-
-bool Flags::GetBool(const std::string& name, bool def) const {
+  known_.insert(name);
   auto it = values_.find(name);
   if (it == values_.end()) {
     return def;
   }
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  errno = 0;
+  char* end = nullptr;
+  int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    DieBadValue(name, it->second, "integer");
+  }
+  return value;
 }
 
-bool Flags::Has(const std::string& name) const { return values_.count(name) > 0; }
+double Flags::GetDouble(const std::string& name, double def) const {
+  known_.insert(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return def;
+  }
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    DieBadValue(name, it->second, "number");
+  }
+  return value;
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  known_.insert(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return def;
+  }
+  if (it->second == "true" || it->second == "1" || it->second == "yes") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0" || it->second == "no") {
+    return false;
+  }
+  DieBadValue(name, it->second, "boolean (true/false/1/0/yes/no)");
+}
+
+bool Flags::Has(const std::string& name) const {
+  known_.insert(name);
+  return values_.count(name) > 0;
+}
+
+std::vector<std::string> Flags::UnknownFlags() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    if (known_.count(name) == 0) {
+      unknown.push_back(name);
+    }
+  }
+  return unknown;
+}
+
+bool Flags::CheckUnknown(const std::string& usage) const {
+  bool ok = true;
+  for (const std::string& name : UnknownFlags()) {
+    std::fprintf(stderr, "flags: unknown flag --%s\n", name.c_str());
+    ok = false;
+  }
+  for (const std::string& arg : positional_) {
+    std::fprintf(stderr, "flags: unexpected argument '%s'\n", arg.c_str());
+    ok = false;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "%s\n", usage.c_str());
+  }
+  return ok;
+}
 
 }  // namespace zygos

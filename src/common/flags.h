@@ -3,13 +3,23 @@
 // Supports `--name=value` and `--name value` forms plus bare `--name` for booleans.
 // Benchmarks use this to expose the sweep parameters (service time, distribution, load
 // points, request counts) without pulling in a heavyweight dependency.
+//
+// Unknown-flag rejection: every Get*/Has call registers its flag name as known; after
+// reading all flags, a binary calls CheckUnknown(usage) which fails (with the usage
+// line) if argv contained a flag no getter asked for. A typo like --durationms then
+// dies loudly instead of silently running with the default — measurement binaries
+// must never mis-run an experiment because a knob was ignored.
+//
 // Contract: parse once at startup from main's argv; not thread-safe, not intended
-// for use after worker threads start.
+// for use after worker threads start. Numeric getters treat a malformed value
+// (e.g. --requests=10k) as a fatal error: they print to stderr and exit(2) rather
+// than return a half-parsed number.
 #ifndef ZYGOS_COMMON_FLAGS_H_
 #define ZYGOS_COMMON_FLAGS_H_
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -20,7 +30,8 @@ class Flags {
   // Parses argv. Unrecognized positional arguments are collected in Positional().
   Flags(int argc, char** argv);
 
-  // Typed getters; return `def` when the flag is absent.
+  // Typed getters; return `def` when the flag is absent. Numeric getters exit(2) on a
+  // malformed value. Each call registers `name` as a known flag for CheckUnknown.
   std::string GetString(const std::string& name, const std::string& def) const;
   int64_t GetInt(const std::string& name, int64_t def) const;
   double GetDouble(const std::string& name, double def) const;
@@ -29,9 +40,21 @@ class Flags {
   bool Has(const std::string& name) const;
   const std::vector<std::string>& Positional() const { return positional_; }
 
+  // Flags present on the command line that no getter/Has call ever asked for (i.e.
+  // typos). Call after all Get* calls.
+  std::vector<std::string> UnknownFlags() const;
+
+  // Returns true when every command-line flag was consumed by a getter and no stray
+  // positional arguments remain; otherwise prints the offenders plus `usage` to
+  // stderr and returns false (callers exit non-zero). Call after all Get* calls —
+  // the getters are what registers a flag as known.
+  bool CheckUnknown(const std::string& usage) const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  // Names the binary asked for; mutable because querying a flag is logically const.
+  mutable std::set<std::string> known_;
 };
 
 }  // namespace zygos

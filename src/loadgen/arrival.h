@@ -1,0 +1,70 @@
+// Arrival processes for the open-loop load generator.
+//
+// An open-loop generator derives every send time from the arrival process alone:
+// next_send = previous_scheduled_send + NextGapNanos(). Responses never feed back
+// into the schedule — that independence is what makes the generator immune to
+// coordinated omission (a server stall delays *actual* sends, but latency is
+// measured from the *scheduled* time, so the stall shows up in the tail instead of
+// being silently clipped out of it). tests/loadgen_test.cc asserts this property.
+//
+// Contract: gaps are Nanos >= 0 with mean 1e9/rate_rps. Deterministic for a fixed
+// seed. Not thread-safe — one ArrivalProcess per generator thread (split an
+// aggregate rate R over T threads as R/T per process with distinct seeds; the
+// superposition of independent Poisson processes is Poisson).
+#ifndef ZYGOS_LOADGEN_ARRIVAL_H_
+#define ZYGOS_LOADGEN_ARRIVAL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/rng.h"
+#include "src/common/time_units.h"
+
+namespace zygos {
+
+enum class ArrivalKind {
+  kPoisson,  // exponential inter-arrival gaps: the paper's (and mutilate's) default
+  kFixed,    // constant gaps: a deterministic-rate probe (no burstiness)
+};
+
+// Name accepted by ParseArrivalKind and printed in benchmark output.
+inline const char* ArrivalKindName(ArrivalKind kind) {
+  return kind == ArrivalKind::kPoisson ? "poisson" : "fixed";
+}
+
+inline std::optional<ArrivalKind> ParseArrivalKind(std::string_view name) {
+  if (name == "poisson") {
+    return ArrivalKind::kPoisson;
+  }
+  if (name == "fixed") {
+    return ArrivalKind::kFixed;
+  }
+  return std::nullopt;
+}
+
+class ArrivalProcess {
+ public:
+  // `rate_rps` must be > 0.
+  ArrivalProcess(ArrivalKind kind, double rate_rps, uint64_t seed)
+      : kind_(kind), mean_gap_ns_(1e9 / rate_rps), rng_(seed) {}
+
+  // Draws the next inter-arrival gap.
+  Nanos NextGapNanos() {
+    double gap = kind_ == ArrivalKind::kPoisson ? rng_.NextExponential(mean_gap_ns_)
+                                                : mean_gap_ns_;
+    return static_cast<Nanos>(gap);
+  }
+
+  ArrivalKind kind() const { return kind_; }
+  double mean_gap_ns() const { return mean_gap_ns_; }
+
+ private:
+  ArrivalKind kind_;
+  double mean_gap_ns_;
+  Rng rng_;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_LOADGEN_ARRIVAL_H_

@@ -1,0 +1,53 @@
+#include "src/loadgen/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace zygos {
+
+void WaitUntilNanos(Nanos deadline) {
+  // Sleep only while comfortably far out (the OS wakes us late by ~50 µs), then spin.
+  constexpr Nanos kSpinWindow = 100 * kMicrosecond;
+  constexpr Nanos kSleepSlack = 50 * kMicrosecond;
+  Nanos now = NowNanos();
+  while (now < deadline) {
+    Nanos remaining = deadline - now;
+    if (remaining > kSpinWindow) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(remaining - kSleepSlack));
+    }
+    now = NowNanos();
+  }
+}
+
+GeneratorResult OpenLoopGenerator::RunFrom(Nanos start, LoadSink& sink) {
+  GeneratorResult result;
+  result.window_end = start + options_.duration;
+  const std::string payload(options_.payload_size, 'x');
+  ArrivalProcess arrivals(options_.arrivals, options_.rate_rps, options_.seed);
+  // Separate stream for flow choice: the schedule (send times) must not shift when
+  // the flow population changes, and vice versa.
+  Rng flow_rng(options_.seed ^ 0x6c0adb0a11dbeefULL);
+  const auto num_flows = static_cast<uint64_t>(options_.num_flows);
+
+  Nanos next = start;
+  uint64_t request_id = 0;
+  while (true) {
+    next += arrivals.NextGapNanos();
+    if (next >= result.window_end) {
+      break;  // schedule exhausted — termination depends on the schedule alone
+    }
+    WaitUntilNanos(next);
+    uint64_t flow_id = flow_rng.NextBounded(num_flows);
+    if (sink.Send(request_id, flow_id, next, payload)) {
+      result.sent++;
+    } else {
+      result.dropped++;
+    }
+    result.max_send_lag = std::max(result.max_send_lag, NowNanos() - next);
+    request_id++;
+  }
+  return result;
+}
+
+}  // namespace zygos

@@ -1,0 +1,143 @@
+// Open-loop load generator core: schedules send times from the arrival process alone
+// and measures latency from the *scheduled* send time — the coordinated-omission-safe
+// methodology behind every live-runtime latency number in this repo (see
+// docs/ARCHITECTURE.md "Measurement methodology").
+//
+// Pieces:
+//   LoadSink            where requests go (the live runtime via LoopbackSink, a TCP
+//                       socket via src/loadgen/tcp_loadgen.h, or a test double).
+//   OpenLoopGenerator   paces one schedule over a sink. The schedule — send times and
+//                       flow choices — is a pure function of (options, start); a slow
+//                       sink delays actual sends but never the scheduled times or the
+//                       number of requests, so server stalls surface as tail latency
+//                       instead of silently thinning the load (the coordinated-
+//                       omission guard; asserted by tests/loadgen_test.cc).
+//   MeasuredCompletion  completion-side collector with a warmup window: completions of
+//                       requests *scheduled* before measure_start are discarded, so
+//                       cold-start transients never pollute the reported percentiles.
+//
+// Contract: all timestamps are wall-clock Nanos (NowNanos). OpenLoopGenerator blocks
+// on the calling thread and is single-use per Run. MeasuredCompletion is thread-safe
+// (completion callbacks on all workers). Latency = completion time - scheduled send
+// time, in Nanos.
+#ifndef ZYGOS_LOADGEN_LOADGEN_H_
+#define ZYGOS_LOADGEN_LOADGEN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/time_units.h"
+#include "src/loadgen/arrival.h"
+#include "src/runtime/client.h"
+#include "src/runtime/runtime.h"
+
+namespace zygos {
+
+// Destination of generated requests. Send must not throw; it returns false when the
+// request was dropped at ingress (full ring) — the generator counts it and moves on,
+// like a NIC dropping under overload.
+class LoadSink {
+ public:
+  virtual ~LoadSink() = default;
+
+  // One request: deliver `payload` on `flow_id`, measuring latency from
+  // `scheduled_send` (absolute Nanos; may be slightly in the past when the generator
+  // is running late — forwarding it unchanged is what makes the measurement
+  // coordinated-omission safe).
+  virtual bool Send(uint64_t request_id, uint64_t flow_id, Nanos scheduled_send,
+                    const std::string& payload) = 0;
+};
+
+// Feeds the in-process runtime (loopback transport): Inject with the scheduled send
+// time as the arrival stamp, so the completion callback reports scheduled-to-TX
+// latency.
+class LoopbackSink final : public LoadSink {
+ public:
+  explicit LoopbackSink(Runtime& runtime) : runtime_(runtime) {}
+
+  bool Send(uint64_t request_id, uint64_t flow_id, Nanos scheduled_send,
+            const std::string& payload) override {
+    return runtime_.Inject(flow_id, request_id, payload, scheduled_send);
+  }
+
+ private:
+  Runtime& runtime_;
+};
+
+struct GeneratorOptions {
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+  double rate_rps = 10'000;    // offered load of this generator
+  Nanos duration = kSecond;    // send window (includes any warmup the harness applies)
+  int num_flows = 16;          // requests are spread uniformly over flow ids [0, n)
+  size_t payload_size = 32;
+  uint64_t seed = 1;
+};
+
+struct GeneratorResult {
+  uint64_t sent = 0;
+  uint64_t dropped = 0;     // sink refused (ingress overflow)
+  Nanos window_end = 0;     // start + duration (scheduled, not wall-clock)
+  // Worst observed (actual send - scheduled send): how far the generator itself fell
+  // behind its schedule. Large values mean the *generator host* was the bottleneck —
+  // treat the point's latencies as upper bounds.
+  Nanos max_send_lag = 0;
+};
+
+class OpenLoopGenerator {
+ public:
+  explicit OpenLoopGenerator(GeneratorOptions options) : options_(options) {}
+
+  // Paces the schedule starting at absolute time `start` (callers pass NowNanos();
+  // a fixed start makes the whole schedule reproducible for tests). Blocks until the
+  // last request of the window is handed to the sink.
+  GeneratorResult RunFrom(Nanos start, LoadSink& sink);
+
+ private:
+  GeneratorOptions options_;
+};
+
+// Completion-side latency collector with a warmup window. Wire Handler() as the
+// transport's completion handler; completions whose arrival stamp (== the request's
+// scheduled send time under LoopbackSink) predates measure_start are discarded.
+class MeasuredCompletion {
+ public:
+  // Must be set before traffic starts (not thread-safe against in-flight recording).
+  void set_measure_start(Nanos t) { measure_start_.store(t, std::memory_order_release); }
+  Nanos measure_start() const { return measure_start_.load(std::memory_order_acquire); }
+
+  CompletionHandler Handler() {
+    return [this](uint64_t flow_id, uint64_t request_id, std::string_view response,
+                  Nanos arrival) {
+      (void)flow_id;
+      (void)request_id;
+      (void)response;
+      if (arrival >= measure_start_.load(std::memory_order_acquire)) {
+        collector_.Record(arrival);
+        measured_.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+  }
+
+  // Completions inside the measurement window so far.
+  uint64_t measured_count() const { return measured_.load(std::memory_order_relaxed); }
+
+  // Merged histogram of measured latencies (safe while traffic runs).
+  LatencyHistogram Snapshot() const { return collector_.Snapshot(); }
+
+ private:
+  LatencyCollector collector_;
+  std::atomic<Nanos> measure_start_{0};
+  std::atomic<uint64_t> measured_{0};
+};
+
+// Hybrid wall-clock wait used by every generator: sleep for the bulk of the gap,
+// busy-poll the last stretch for microsecond pacing accuracy. Returns immediately
+// when `deadline` has already passed.
+void WaitUntilNanos(Nanos deadline);
+
+}  // namespace zygos
+
+#endif  // ZYGOS_LOADGEN_LOADGEN_H_

@@ -1,0 +1,139 @@
+#include "src/loadgen/report.h"
+
+#include <algorithm>
+
+namespace zygos {
+
+namespace {
+
+std::vector<const LivePoint*> PointsOf(const std::vector<LivePoint>& points,
+                                       const std::string& config) {
+  std::vector<const LivePoint*> out;
+  for (const LivePoint& point : points) {
+    if (point.config == config) {
+      out.push_back(&point);
+    }
+  }
+  return out;
+}
+
+void PrintJsonArray(FILE* out, const std::vector<const LivePoint*>& points,
+                    double LivePoint::* field) {
+  std::fputc('[', out);
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(out, "%s%.2f", i == 0 ? "" : ", ", points[i]->*field);
+  }
+  std::fputc(']', out);
+}
+
+}  // namespace
+
+void PrintLiveCsvHeader(FILE* out) {
+  std::fprintf(out,
+               "config,offered_rps,achieved_rps,p50_us,p99_us,p999_us,mean_us,max_us,"
+               "measured,sent,dropped,send_lag_max_us,steals,doorbells\n");
+}
+
+void PrintLiveCsvRow(FILE* out, const LivePoint& p) {
+  std::fprintf(out,
+               "%s,%.0f,%.0f,%.1f,%.1f,%.1f,%.1f,%.1f,%llu,%llu,%llu,%.1f,%llu,%llu\n",
+               p.config.c_str(), p.offered_rps, p.achieved_rps, p.p50_us, p.p99_us,
+               p.p999_us, p.mean_us, p.max_us,
+               static_cast<unsigned long long>(p.measured),
+               static_cast<unsigned long long>(p.sent),
+               static_cast<unsigned long long>(p.dropped), p.send_lag_max_us,
+               static_cast<unsigned long long>(p.steals),
+               static_cast<unsigned long long>(p.doorbells_sent));
+}
+
+bool ZygosP99MonotoneInLoad(const std::vector<LivePoint>& points) {
+  std::vector<const LivePoint*> zygos = PointsOf(points, "zygos");
+  for (size_t i = 1; i < zygos.size(); ++i) {
+    if (zygos[i]->p99_us < zygos[i - 1]->p99_us) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool StealLeqNoStealAtPeak(const std::vector<LivePoint>& points) {
+  std::vector<const LivePoint*> zygos = PointsOf(points, "zygos");
+  std::vector<const LivePoint*> no_steal = PointsOf(points, "no-steal");
+  if (zygos.empty() || no_steal.empty()) {
+    return true;
+  }
+  // Highest common load point: both sweeps run the same ascending rate list, so the
+  // last row of the shorter curve is the comparison cell.
+  size_t common = std::min(zygos.size(), no_steal.size());
+  return zygos[common - 1]->p99_us <= no_steal[common - 1]->p99_us;
+}
+
+bool WriteLiveJsonReport(const std::string& path, const LiveRunInfo& info,
+                         const std::vector<LivePoint>& points) {
+  std::vector<const LivePoint*> zygos = PointsOf(points, "zygos");
+  if (zygos.empty()) {
+    std::fprintf(stderr, "report: no 'zygos' points — refusing to write %s\n",
+                 path.c_str());
+    return false;
+  }
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "report: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"metric\": \"live_zygos_p99_us_at_peak_load\",\n"
+               "  \"value\": %.2f,\n"
+               "  \"unit\": \"us\",\n"
+               "  \"commit\": \"\",\n"
+               "  \"params\": {\n"
+               "    \"transport\": \"%s\", \"distribution\": \"%s\", "
+               "\"service_us\": %.2f, \"service_mode\": \"%s\",\n"
+               "    \"arrivals\": \"%s\", \"workers\": %d, \"connections\": %d, "
+               "\"skew\": %s,\n"
+               "    \"duration_ms\": %.0f, \"warmup_ms\": %.0f, \"seed\": %llu,\n",
+               zygos.back()->p99_us, info.transport.c_str(), info.distribution.c_str(),
+               info.service_us, info.service_mode.c_str(), info.arrivals.c_str(),
+               info.workers, info.connections, info.skew ? "true" : "false",
+               info.duration_ms, info.warmup_ms,
+               static_cast<unsigned long long>(info.seed));
+  std::fprintf(out, "    \"zygos_p99_monotone_in_load\": %s,\n",
+               ZygosP99MonotoneInLoad(points) ? "true" : "false");
+  std::fprintf(out, "    \"steal_leq_no_steal_at_peak\": %s,\n",
+               StealLeqNoStealAtPeak(points) ? "true" : "false");
+
+  // One curve block per config present, in first-appearance order.
+  std::vector<std::string> configs;
+  for (const LivePoint& point : points) {
+    if (std::find(configs.begin(), configs.end(), point.config) == configs.end()) {
+      configs.push_back(point.config);
+    }
+  }
+  std::fprintf(out, "    \"curves\": {\n");
+  for (size_t c = 0; c < configs.size(); ++c) {
+    std::vector<const LivePoint*> curve = PointsOf(points, configs[c]);
+    // JSON keys use underscores; the CSV keeps the hyphenated config names.
+    std::string key = configs[c];
+    std::replace(key.begin(), key.end(), '-', '_');
+    std::fprintf(out, "      \"%s\": {\"offered_rps\": ", key.c_str());
+    PrintJsonArray(out, curve, &LivePoint::offered_rps);
+    std::fprintf(out, ", \"achieved_rps\": ");
+    PrintJsonArray(out, curve, &LivePoint::achieved_rps);
+    std::fprintf(out, ", \"p50_us\": ");
+    PrintJsonArray(out, curve, &LivePoint::p50_us);
+    std::fprintf(out, ", \"p99_us\": ");
+    PrintJsonArray(out, curve, &LivePoint::p99_us);
+    std::fprintf(out, ", \"p999_us\": ");
+    PrintJsonArray(out, curve, &LivePoint::p999_us);
+    std::fprintf(out, "}%s\n", c + 1 == configs.size() ? "" : ",");
+  }
+  std::fprintf(out, "    }\n  }\n}\n");
+  bool ok = std::fclose(out) == 0;
+  if (!ok) {
+    std::fprintf(stderr, "report: write to %s failed\n", path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace zygos

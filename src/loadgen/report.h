@@ -1,0 +1,81 @@
+// Result reporting for live-runtime experiments: the stable CSV stdout contract and
+// the BENCH_*.json report file that scripts/bench_trajectory.sh and scripts/ci.sh
+// consume (bench/README.md "live-runtime figures").
+//
+// One LivePoint per (config, load) cell of a sweep. The JSON report follows the
+// repo's BENCH contract ({metric, value, unit, commit, params}): the headline value
+// is the full-ZygOS p99 at the highest swept load, and params carries every curve
+// plus two precomputed acceptance booleans —
+//   zygos_p99_monotone_in_load : ZygOS p99 never decreases as offered load rises
+//   steal_leq_no_steal_at_peak : ZygOS p99 <= no-steal p99 at the highest common load
+// so shell harnesses can grep instead of re-deriving them. `commit` is written empty
+// ("") and stamped by scripts/bench_trajectory.sh.
+//
+// Contract: not thread-safe (assemble points after the run); latencies in the CSV and
+// JSON are microseconds, rates are requests/second.
+#ifndef ZYGOS_LOADGEN_REPORT_H_
+#define ZYGOS_LOADGEN_REPORT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace zygos {
+
+// One measured sweep cell. `config` is the runtime ablation ("zygos", "no-steal",
+// "no-ipi"); load cells of one config must be appended in ascending offered_rps order.
+struct LivePoint {
+  std::string config;
+  double offered_rps = 0;
+  double achieved_rps = 0;
+  uint64_t sent = 0;
+  uint64_t measured = 0;  // completions inside the measurement window
+  uint64_t dropped = 0;   // ingress drops (loopback ring full) or TCP losses
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double mean_us = 0;
+  double max_us = 0;
+  double send_lag_max_us = 0;  // generator lateness (see GeneratorResult::max_send_lag)
+  uint64_t steals = 0;
+  uint64_t stolen_events = 0;
+  uint64_t doorbells_sent = 0;
+  uint64_t remote_syscalls = 0;
+};
+
+// Experiment-wide parameters echoed into the CSV preamble and the JSON params block.
+struct LiveRunInfo {
+  std::string transport;     // "loopback" | "tcp"
+  std::string distribution;  // service-time distribution name
+  double service_us = 0;
+  std::string service_mode;  // "spin" | "sleep"
+  std::string arrivals;      // "poisson" | "fixed"
+  int workers = 0;
+  int connections = 0;
+  bool skew = false;  // all flow groups homed on core 0
+  double duration_ms = 0;
+  double warmup_ms = 0;
+  uint64_t seed = 0;
+};
+
+// CSV contract (stdout): header row then one row per point, `#` lines are prose.
+//   config,offered_rps,achieved_rps,p50_us,p99_us,p999_us,mean_us,max_us,
+//   measured,sent,dropped,send_lag_max_us,steals,doorbells
+void PrintLiveCsvHeader(FILE* out);
+void PrintLiveCsvRow(FILE* out, const LivePoint& point);
+
+// Acceptance predicates (see the header comment). Configs are matched by exact name;
+// an absent config makes the predicate vacuously true.
+bool ZygosP99MonotoneInLoad(const std::vector<LivePoint>& points);
+bool StealLeqNoStealAtPeak(const std::vector<LivePoint>& points);
+
+// Writes the BENCH-contract JSON report. Returns false (and prints to stderr) on I/O
+// failure. `points` must hold at least one "zygos" row.
+bool WriteLiveJsonReport(const std::string& path, const LiveRunInfo& info,
+                         const std::vector<LivePoint>& points);
+
+}  // namespace zygos
+
+#endif  // ZYGOS_LOADGEN_REPORT_H_

@@ -1,0 +1,305 @@
+#include "src/loadgen/tcp_loadgen.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "src/concurrency/spinlock.h"
+#include "src/loadgen/loadgen.h"
+#include "src/net/message.h"
+
+namespace zygos {
+
+namespace {
+
+int ConnectTo(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  std::string service = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &resolved);
+  if (rc != 0) {
+    std::fprintf(stderr, "tcp_loadgen: cannot resolve %s: %s\n", host.c_str(),
+                 ::gai_strerror(rc));
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  if (fd < 0) {
+    std::fprintf(stderr, "tcp_loadgen: cannot connect to %s:%u: %s\n", host.c_str(),
+                 static_cast<unsigned>(port), std::strerror(errno));
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t w = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) {
+      continue;
+    }
+    if (w <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+// One generator-side connection: socket, response reassembly, and the FIFO of
+// (request id, scheduled send time) pairs awaiting responses. Per-connection response
+// ordering (the §4.3 guarantee) makes latency matching a queue pop.
+struct GenConn {
+  int fd = -1;
+  FrameParser parser;
+  std::deque<std::pair<uint64_t, Nanos>> in_flight;
+  uint64_t next_id = 0;
+};
+
+// Everything one generator thread shares with the aggregation step.
+struct ThreadTotals {
+  uint64_t sent = 0;
+  uint64_t completed = 0;
+  uint64_t measured = 0;
+  uint64_t lost = 0;
+  uint64_t mismatches = 0;
+  Nanos max_send_lag = 0;
+  Nanos finished_at = 0;
+  bool clean = true;
+  LatencyHistogram latency;
+};
+
+// Drains whatever is readable on `conn`, matching responses against the in-flight
+// FIFO and recording measured-window latencies.
+void DrainReadable(GenConn& conn, std::string& buffer, Nanos measure_start,
+                   ThreadTotals& totals) {
+  while (true) {
+    ssize_t r = ::recv(conn.fd, buffer.data(), buffer.size(), MSG_DONTWAIT);
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      return;
+    }
+    if (r <= 0) {
+      totals.clean = false;  // peer hung up (or hard error) with requests outstanding
+      ::close(conn.fd);
+      conn.fd = -1;
+      totals.lost += conn.in_flight.size();
+      conn.in_flight.clear();
+      return;
+    }
+    conn.parser.Feed(buffer.data(), static_cast<size_t>(r));
+    for (Message& msg : conn.parser.TakeMessages()) {
+      Nanos now = NowNanos();
+      if (conn.in_flight.empty() || conn.in_flight.front().first != msg.request_id) {
+        // Ordering violation: responses can no longer be matched to send times, so
+        // every number this connection would produce is suspect. Sever it and count
+        // the outstanding requests as lost — keeping it alive would let the stale
+        // responses cascade into fresh mismatches and silently corrupt accounting.
+        totals.mismatches++;
+        totals.lost += conn.in_flight.size();
+        conn.in_flight.clear();
+        ::close(conn.fd);
+        conn.fd = -1;
+        return;
+      }
+      Nanos scheduled = conn.in_flight.front().second;
+      conn.in_flight.pop_front();
+      totals.completed++;
+      if (scheduled >= measure_start) {
+        totals.latency.Record(now - scheduled);
+        totals.measured++;
+      }
+    }
+    if (static_cast<size_t>(r) < buffer.size()) {
+      return;  // socket drained
+    }
+  }
+}
+
+void GeneratorThread(const TcpLoadgenOptions& options, int thread_index, int threads,
+                     Nanos start, ThreadTotals& totals) {
+  // This thread's connection share.
+  std::vector<GenConn> conns;
+  for (int c = thread_index; c < options.connections; c += threads) {
+    GenConn conn;
+    conn.fd = ConnectTo(options.host, options.port);
+    if (conn.fd < 0) {
+      totals.clean = false;
+      for (GenConn& opened : conns) {
+        ::close(opened.fd);
+      }
+      totals.finished_at = NowNanos();
+      return;
+    }
+    conns.push_back(std::move(conn));
+  }
+
+  const Nanos measure_start = start + options.warmup;
+  const Nanos window_end = start + options.duration;
+  const uint64_t thread_seed = options.seed + static_cast<uint64_t>(thread_index) * 7919;
+  ArrivalProcess arrivals(options.arrivals, options.rate_rps / threads, thread_seed);
+  Rng rng(thread_seed ^ 0x7cb9fe1dULL);  // payloads + connection choice
+  std::string buffer(16 * 1024, '\0');
+  std::string payload;
+  std::string frame;
+  std::vector<pollfd> pfds(conns.size());
+
+  auto poll_once = [&](int timeout_ms) {
+    for (size_t i = 0; i < conns.size(); ++i) {
+      pfds[i] = pollfd{conns[i].fd, POLLIN, 0};
+    }
+    if (::poll(pfds.data(), pfds.size(), timeout_ms) <= 0) {
+      return;
+    }
+    for (size_t i = 0; i < conns.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0 && conns[i].fd >= 0) {
+        DrainReadable(conns[i], buffer, measure_start, totals);
+      }
+    }
+  };
+
+  // Send window: pace the schedule, reaping responses while waiting for each slot.
+  // Threads are phase-staggered by i/R: with fixed gaps, identical start times would
+  // turn T independent rate-R/T schedules into synchronized T-request bursts instead
+  // of one evenly spaced rate-R stream (for Poisson the phase shift is harmless —
+  // the superposition argument needs only independence).
+  Nanos next = start + static_cast<Nanos>(static_cast<double>(thread_index) *
+                                          (1e9 / options.rate_rps));
+  while (true) {
+    next += arrivals.NextGapNanos();
+    if (next >= window_end) {
+      break;
+    }
+    // Wait out the gap without going deaf: sleep inside poll() while the slot is
+    // far (ms granularity), spin with zero-timeout polls for the last stretch.
+    while (true) {
+      Nanos now = NowNanos();
+      if (now >= next) {
+        break;
+      }
+      Nanos remaining = next - now;
+      poll_once(remaining > 2 * kMillisecond
+                    ? static_cast<int>((remaining - kMillisecond) / kMillisecond)
+                    : 0);
+    }
+    GenConn& conn = conns[rng.NextBounded(conns.size())];
+    if (conn.fd < 0) {
+      // Connection died earlier: the scheduled request cannot be sent — count it as
+      // lost so sent/lost accounting still covers the whole schedule.
+      totals.clean = false;
+      totals.lost++;
+      continue;
+    }
+    payload.clear();
+    options.make_payload(rng, payload);
+    frame.clear();
+    EncodeMessage(conn.next_id, payload, frame);
+    if (!SendAll(conn.fd, frame)) {
+      totals.clean = false;
+      ::close(conn.fd);
+      conn.fd = -1;
+      totals.lost += conn.in_flight.size();
+      conn.in_flight.clear();
+      continue;
+    }
+    conn.in_flight.emplace_back(conn.next_id, next);
+    conn.next_id++;
+    totals.sent++;
+    totals.max_send_lag = std::max(totals.max_send_lag, NowNanos() - next);
+  }
+
+  // Drain: the window is closed; wait (bounded) for every outstanding response.
+  const Nanos drain_deadline = NowNanos() + options.drain_timeout;
+  while (NowNanos() < drain_deadline) {
+    bool outstanding = false;
+    for (GenConn& conn : conns) {
+      outstanding |= conn.fd >= 0 && !conn.in_flight.empty();
+    }
+    if (!outstanding) {
+      break;
+    }
+    poll_once(10);
+  }
+  for (GenConn& conn : conns) {
+    if (conn.fd >= 0) {
+      if (!conn.in_flight.empty()) {
+        totals.lost += conn.in_flight.size();
+        totals.clean = false;
+      }
+      ::close(conn.fd);
+    }
+  }
+  totals.finished_at = NowNanos();
+}
+
+}  // namespace
+
+double TcpLoadgenResult::achieved_rps() const {
+  Nanos window = measure_end - measure_start;
+  if (window <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(measured) * 1e9 / static_cast<double>(window);
+}
+
+TcpLoadgenResult RunTcpLoadgen(const TcpLoadgenOptions& options) {
+  TcpLoadgenResult result;
+  int threads = std::max(1, std::min(options.threads, options.connections));
+  Nanos start = NowNanos();
+  result.measure_start = start + options.warmup;
+
+  std::vector<ThreadTotals> totals(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back(GeneratorThread, std::cref(options), t, threads, start,
+                         std::ref(totals[static_cast<size_t>(t)]));
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+
+  result.clean = true;
+  for (const ThreadTotals& thread_totals : totals) {
+    result.clean = result.clean && thread_totals.clean;
+    result.sent += thread_totals.sent;
+    result.completed += thread_totals.completed;
+    result.measured += thread_totals.measured;
+    result.lost += thread_totals.lost;
+    result.mismatches += thread_totals.mismatches;
+    result.max_send_lag = std::max(result.max_send_lag, thread_totals.max_send_lag);
+    result.measure_end = std::max(result.measure_end, thread_totals.finished_at);
+    result.latency.Merge(thread_totals.latency);
+  }
+  result.clean = result.clean && result.mismatches == 0;
+  return result;
+}
+
+}  // namespace zygos

@@ -1,0 +1,71 @@
+// Open-loop load generator over real TCP sockets (the external-client role mutilate
+// plays in the paper): N connections fanned over T generator threads, each thread
+// pacing an independent arrival process of rate R/T — the superposition is a Poisson
+// process of rate R — while polling its connections for responses.
+//
+// Coordinated-omission safety is the same discipline as src/loadgen/loadgen.h: every
+// request carries its *scheduled* send time in the per-connection in-flight FIFO, and
+// latency is measured scheduled-send → response-received. A stalled server (or a
+// blocking send on a full socket buffer) therefore inflates the recorded tail rather
+// than suppressing measurements.
+//
+// Contract: RunTcpLoadgen blocks until the send window closes and every in-flight
+// request is answered (or drain_timeout expires — then clean=false and the unanswered
+// requests are counted in `lost`). Latencies are wall-clock Nanos, measured on the
+// generator threads. The payload factory is called on generator threads and must be
+// thread-compatible (it receives the thread's own Rng).
+#ifndef ZYGOS_LOADGEN_TCP_LOADGEN_H_
+#define ZYGOS_LOADGEN_TCP_LOADGEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/time_units.h"
+#include "src/loadgen/arrival.h"
+
+namespace zygos {
+
+struct TcpLoadgenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connections = 8;
+  int threads = 2;  // clamped to [1, connections]
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+  double rate_rps = 10'000;        // aggregate across all threads
+  Nanos duration = kSecond;        // send window, including warmup
+  Nanos warmup = kSecond / 5;      // completions scheduled before start+warmup discarded
+  uint64_t seed = 1;
+  Nanos drain_timeout = 10 * kSecond;  // wait for stragglers after the window closes
+  // Fills `out` with one request payload (e.g. a KV protocol request or fixed bytes).
+  std::function<void(Rng& rng, std::string& out)> make_payload;
+};
+
+struct TcpLoadgenResult {
+  bool clean = false;       // all connections healthy and fully drained
+  uint64_t sent = 0;
+  uint64_t completed = 0;   // responses received (any window)
+  uint64_t measured = 0;    // responses whose request was scheduled in the window
+  // Requests with no measured completion: unanswered at drain_timeout, in flight on
+  // a connection severed after an ordering violation, or scheduled onto a connection
+  // that had already died (those are never counted in `sent`).
+  uint64_t lost = 0;
+  // Ordering violations (response id != FIFO head). Each one severs its connection —
+  // its send-time matching is unrecoverable — and counts the in-flight tail in
+  // `lost`.
+  uint64_t mismatches = 0;
+  Nanos max_send_lag = 0;   // worst (actual send - scheduled send) across threads
+  Nanos measure_start = 0;
+  Nanos measure_end = 0;    // when the last generator thread finished draining
+  LatencyHistogram latency; // measured-window latencies, merged across threads
+  // measured / (measure_end - measure_start), in requests/s.
+  double achieved_rps() const;
+};
+
+TcpLoadgenResult RunTcpLoadgen(const TcpLoadgenOptions& options);
+
+}  // namespace zygos
+
+#endif  // ZYGOS_LOADGEN_TCP_LOADGEN_H_

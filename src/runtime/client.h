@@ -2,6 +2,11 @@
 // wall-clock time over a population of flows (the mutilate role), plus a thread-safe
 // latency collector wired to the runtime's completion callback.
 //
+// NOTE: OpenLoopClient is the original minimal harness (request-count bounded, latency
+// measured from the actual inject time). The measurement-grade generator — duration
+// windows, warmup, coordinated-omission-safe scheduled-time accounting, TCP support —
+// lives in src/loadgen/; prefer it for any experiment whose latencies are reported.
+//
 // On hosts with fewer hardware threads than workers the wall-clock latencies include
 // OS scheduling noise — the examples print them as illustrations; the reproducible
 // latency *experiments* all run on the discrete-event models (src/sysmodel).

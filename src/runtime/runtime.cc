@@ -41,6 +41,12 @@ class Runtime::WorkerView final : public IdleLoopView {
     return runtime_.transport_->ApproxNonEmpty(self);
   }
   bool ShuffleNonEmpty(int core) const override {
+    // Stealing disabled: remote shuffle queues look empty to the idle policy, so it
+    // never proposes a steal and falls through to the IPI scan instead (the local
+    // queue is drained directly by WorkerLoop, not through this view).
+    if (!runtime_.options_.enable_stealing) {
+      return false;
+    }
     return !runtime_.shuffle_.ApproxEmpty(core);
   }
   bool SoftwareQueueNonEmpty(int core) const override {
@@ -134,13 +140,14 @@ void Runtime::Shutdown() {
   stopped_.store(true, std::memory_order_release);
 }
 
-bool Runtime::Inject(uint64_t flow_id, uint64_t request_id, const std::string& payload) {
+bool Runtime::Inject(uint64_t flow_id, uint64_t request_id, const std::string& payload,
+                     Nanos arrival) {
   // One pooled frame per request, allocated from the injecting thread's pool and
   // released (remotely) by the netstack once parsing drops the last view of it.
   Segment segment;
   segment.flow_id = flow_id;
   segment.buf = EncodeFrame(request_id, payload);
-  segment.arrival = NowNanos();
+  segment.arrival = arrival != 0 ? arrival : NowNanos();
   if (!transport_->Inject(std::move(segment))) {
     return false;
   }
@@ -246,7 +253,8 @@ void Runtime::WorkerLoop(int core) {
           }
           break;  // lost the race; fall through to park
         case IdleActionKind::kSendIpi:
-          if (doorbells_[static_cast<size_t>(action.target_core)]->Ring(
+          if (options_.enable_doorbells &&
+              doorbells_[static_cast<size_t>(action.target_core)]->Ring(
                   IpiReason::kPendingPackets)) {
             stats.doorbells_sent++;
           }
@@ -432,7 +440,8 @@ uint64_t Runtime::ExecuteConnection(int core, Pcb* pcb, bool stolen) {
       std::this_thread::yield();
     }
   }
-  if (doorbells_[static_cast<size_t>(home)]->Ring(IpiReason::kRemoteSyscalls)) {
+  if (options_.enable_doorbells &&
+      doorbells_[static_cast<size_t>(home)]->Ring(IpiReason::kRemoteSyscalls)) {
     stats.doorbells_sent++;
   }
   size_t executed = events.size();

@@ -94,6 +94,17 @@ struct RuntimeOptions {
   // Yield the OS thread inside the idle loop (essential on machines with fewer
   // hardware threads than workers; harmless elsewhere).
   bool yield_when_idle = true;
+  // Ablation knobs for the live-runtime experiments (kZygos mode only; kPartitioned
+  // never runs the idle loop). Both default to the full ZygOS design.
+  //   enable_stealing = false  -> the idle loop skips step (b): remote shuffle queues
+  //                               are never scanned, so no connection is ever claimed
+  //                               off its home core ("ZygOS-no-steal").
+  //   enable_doorbells = false -> no doorbell is ever rung (neither the idle loop's
+  //                               pending-packet IPI nor the thief's remote-syscall
+  //                               IPI); home cores discover work only by polling
+  //                               (the paper's "ZygOS (no interrupts)" line).
+  bool enable_stealing = true;
+  bool enable_doorbells = true;
 };
 
 // Cache-line aligned: each worker writes its own struct every scheduling pass, and
@@ -146,7 +157,13 @@ class Runtime {
   // Client-side entry: frames `payload` as one RPC message on `flow_id` and delivers
   // the bytes to the flow's home ring. Returns false on a full ring (dropped) and
   // always false on transports without in-process ingress (TcpTransport).
-  bool Inject(uint64_t flow_id, uint64_t request_id, const std::string& payload);
+  // `arrival` is the timestamp latency is measured from (reported back through the
+  // completion handler): 0 means "now". An open-loop generator passes the request's
+  // *scheduled* send time instead, so that generator lateness counts as latency
+  // rather than being silently absorbed (coordinated-omission safety,
+  // src/loadgen/loadgen.h).
+  bool Inject(uint64_t flow_id, uint64_t request_id, const std::string& payload,
+              Nanos arrival = 0);
 
   // Raw-bytes entry for tests: delivers exactly `bytes` (which may contain partial or
   // multiple frames) to the flow's home ring. `expected_messages` is the number of

@@ -341,6 +341,44 @@ TEST(FlagsTest, ParsesAllForms) {
   EXPECT_EQ(flags.Positional()[1], "pos2");
 }
 
+TEST(FlagsTest, UnknownFlagsAreReportedAfterGetters) {
+  const char* argv[] = {"prog", "--known=1", "--typo=2"};
+  Flags flags(static_cast<int>(std::size(argv)), const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("known", 0), 1);
+  auto unknown = flags.UnknownFlags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+  EXPECT_FALSE(flags.CheckUnknown("usage: prog [--known=N]"));
+}
+
+TEST(FlagsTest, CheckUnknownPassesWhenEveryFlagWasRead) {
+  const char* argv[] = {"prog", "--alpha=1", "--beta"};
+  Flags flags(static_cast<int>(std::size(argv)), const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("alpha", 0), 1);
+  EXPECT_TRUE(flags.GetBool("beta", false));
+  EXPECT_TRUE(flags.CheckUnknown("usage"));
+}
+
+TEST(FlagsTest, CheckUnknownRejectsStrayPositionals) {
+  const char* argv[] = {"prog", "stray"};
+  Flags flags(static_cast<int>(std::size(argv)), const_cast<char**>(argv));
+  EXPECT_FALSE(flags.CheckUnknown("usage"));
+}
+
+TEST(FlagsDeathTest, MalformedIntegerIsFatal) {
+  const char* argv[] = {"prog", "--requests=10k"};
+  Flags flags(static_cast<int>(std::size(argv)), const_cast<char**>(argv));
+  EXPECT_EXIT(flags.GetInt("requests", 0), testing::ExitedWithCode(2),
+              "not a valid integer");
+}
+
+TEST(FlagsDeathTest, MalformedBoolIsFatal) {
+  const char* argv[] = {"prog", "--skew=maybe"};
+  Flags flags(static_cast<int>(std::size(argv)), const_cast<char**>(argv));
+  EXPECT_EXIT(flags.GetBool("skew", false), testing::ExitedWithCode(2),
+              "not a valid boolean");
+}
+
 TEST(TimeUnitsTest, Conversions) {
   EXPECT_EQ(FromMicros(10.0), 10 * kMicrosecond);
   EXPECT_DOUBLE_EQ(ToMicros(25 * kMicrosecond), 25.0);

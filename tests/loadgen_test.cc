@@ -1,0 +1,231 @@
+// Tests for the open-loop load generator (src/loadgen): arrival-process statistics,
+// the coordinated-omission guard (the send schedule is a pure function of the seed —
+// sink latency must never shift scheduled times or thin the request count), the
+// warmup window of MeasuredCompletion, and an end-to-end loopback run against the
+// live runtime.
+//
+// All assertions are functional (counts, schedules, invariants) except the loopback
+// round-trip, which only asserts that measurement happened — never how fast: the host
+// may have a single hardware thread.
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/loadgen/arrival.h"
+#include "src/loadgen/loadgen.h"
+#include "src/loadgen/report.h"
+#include "src/loadgen/spin_service.h"
+#include "src/runtime/runtime.h"
+
+namespace zygos {
+namespace {
+
+TEST(ArrivalProcessTest, PoissonGapsMatchMeanAndVariance) {
+  // 1e6 rps -> exponential gaps with mean 1000 ns and variance mean^2.
+  ArrivalProcess arrivals(ArrivalKind::kPoisson, 1e6, /*seed=*/42);
+  constexpr int kSamples = 200'000;
+  double sum = 0;
+  double sum_sq = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    auto gap = static_cast<double>(arrivals.NextGapNanos());
+    ASSERT_GE(gap, 0.0);
+    sum += gap;
+    sum_sq += gap * gap;
+  }
+  double mean = sum / kSamples;
+  double variance = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 1000.0, 15.0);              // within 1.5% of the exact mean
+  EXPECT_NEAR(variance / (mean * mean), 1.0, 0.05);  // SCV of an exponential is 1
+}
+
+TEST(ArrivalProcessTest, FixedGapsAreConstant) {
+  ArrivalProcess arrivals(ArrivalKind::kFixed, 50'000, /*seed=*/7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(arrivals.NextGapNanos(), 20'000);  // 1e9 / 50k
+  }
+}
+
+TEST(ArrivalProcessTest, DeterministicForFixedSeed) {
+  ArrivalProcess a(ArrivalKind::kPoisson, 123'456, 9);
+  ArrivalProcess b(ArrivalKind::kPoisson, 123'456, 9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextGapNanos(), b.NextGapNanos());
+  }
+}
+
+TEST(ArrivalProcessTest, ParseAndNameRoundTrip) {
+  EXPECT_EQ(ParseArrivalKind("poisson"), ArrivalKind::kPoisson);
+  EXPECT_EQ(ParseArrivalKind("fixed"), ArrivalKind::kFixed);
+  EXPECT_FALSE(ParseArrivalKind("uniform").has_value());
+  EXPECT_STREQ(ArrivalKindName(ArrivalKind::kPoisson), "poisson");
+}
+
+// Sink that records every request it is handed, optionally stalling first — the
+// "server misbehaves" half of the coordinated-omission experiment.
+class RecordingSink final : public LoadSink {
+ public:
+  explicit RecordingSink(Nanos stall = 0) : stall_(stall) {}
+
+  bool Send(uint64_t request_id, uint64_t flow_id, Nanos scheduled_send,
+            const std::string& payload) override {
+    (void)payload;
+    if (stall_ > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(stall_));
+    }
+    sends_.emplace_back(request_id, flow_id, scheduled_send);
+    return true;
+  }
+
+  struct Sent {
+    Sent(uint64_t id, uint64_t flow, Nanos at) : id(id), flow(flow), at(at) {}
+    uint64_t id;
+    uint64_t flow;
+    Nanos at;
+    bool operator==(const Sent&) const = default;
+  };
+  const std::vector<Sent>& sends() const { return sends_; }
+
+ private:
+  Nanos stall_;
+  std::vector<Sent> sends_;
+};
+
+// THE coordinated-omission guard: the schedule — request count, scheduled send
+// times, flow choices — must be identical whether the sink responds instantly or
+// stalls on every send. A generator whose schedule reacted to sink latency would
+// systematically omit the requests that should have landed during stalls, which is
+// exactly the bias open-loop load generation exists to avoid.
+TEST(OpenLoopGeneratorTest, ScheduleIsIndependentOfSinkDelays) {
+  GeneratorOptions options;
+  options.arrivals = ArrivalKind::kPoisson;
+  options.rate_rps = 5000;
+  options.duration = 40 * kMillisecond;  // ~200 scheduled requests
+  options.num_flows = 8;
+  options.payload_size = 4;
+  options.seed = 1234;
+
+  // A fixed start makes the two runs' absolute schedules comparable.
+  Nanos start = NowNanos();
+  RecordingSink fast;
+  GeneratorResult fast_result = OpenLoopGenerator(options).RunFrom(start, fast);
+
+  RecordingSink slow(/*stall=*/100 * kMicrosecond);  // ~50% of the mean gap, per send
+  GeneratorResult slow_result = OpenLoopGenerator(options).RunFrom(start, slow);
+
+  ASSERT_GT(fast.sends().size(), 100u);
+  EXPECT_EQ(fast_result.sent, slow_result.sent);
+  EXPECT_EQ(fast.sends(), slow.sends())
+      << "sink latency leaked into the send schedule (coordinated omission)";
+  // The slow run fell behind its schedule and must admit it.
+  EXPECT_GT(slow_result.max_send_lag, fast_result.max_send_lag);
+}
+
+TEST(OpenLoopGeneratorTest, CountsSinkRefusalsAsDrops) {
+  class RefusingSink final : public LoadSink {
+   public:
+    bool Send(uint64_t, uint64_t, Nanos, const std::string&) override {
+      return calls_++ % 2 == 0;  // refuse every second request
+    }
+    int calls_ = 0;
+  };
+  GeneratorOptions options;
+  options.rate_rps = 50'000;
+  options.duration = 10 * kMillisecond;
+  options.seed = 5;
+  RefusingSink sink;
+  GeneratorResult result = OpenLoopGenerator(options).RunFrom(NowNanos(), sink);
+  EXPECT_GT(result.sent, 0u);
+  EXPECT_GT(result.dropped, 0u);
+  EXPECT_EQ(result.sent + result.dropped, static_cast<uint64_t>(sink.calls_));
+}
+
+TEST(MeasuredCompletionTest, WarmupWindowDiscardsEarlyCompletions) {
+  MeasuredCompletion completion;
+  completion.set_measure_start(1'000'000);
+  CompletionHandler handler = completion.Handler();
+  // Scheduled before the window: discarded.
+  handler(/*flow=*/0, /*request=*/0, "r", /*arrival=*/999'999);
+  EXPECT_EQ(completion.measured_count(), 0u);
+  EXPECT_EQ(completion.Snapshot().Count(), 0u);
+  // Scheduled inside the window: recorded.
+  handler(0, 1, "r", NowNanos() - 5 * kMicrosecond);
+  EXPECT_EQ(completion.measured_count(), 1u);
+  EXPECT_EQ(completion.Snapshot().Count(), 1u);
+}
+
+// End to end on the live runtime: open-loop generator -> loopback transport -> spin
+// service -> completion collector. Asserts measurement plumbing, not speed.
+TEST(LoadgenLoopbackTest, MeasuresLiveRuntimeEndToEnd) {
+  RuntimeOptions options;
+  options.num_workers = 2;
+  options.num_flows = 4;
+  auto dist = std::shared_ptr<const ServiceTimeDistribution>(
+      MakeDistribution("deterministic", 5 * kMicrosecond));
+  ASSERT_NE(dist, nullptr);
+  MeasuredCompletion completion;
+  Runtime runtime(options, MakeSpinService(dist, ServiceMode::kSpin, /*seed=*/3),
+                  completion.Handler());
+  runtime.Start();
+
+  GeneratorOptions gen;
+  gen.rate_rps = 2000;
+  gen.duration = 100 * kMillisecond;
+  gen.num_flows = options.num_flows;
+  gen.payload_size = 16;
+  gen.seed = 11;
+  Nanos start = NowNanos();
+  Nanos warmup = 20 * kMillisecond;
+  completion.set_measure_start(start + warmup);
+  LoopbackSink sink(runtime);
+  GeneratorResult result = OpenLoopGenerator(gen).RunFrom(start, sink);
+  runtime.Shutdown();
+
+  EXPECT_GT(result.sent, 0u);
+  EXPECT_EQ(result.dropped, 0u);
+  EXPECT_EQ(runtime.Completed(), result.sent);
+  // Some completions were measured, and fewer than were sent (warmup discarded the
+  // early ones — the generator ran 5x longer than the warmup window).
+  EXPECT_GT(completion.measured_count(), 0u);
+  EXPECT_LT(completion.measured_count(), result.sent);
+  // Every measured latency covers at least the deterministic 5 us spin.
+  LatencyHistogram hist = completion.Snapshot();
+  EXPECT_EQ(hist.Count(), completion.measured_count());
+  EXPECT_GE(hist.Min(), 5 * kMicrosecond);
+}
+
+// --- report.h acceptance predicates ---------------------------------------------------
+
+LivePoint Point(const std::string& config, double offered, double p99) {
+  LivePoint point;
+  point.config = config;
+  point.offered_rps = offered;
+  point.p99_us = p99;
+  return point;
+}
+
+TEST(LiveReportTest, MonotonePredicateChecksZygosCurveOnly) {
+  std::vector<LivePoint> points = {Point("zygos", 100, 10), Point("zygos", 200, 12),
+                                   Point("no-steal", 100, 50),
+                                   Point("no-steal", 200, 20)};  // non-monotone, ignored
+  EXPECT_TRUE(ZygosP99MonotoneInLoad(points));
+  points.push_back(Point("zygos", 300, 11.9));  // dips below the previous point
+  EXPECT_FALSE(ZygosP99MonotoneInLoad(points));
+}
+
+TEST(LiveReportTest, StealComparisonUsesHighestCommonLoadPoint) {
+  std::vector<LivePoint> points = {Point("zygos", 100, 10), Point("zygos", 200, 30),
+                                   Point("no-steal", 100, 10),
+                                   Point("no-steal", 200, 30)};
+  EXPECT_TRUE(StealLeqNoStealAtPeak(points));  // equality is allowed
+  points[1].p99_us = 31;
+  EXPECT_FALSE(StealLeqNoStealAtPeak(points));
+  // Vacuously true when either curve is absent.
+  EXPECT_TRUE(StealLeqNoStealAtPeak({Point("zygos", 100, 10)}));
+}
+
+}  // namespace
+}  // namespace zygos

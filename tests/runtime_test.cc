@@ -367,6 +367,68 @@ TEST(RuntimeTest, PartitionedModeNeverSteals) {
   EXPECT_EQ(runtime.TotalShuffleStats().steals, 0u);
 }
 
+// The no-steal ablation knob (RuntimeOptions::enable_stealing = false) must keep the
+// idle loop from ever claiming remote work, even under the most steal-inviting layout
+// possible: every flow group homed on core 0 with a busy handler and a sustained
+// backlog. This is what bench/fig6_live_runtime.cc's "no-steal" configuration runs.
+TEST(RuntimeTest, StealingDisabledRecordsZeroStealsUnderSkewedRss) {
+  RuntimeOptions options = SmallOptions(RuntimeMode::kZygos, /*workers=*/4, /*flows=*/32);
+  options.enable_stealing = false;
+  CompletionLog log;
+  Runtime runtime(options, BusyEchoHandler(), log.Handler());
+  runtime.mutable_rss().SetIndirection(
+      std::vector<int>(static_cast<size_t>(options.num_flow_groups), 0));
+  runtime.Start();
+  // Sustained injection waves (same shape as SkewedRssTriggersStealing, which proves
+  // this workload *does* provoke steals when the knob is on).
+  uint64_t injected = 0;
+  for (int wave = 0; wave < 12; ++wave) {
+    for (int burst = 0; burst < 500; ++burst) {
+      if (runtime.Inject(injected % 32, injected, "x")) {
+        injected++;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  runtime.Shutdown();
+  WorkerStats total = runtime.TotalStats();
+  EXPECT_EQ(total.app_events, injected);
+  EXPECT_EQ(total.stolen_events, 0u) << "enable_stealing=false still stole work";
+  EXPECT_EQ(runtime.TotalShuffleStats().steals, 0u);
+  EXPECT_EQ(runtime.StatsFor(0).app_events, injected) << "all events on the home core";
+  EXPECT_EQ(total.remote_syscalls, 0u) << "no thieves, so nothing to ship home";
+}
+
+// The no-IPI knob (enable_doorbells = false): stealing still works — the idle loop
+// polls — but no doorbell is ever rung, neither for pending packets nor for remote
+// syscalls (the home core discovers shipped responses purely by polling).
+TEST(RuntimeTest, DoorbellsDisabledSendNoDoorbells) {
+  RuntimeOptions options = SmallOptions(RuntimeMode::kZygos, /*workers=*/4, /*flows=*/32);
+  options.enable_doorbells = false;
+  CompletionLog log;
+  Runtime runtime(options, BusyEchoHandler(), log.Handler());
+  runtime.mutable_rss().SetIndirection(
+      std::vector<int>(static_cast<size_t>(options.num_flow_groups), 0));
+  runtime.Start();
+  uint64_t injected = 0;
+  for (int wave = 0; wave < 12; ++wave) {
+    for (int burst = 0; burst < 500; ++burst) {
+      if (runtime.Inject(injected % 32, injected, "x")) {
+        injected++;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  runtime.Shutdown();
+  WorkerStats total = runtime.TotalStats();
+  EXPECT_EQ(total.app_events, injected);
+  EXPECT_EQ(total.doorbells_sent, 0u) << "enable_doorbells=false still rang doorbells";
+  EXPECT_EQ(total.doorbells_received, 0u);
+  EXPECT_EQ(log.total(), injected) << "polling alone must still complete everything";
+}
+
 TEST(RuntimeTest, FramesSplitAcrossSegmentsReassemble) {
   CompletionLog log;
   Runtime runtime(SmallOptions(RuntimeMode::kZygos, /*workers=*/2, /*flows=*/2),
