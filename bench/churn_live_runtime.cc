@@ -1,0 +1,362 @@
+// Connection churn on the LIVE runtime: p99 latency and sustained accept rate as
+// connections are born, die and reincarnate at increasing rates — the regime the
+// flow-table recycling refactor exists for (connection handling, not service time,
+// dominates tails under churn; cf. Sriraman et al., "Deconstructing the Tail at
+// Scale Effect Across Network Protocols").
+//
+// Each cell runs the epoll TcpTransport runtime with a deliberately SMALL connection
+// table (--max-flows, default 32) and drives it with the open-loop churn-mode TCP
+// generator (src/loadgen/tcp_loadgen.h): per-connection lifetimes are exponential
+// with mean --churn-ms, expired connections hang up and reconnect on fresh sockets.
+// A sweep cell is healthy when:
+//   - lifetime (distinct) connections far exceed the table capacity,
+//   - zero capacity refusals (flow-id recycling kept every connect servable),
+//   - table occupancy never exceeded the fixed capacity,
+//   - pool misses per request stay ~0 after a warmup run (allocation-free recycling).
+//
+// stdout: one CSV row per churn point plus a `# headline:` line; `--json=PATH`
+// writes the BENCH-contract report ({metric, value, unit, commit, params}) with the
+// acceptance booleans scripts/ci.sh and scripts/bench_trajectory.sh gate on:
+//   distinct_conns_exceed_capacity, zero_capacity_refusals, flat_table_occupancy,
+//   allocation_free_after_warmup.
+//
+// Usage: churn_live_runtime [--workers=N] [--connections=N] [--threads=N]
+//   [--rate=RPS] [--churn-ms=l1,l2,...]  (mean lifetimes, 0 = no churn baseline)
+//   [--duration-ms=N] [--warmup-ms=N] [--max-flows=N] [--payload=N] [--seed=N]
+//   [--arrivals=poisson|fixed] [--json=PATH]
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/time_units.h"
+#include "src/loadgen/arrival.h"
+#include "src/loadgen/tcp_loadgen.h"
+#include "src/runtime/runtime.h"
+#include "src/runtime/tcp_transport.h"
+
+namespace zygos {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: churn_live_runtime [--workers=N] [--connections=N] [--threads=N]\n"
+    "  [--rate=RPS] [--churn-ms=l1,l2,...] [--duration-ms=N] [--warmup-ms=N]\n"
+    "  [--max-flows=N] [--payload=N] [--seed=N] [--arrivals=poisson|fixed]\n"
+    "  [--json=PATH]";
+
+struct ChurnPoint {
+  double churn_ms = 0;  // mean connection lifetime; 0 = no churn
+  double offered_rps = 0;
+  double achieved_rps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  uint64_t measured = 0;
+  uint64_t reconnects = 0;
+  uint64_t distinct_conns = 0;      // lifetime connections accepted (measured run)
+  double accept_rate_cps = 0;       // sustained accepts/second over the window
+  uint64_t capacity_refusals = 0;
+  uint64_t stall_drops = 0;
+  uint64_t peak_open = 0;           // table occupancy high-water mark
+  uint64_t flows_recycled = 0;
+  double pool_miss_per_req = 0;     // heap allocs per request AFTER the warmup run
+  bool clean = false;
+};
+
+struct Experiment {
+  int workers = 2;
+  int connections = 8;
+  int threads = 2;
+  double rate = 4000;
+  Nanos duration = 0;
+  Nanos warmup = 0;
+  size_t max_flows = 32;
+  size_t payload = 32;
+  uint64_t seed = 1;
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+};
+
+ChurnPoint RunCell(const Experiment& exp, double churn_ms) {
+  RuntimeOptions options;
+  options.num_workers = exp.workers;
+  options.num_flows = exp.connections;
+  options.max_flows = exp.max_flows;
+  // Flow cap and table size from one source of truth (TcpOptionsFor).
+  auto transport = std::make_unique<TcpTransport>(TcpOptionsFor(options));
+  TcpTransport* tcp = transport.get();
+  ViewHandler echo = [](uint64_t, std::string_view request, ResponseBuilder& out) {
+    out.Append(request);
+  };
+  Runtime runtime(options, std::move(transport), std::move(echo));
+  runtime.Start();
+
+  TcpLoadgenOptions gen;
+  gen.port = tcp->port();
+  gen.connections = exp.connections;
+  gen.threads = exp.threads;
+  gen.arrivals = exp.arrivals;
+  gen.rate_rps = exp.rate;
+  gen.seed = exp.seed;
+  gen.churn_mean_lifetime = static_cast<Nanos>(churn_ms * 1e6);
+  gen.make_payload = [size = exp.payload](Rng&, std::string& out) {
+    out.assign(size, 'x');
+  };
+
+  // Warmup run: grows every pool (and the per-core Connection freelists) to the
+  // workload's working set, so the measured run can be judged allocation-free. Full
+  // length: the in-flight buffer population scales with backlog depth, which needs
+  // the same duration to reach its stationary range.
+  gen.duration = exp.duration;
+  gen.warmup = gen.duration / 2;
+  RunTcpLoadgen(gen);
+  uint64_t warmed_misses = runtime.TotalStats().pool_misses;
+  uint64_t warmed_accepts = tcp->AcceptedConnections();
+
+  // Measured run.
+  gen.duration = exp.duration;
+  gen.warmup = exp.warmup;
+  gen.seed = exp.seed + 101;  // fresh schedule, same law
+  TcpLoadgenResult result = RunTcpLoadgen(gen);
+
+  ChurnPoint point;
+  point.churn_ms = churn_ms;
+  point.offered_rps = exp.rate;
+  point.achieved_rps = result.achieved_rps();
+  point.p50_us = ToMicros(result.latency.P50());
+  point.p99_us = ToMicros(result.latency.P99());
+  point.p999_us = ToMicros(result.latency.P999());
+  point.measured = result.measured;
+  point.reconnects = result.reconnects;
+  point.distinct_conns = tcp->AcceptedConnections() - warmed_accepts;
+  Nanos window = result.measure_end - result.measure_start;
+  point.accept_rate_cps =
+      window > 0 ? static_cast<double>(point.distinct_conns) * 1e9 /
+                       static_cast<double>(window)
+                 : 0.0;
+  point.capacity_refusals = tcp->CapacityRefusals();
+  point.stall_drops = tcp->StallDrops();
+  point.peak_open = runtime.PeakOpenFlows();
+  point.clean = result.clean;
+
+  // Let in-flight teardowns retire before reading the recycle counters (workers are
+  // still polling; bounded wait, not a timing assertion).
+  uint64_t accepted = tcp->AcceptedConnections();
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (runtime.TotalStats().flows_recycled < accepted &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  WorkerStats stats = runtime.TotalStats();
+  point.flows_recycled = stats.flows_recycled;
+  point.pool_miss_per_req =
+      result.measured > 0 ? static_cast<double>(stats.pool_misses - warmed_misses) /
+                                static_cast<double>(result.measured)
+                          : 0.0;
+  runtime.Shutdown();
+  return point;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Experiment exp;
+  exp.workers = static_cast<int>(flags.GetInt("workers", 2));
+  exp.connections = static_cast<int>(flags.GetInt("connections", 8));
+  exp.threads = static_cast<int>(flags.GetInt("threads", 2));
+  exp.rate = flags.GetDouble("rate", 4000);
+  const std::string churn_csv = flags.GetString("churn-ms", "0,160,80,40,20");
+  exp.duration = flags.GetInt("duration-ms", 1500) * kMillisecond;
+  exp.warmup = flags.GetInt("warmup-ms", 400) * kMillisecond;
+  exp.max_flows = static_cast<size_t>(flags.GetInt("max-flows", 32));
+  exp.payload = static_cast<size_t>(flags.GetInt("payload", 32));
+  exp.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::string arrivals_name = flags.GetString("arrivals", "poisson");
+  const std::string json_path = flags.GetString("json", "");
+  if (!flags.CheckUnknown(kUsage)) {
+    return 2;
+  }
+  auto arrivals = ParseArrivalKind(arrivals_name);
+  if (!arrivals) {
+    std::fprintf(stderr, "churn_live_runtime: unknown --arrivals=%s\n%s\n",
+                 arrivals_name.c_str(), kUsage);
+    return 2;
+  }
+  exp.arrivals = *arrivals;
+  if (exp.workers < 1 || exp.connections < 1 || exp.threads < 1 ||
+      exp.duration <= exp.warmup) {
+    std::fprintf(stderr,
+                 "churn_live_runtime: need workers/connections/threads >= 1 and "
+                 "--duration-ms > --warmup-ms\n%s\n",
+                 kUsage);
+    return 2;
+  }
+  if (exp.max_flows < static_cast<size_t>(exp.connections)) {
+    std::fprintf(stderr,
+                 "churn_live_runtime: --max-flows must cover the concurrent "
+                 "--connections\n%s\n",
+                 kUsage);
+    return 2;
+  }
+
+  std::vector<double> lifetimes;
+  for (const std::string& token : SplitCsv(churn_csv)) {
+    double lifetime = ParseFlagNumberOrDie("churn-ms", token, kUsage);
+    if (lifetime < 0) {
+      std::fprintf(stderr, "churn_live_runtime: --churn-ms entries must be >= 0\n");
+      return 2;
+    }
+    lifetimes.push_back(lifetime);
+  }
+  if (lifetimes.empty()) {
+    std::fprintf(stderr, "churn_live_runtime: --churn-ms is empty\n%s\n", kUsage);
+    return 2;
+  }
+  // Ascending churn RATE: the no-churn baseline (0) first, then longest lifetime to
+  // shortest. The headline and the JSON read the LAST point as "fastest churn".
+  std::sort(lifetimes.begin(), lifetimes.end(), [](double a, double b) {
+    if ((a == 0) != (b == 0)) {
+      return a == 0;  // 0 (no churn) sorts first
+    }
+    return a > b;
+  });
+
+  std::printf("# churn_live_runtime: workers=%d connections=%d threads=%d rate=%.0f "
+              "arrivals=%s duration_ms=%.0f warmup_ms=%.0f max_flows=%zu payload=%zu "
+              "seed=%llu\n",
+              exp.workers, exp.connections, exp.threads, exp.rate,
+              ArrivalKindName(exp.arrivals), static_cast<double>(exp.duration) / 1e6,
+              static_cast<double>(exp.warmup) / 1e6, exp.max_flows, exp.payload,
+              static_cast<unsigned long long>(exp.seed));
+  std::printf("churn_ms,offered_rps,achieved_rps,p50_us,p99_us,p999_us,measured,"
+              "reconnects,distinct_conns,accept_rate_cps,capacity_refusals,"
+              "stall_drops,peak_open,table_capacity,pool_miss_per_req,clean\n");
+
+  std::vector<ChurnPoint> points;
+  for (double lifetime : lifetimes) {
+    ChurnPoint point = RunCell(exp, lifetime);
+    std::printf("%.0f,%.0f,%.0f,%.1f,%.1f,%.1f,%llu,%llu,%llu,%.1f,%llu,%llu,%llu,"
+                "%zu,%.4f,%d\n",
+                point.churn_ms, point.offered_rps, point.achieved_rps, point.p50_us,
+                point.p99_us, point.p999_us,
+                static_cast<unsigned long long>(point.measured),
+                static_cast<unsigned long long>(point.reconnects),
+                static_cast<unsigned long long>(point.distinct_conns),
+                point.accept_rate_cps,
+                static_cast<unsigned long long>(point.capacity_refusals),
+                static_cast<unsigned long long>(point.stall_drops),
+                static_cast<unsigned long long>(point.peak_open), exp.max_flows,
+                point.pool_miss_per_req, point.clean ? 1 : 0);
+    std::fflush(stdout);
+    points.push_back(point);
+  }
+
+  const ChurnPoint& fastest = points.back();
+  bool any_churn = fastest.churn_ms > 0;
+  bool exceed_capacity =
+      !any_churn || fastest.distinct_conns > static_cast<uint64_t>(exp.max_flows);
+  bool zero_refusals = true;
+  bool flat_occupancy = true;
+  bool allocation_free = true;
+  bool all_clean = true;
+  double worst_miss_rate = 0;
+  for (const ChurnPoint& point : points) {
+    zero_refusals = zero_refusals && point.capacity_refusals == 0;
+    flat_occupancy = flat_occupancy && point.peak_open <= exp.max_flows;
+    // "~0" rather than exactly 0: a stray post-warmup slab growth (stochastic
+    // backlog depth) is noise, while the smallest real regression — one heap
+    // allocation per RECONNECT — already costs reconnects/requests ≈ 0.1 per
+    // request, and a per-request allocation costs >= 1. The 0.01 gate sits an order
+    // of magnitude below both.
+    allocation_free = allocation_free && point.pool_miss_per_req < 0.01;
+    all_clean = all_clean && point.clean;
+    worst_miss_rate = std::max(worst_miss_rate, point.pool_miss_per_req);
+  }
+  std::printf("# headline: churn p99@fastest(%.0fms)=%.1fus accept_rate=%.0f/s "
+              "distinct=%llu capacity=%zu exceed_capacity=%s zero_refusals=%s "
+              "flat_occupancy=%s allocation_free=%s clean=%s\n",
+              fastest.churn_ms, fastest.p99_us, fastest.accept_rate_cps,
+              static_cast<unsigned long long>(fastest.distinct_conns), exp.max_flows,
+              exceed_capacity ? "yes" : "no", zero_refusals ? "yes" : "no",
+              flat_occupancy ? "yes" : "no", allocation_free ? "yes" : "no",
+              all_clean ? "yes" : "no");
+
+  if (!json_path.empty()) {
+    FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "churn_live_runtime: cannot open %s for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"metric\": \"churn_p99_us_at_fastest_churn\",\n"
+                 "  \"value\": %.2f,\n"
+                 "  \"unit\": \"us\",\n"
+                 "  \"commit\": \"\",\n"
+                 "  \"params\": {\n"
+                 "    \"workers\": %d, \"connections\": %d, \"threads\": %d, "
+                 "\"rate_rps\": %.0f, \"arrivals\": \"%s\",\n"
+                 "    \"duration_ms\": %.0f, \"warmup_ms\": %.0f, "
+                 "\"table_capacity\": %zu, \"payload\": %zu, \"seed\": %llu,\n",
+                 fastest.p99_us, exp.workers, exp.connections, exp.threads, exp.rate,
+                 ArrivalKindName(exp.arrivals),
+                 static_cast<double>(exp.duration) / 1e6,
+                 static_cast<double>(exp.warmup) / 1e6, exp.max_flows, exp.payload,
+                 static_cast<unsigned long long>(exp.seed));
+    std::fprintf(out,
+                 "    \"distinct_conns_exceed_capacity\": %s,\n"
+                 "    \"zero_capacity_refusals\": %s,\n"
+                 "    \"flat_table_occupancy\": %s,\n"
+                 "    \"allocation_free_after_warmup\": %s,\n"
+                 "    \"all_runs_clean\": %s,\n"
+                 "    \"pool_miss_per_req_max\": %.6f,\n",
+                 exceed_capacity ? "true" : "false", zero_refusals ? "true" : "false",
+                 flat_occupancy ? "true" : "false",
+                 allocation_free ? "true" : "false", all_clean ? "true" : "false",
+                 worst_miss_rate);
+    auto print_array = [out, &points](const char* key, auto getter, const char* fmt,
+                                      bool last = false) {
+      std::fprintf(out, "    \"%s\": [", key);
+      for (size_t i = 0; i < points.size(); ++i) {
+        if (i > 0) {
+          std::fprintf(out, ", ");
+        }
+        std::fprintf(out, fmt, getter(points[i]));
+      }
+      std::fprintf(out, "]%s\n", last ? "" : ",");
+    };
+    print_array("churn_ms", [](const ChurnPoint& p) { return p.churn_ms; }, "%.0f");
+    print_array("p99_us", [](const ChurnPoint& p) { return p.p99_us; }, "%.2f");
+    print_array("achieved_rps",
+                [](const ChurnPoint& p) { return p.achieved_rps; }, "%.0f");
+    print_array("accept_rate_cps",
+                [](const ChurnPoint& p) { return p.accept_rate_cps; }, "%.1f");
+    print_array(
+        "distinct_conns",
+        [](const ChurnPoint& p) {
+          return static_cast<unsigned long long>(p.distinct_conns);
+        },
+        "%llu");
+    print_array(
+        "peak_open",
+        [](const ChurnPoint& p) { return static_cast<unsigned long long>(p.peak_open); },
+        "%llu", /*last=*/true);
+    std::fprintf(out, "  }\n}\n");
+    if (std::fclose(out) != 0) {
+      std::fprintf(stderr, "churn_live_runtime: write to %s failed\n",
+                   json_path.c_str());
+      return 1;
+    }
+  }
+  return all_clean && zero_refusals && flat_occupancy ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace zygos
+
+int main(int argc, char** argv) { return zygos::Main(argc, argv); }

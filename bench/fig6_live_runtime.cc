@@ -77,36 +77,6 @@ std::optional<Config> ParseConfig(const std::string& name) {
   return std::nullopt;
 }
 
-// Whole-token numeric parse with the same discipline as Flags: a malformed entry in
-// a CSV-valued flag must abort the experiment, not silently sweep the wrong loads.
-double ParseNumberOrDie(const std::string& flag, const std::string& token) {
-  errno = 0;
-  char* end = nullptr;
-  double value = std::strtod(token.c_str(), &end);
-  if (errno != 0 || end == token.c_str() || *end != '\0') {
-    std::fprintf(stderr, "fig6_live_runtime: --%s entry '%s' is not a number\n%s\n",
-                 flag.c_str(), token.c_str(), kUsage);
-    std::exit(2);
-  }
-  return value;
-}
-
-std::vector<std::string> SplitCsv(const std::string& csv) {
-  std::vector<std::string> out;
-  size_t begin = 0;
-  while (begin <= csv.size()) {
-    size_t comma = csv.find(',', begin);
-    if (comma == std::string::npos) {
-      comma = csv.size();
-    }
-    if (comma > begin) {
-      out.push_back(csv.substr(begin, comma - begin));
-    }
-    begin = comma + 1;
-  }
-  return out;
-}
-
 struct Experiment {
   std::string transport;  // "loopback" | "tcp"
   int workers = 2;
@@ -138,11 +108,9 @@ LivePoint RunCell(const Experiment& exp, const Config& config, double rate) {
   point.offered_rps = rate;
 
   if (exp.transport == "tcp") {
-    TcpTransportOptions tcp;
-    tcp.num_queues = exp.workers;
-    tcp.num_flow_groups = options.num_flow_groups;
-    tcp.max_flows = options.max_flows != 0 ? options.max_flows : 4096;
-    auto transport = std::make_unique<TcpTransport>(tcp);
+    // Transport geometry derives from the runtime options (single source of truth
+    // for the flow cap — see TcpOptionsFor).
+    auto transport = std::make_unique<TcpTransport>(TcpOptionsFor(options));
     TcpTransport* tcp_ptr = transport.get();
     Runtime runtime(options, std::move(transport), handler);
     if (exp.skew) {
@@ -327,7 +295,7 @@ int Main(int argc, char** argv) {
   // Load points: explicit list, or fractions of a calibrated peak.
   std::vector<double> rates;
   for (const std::string& token : SplitCsv(rates_csv)) {
-    double rate = ParseNumberOrDie("rates", token);
+    double rate = ParseFlagNumberOrDie("rates", token, kUsage);
     if (rate <= 0) {
       std::fprintf(stderr, "fig6_live_runtime: --rates entries must be > 0\n");
       return 2;
@@ -352,7 +320,7 @@ int Main(int argc, char** argv) {
     }
     std::printf("# calibration: peak sustainable throughput = %.0f rps\n", peak);
     for (const std::string& token : SplitCsv(fractions_csv)) {
-      double fraction = ParseNumberOrDie("load-fractions", token);
+      double fraction = ParseFlagNumberOrDie("load-fractions", token, kUsage);
       if (fraction <= 0) {
         std::fprintf(stderr,
                      "fig6_live_runtime: --load-fractions entries must be > 0\n");

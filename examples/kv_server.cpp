@@ -21,7 +21,8 @@
 // Common flags:  [--workload=usr|etc] [--keys=50000] [--workers=4]
 // Client-side:   [--connections=16] [--threads=4] [--requests=40000] [--pipeline=8]
 // Loadgen-side:  [--rate=20000] [--duration-ms=2000] [--warmup-ms=500]
-//                [--arrivals=poisson|fixed]
+//                [--arrivals=poisson|fixed] [--churn-ms=N]  (churn: mean connection
+//                lifetime; expired connections reconnect with a fresh socket)
 // Example:       kv_server --mode=serve --port=7117 &
 //                kv_server --mode=loadgen --port=7117 --rate=30000 --duration-ms=5000
 #include <arpa/inet.h>
@@ -312,15 +313,12 @@ std::unique_ptr<Server> StartServer(int workers, size_t max_flows,
 
   RuntimeOptions options;
   options.num_workers = workers;
-  // Flow ids are minted per accepted connection and never recycled, so the table
-  // bounds the server's *lifetime* connection count — size it for churn, not for
-  // concurrency (1M null slots is ~8 MB).
+  // Flow ids are recycled when a connection closes, so the table bounds *concurrent*
+  // connections only — lifetime connections are unbounded under churn.
   options.max_flows = max_flows;
-  TcpTransportOptions tcp;
-  tcp.port = port;
-  tcp.num_queues = options.num_workers;
-  tcp.num_flow_groups = options.num_flow_groups;
-  tcp.max_flows = options.max_flows;
+  // Single source of truth: the transport's geometry (including its flow-id cap) is
+  // derived from the runtime options, so the two can never drift apart.
+  TcpTransportOptions tcp = TcpOptionsFor(options, port);
   auto transport = std::make_unique<TcpTransport>(tcp);
   server->transport = transport.get();
   transport->set_on_complete(server->server_latency.Handler());
@@ -358,6 +356,17 @@ void PrintServerStats(Server& server) {
               static_cast<unsigned long long>(stats.pool_hits),
               static_cast<unsigned long long>(stats.pool_misses),
               static_cast<unsigned long long>(stats.pool_remote_frees));
+  std::printf("lifecycle: %llu flows opened, %llu closed, %llu slots recycled, "
+              "%llu open now (peak %llu of %zu), %llu capacity refusals, "
+              "%llu stall drops\n",
+              static_cast<unsigned long long>(stats.flows_opened),
+              static_cast<unsigned long long>(stats.flows_closed),
+              static_cast<unsigned long long>(stats.flows_recycled),
+              static_cast<unsigned long long>(server.runtime->OpenFlows()),
+              static_cast<unsigned long long>(server.runtime->PeakOpenFlows()),
+              ResolvedMaxFlows(server.runtime->options()),
+              static_cast<unsigned long long>(server.transport->CapacityRefusals()),
+              static_cast<unsigned long long>(server.transport->StallDrops()));
   std::printf("store size: %zu keys\n", server.service.table().Size());
 }
 
@@ -396,18 +405,22 @@ int Main(int argc, char** argv) {
 
   // Server-side knobs (read unconditionally so CheckUnknown knows every flag).
   const int workers = static_cast<int>(flags.GetInt("workers", 4));
-  const auto max_flows = static_cast<size_t>(flags.GetInt("max-flows", 1 << 20));
+  // Concurrent-connection cap (ids are recycled, so churn no longer needs headroom).
+  const auto max_flows = static_cast<size_t>(flags.GetInt("max-flows", 1 << 12));
   // Open-loop (loadgen-mode) knobs.
   const double rate = flags.GetDouble("rate", 20'000);
   const Nanos duration = flags.GetInt("duration-ms", 2000) * kMillisecond;
   const Nanos warmup = flags.GetInt("warmup-ms", 500) * kMillisecond;
   const std::string arrivals_name = flags.GetString("arrivals", "poisson");
+  // Connection churn (loadgen mode): mean per-connection lifetime; 0 = connections
+  // live for the whole run. Expired connections reconnect with a fresh socket.
+  const Nanos churn_lifetime = flags.GetInt("churn-ms", 0) * kMillisecond;
   if (!flags.CheckUnknown(
           "usage: kv_server [--mode=demo|serve|client|loadgen] [--workload=usr|etc]\n"
           "  [--keys=N] [--workers=N] [--max-flows=N] [--host=H] [--port=P]\n"
           "  [--connections=N] [--threads=N] [--requests=N] [--pipeline=N] [--seed=N]\n"
-          "  [--rate=RPS] [--duration-ms=N] [--warmup-ms=N] "
-          "[--arrivals=poisson|fixed]")) {
+          "  [--rate=RPS] [--duration-ms=N] [--warmup-ms=N] [--churn-ms=N]\n"
+          "  [--arrivals=poisson|fixed]")) {
     return 2;
   }
   if (mode != "demo" && mode != "serve" && mode != "client" && mode != "loadgen") {
@@ -447,23 +460,26 @@ int Main(int argc, char** argv) {
     gen.duration = duration;
     gen.warmup = warmup;
     gen.seed = load.seed;
+    gen.churn_mean_lifetime = churn_lifetime;
     gen.make_payload = [workload = KvWorkload(spec, load.seed)](Rng& rng,
                                                                std::string& out) {
       out = workload.SampleRequest(rng);
     };
     std::printf("kv_server: open-loop %s load, %.0f rps offered, %d connections, "
-                "%.0f ms window (%.0f ms warmup)\n",
+                "%.0f ms window (%.0f ms warmup), churn mean lifetime %.0f ms\n",
                 ArrivalKindName(gen.arrivals), gen.rate_rps, gen.connections,
                 static_cast<double>(gen.duration) / 1e6,
-                static_cast<double>(gen.warmup) / 1e6);
+                static_cast<double>(gen.warmup) / 1e6,
+                static_cast<double>(gen.churn_mean_lifetime) / 1e6);
     TcpLoadgenResult result = RunTcpLoadgen(gen);
     std::printf("loadgen: sent %llu  completed %llu  measured %llu  lost %llu  "
-                "mismatches %llu  max send lag %.1f us\n",
+                "mismatches %llu  reconnects %llu  max send lag %.1f us\n",
                 static_cast<unsigned long long>(result.sent),
                 static_cast<unsigned long long>(result.completed),
                 static_cast<unsigned long long>(result.measured),
                 static_cast<unsigned long long>(result.lost),
                 static_cast<unsigned long long>(result.mismatches),
+                static_cast<unsigned long long>(result.reconnects),
                 ToMicros(result.max_send_lag));
     std::printf("loadgen: achieved %.0f rps  latency p50 %.1f us  p99 %.1f us  "
                 "p999 %.1f us (scheduled-send -> response, CO-safe)\n",

@@ -22,7 +22,8 @@ REQUESTS="${BENCH_REQUESTS:-20000}"
 POINTS="${BENCH_POINTS:-6}"
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
-for bin in fig8_steal_rate fig6_latency_throughput micro_dataplane fig6_live_runtime; do
+for bin in fig8_steal_rate fig6_latency_throughput micro_dataplane fig6_live_runtime \
+           churn_live_runtime; do
   if [[ ! -x "${BUILD_DIR}/bench/${bin}" ]]; then
     echo "bench_trajectory: ${BUILD_DIR}/bench/${bin} not built (run cmake --build first)" >&2
     exit 1
@@ -129,5 +130,29 @@ fi
 cp "${live_json}" "${OUT_DIR}/BENCH_0004.json"
 live_p99="$(sed -nE 's/^  "value": ([0-9.]+),$/\1/p' "${live_json}" | head -1)"
 echo "   live_zygos_p99_us_at_peak_load = ${live_p99} us  -> ${live_json}"
+
+# --- churn_live: connection churn on the live runtime (flow-table recycling) -----------
+# The binary writes the BENCH-contract JSON itself; this script stamps the commit and
+# gates on the four acceptance booleans: lifetime connections exceed the fixed table,
+# zero capacity refusals, occupancy never exceeds the table, and churn recycling stays
+# allocation-free after warmup. Latencies are host-dependent; the booleans are not.
+CHURN_DURATION_MS="${BENCH_CHURN_DURATION_MS:-1200}"
+echo "== churn_live_runtime (connection churn sweep, duration=${CHURN_DURATION_MS}ms/point)"
+churn_json="${OUT_DIR}/BENCH_churn.json"
+"${BUILD_DIR}/bench/churn_live_runtime" --rate=2000 --churn-ms=0,160,80,40,20 \
+  --duration-ms="${CHURN_DURATION_MS}" --warmup-ms=300 --connections=8 --threads=2 \
+  --max-flows=32 --seed=5 --json="${churn_json}"
+sed -i "s/\"commit\": \"\"/\"commit\": \"${COMMIT}\"/" "${churn_json}"
+for gate in distinct_conns_exceed_capacity zero_capacity_refusals \
+            flat_table_occupancy allocation_free_after_warmup; do
+  if ! grep -q "\"${gate}\": true" "${churn_json}"; then
+    echo "bench_trajectory: churn acceptance boolean ${gate} is not true — regression in the connection-lifecycle path?" >&2
+    exit 1
+  fi
+done
+# PR-numbered snapshot: the connection-lifecycle acceptance record.
+cp "${churn_json}" "${OUT_DIR}/BENCH_0005.json"
+churn_p99="$(sed -nE 's/^  "value": ([0-9.]+),$/\1/p' "${churn_json}" | head -1)"
+echo "   churn_p99_us_at_fastest_churn = ${churn_p99} us  -> ${churn_json}"
 
 echo "bench_trajectory OK (commit ${COMMIT})"

@@ -43,10 +43,14 @@ fi
 echo "== smoke: bench/fig6_live_runtime (one low-load point, loopback, live runtime)"
 live_json="${BUILD_DIR}/fig6_live_smoke.json"
 rm -f "${live_json}"
-"${BUILD_DIR}/bench/fig6_live_runtime" --transport=loopback --configs=zygos \
-  --rates=1500 --duration-ms=400 --warmup-ms=100 --dist=exponential \
-  --service-us=100 --service-mode=sleep --workers=2 --connections=8 --seed=7 \
-  --json="${live_json}" | tee /dev/stderr | grep -q '^zygos,' || {
+# Capture-then-grep (NOT `| tee | grep -q`): under pipefail, grep -q exiting at
+# the first match SIGPIPEs tee when the binary prints its headline later.
+live_out="$("${BUILD_DIR}/bench/fig6_live_runtime" --transport=loopback \
+  --configs=zygos --rates=1500 --duration-ms=400 --warmup-ms=100 \
+  --dist=exponential --service-us=100 --service-mode=sleep --workers=2 \
+  --connections=8 --seed=7 --json="${live_json}")"
+printf '%s\n' "${live_out}"
+printf '%s\n' "${live_out}" | grep -q '^zygos,' || {
     echo "ci: fig6_live_runtime emitted no zygos CSV row" >&2; exit 1; }
 if command -v python3 > /dev/null; then
   python3 -m json.tool "${live_json}" > /dev/null || {
@@ -55,6 +59,25 @@ else
   grep -q '"metric": "live_zygos_p99_us_at_peak_load"' "${live_json}" || {
     echo "ci: ${live_json} is missing the live-runtime metric" >&2; exit 1; }
 fi
+
+echo "== smoke: bench/churn_live_runtime (one low churn rate, real TCP, small table)"
+churn_json="${BUILD_DIR}/churn_smoke.json"
+rm -f "${churn_json}"
+churn_out="$("${BUILD_DIR}/bench/churn_live_runtime" --rate=1500 --churn-ms=30 \
+  --duration-ms=600 --warmup-ms=200 --connections=4 --threads=2 --max-flows=16 \
+  --seed=7 --json="${churn_json}")"
+printf '%s\n' "${churn_out}"
+printf '%s\n' "${churn_out}" | grep -q '^30,' || {
+    echo "ci: churn_live_runtime emitted no churn CSV row" >&2; exit 1; }
+if command -v python3 > /dev/null; then
+  python3 -m json.tool "${churn_json}" > /dev/null || {
+    echo "ci: ${churn_json} is malformed JSON" >&2; exit 1; }
+fi
+for gate in distinct_conns_exceed_capacity zero_capacity_refusals \
+            flat_table_occupancy allocation_free_after_warmup; do
+  grep -q "\"${gate}\": true" "${churn_json}" || {
+    echo "ci: churn acceptance boolean ${gate} is not true" >&2; exit 1; }
+done
 
 echo "== smoke: kv_server open-loop loadgen mode over real TCP"
 "${BUILD_DIR}/examples/kv_server" --mode=serve --port=7411 --workers=2 --keys=5000 &
@@ -71,5 +94,20 @@ echo "== warnings-as-errors configure of the transport layer (${BUILD_DIR}-werro
 cmake -B "${BUILD_DIR}-werror" -S . -DZYGOS_WERROR=ON \
   -DZYGOS_BUILD_BENCH=OFF -DZYGOS_BUILD_EXAMPLES=OFF -DZYGOS_BUILD_TESTS=OFF
 cmake --build "${BUILD_DIR}-werror" -j "${JOBS}" --target zygos_runtime
+
+echo "== AddressSanitizer: runtime_test + loadgen_test (${BUILD_DIR}-asan)"
+# Lifecycle refactors are use-after-free factories: the connection slot table hands
+# PCBs to thieves, recycles them behind generation tags and reuses freed flow ids —
+# ASan over the runtime + loadgen suites is the gate that a teardown race never
+# touches recycled memory.
+cmake -B "${BUILD_DIR}-asan" -S . -DZYGOS_BUILD_BENCH=OFF -DZYGOS_BUILD_EXAMPLES=OFF \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
+cmake --build "${BUILD_DIR}-asan" -j "${JOBS}" --target runtime_test loadgen_test
+# Leak checking stays ON; only the by-design thread-pool leak is suppressed
+# (scripts/lsan.supp) — a leaked connection or socket wrapper still fails.
+LSAN_OPTIONS="suppressions=$(pwd)/scripts/lsan.supp" \
+  ctest --test-dir "${BUILD_DIR}-asan" -R 'runtime_test|loadgen_test' \
+  --output-on-failure -j "${JOBS}"
 
 echo "CI OK"

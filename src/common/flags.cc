@@ -104,6 +104,35 @@ std::vector<std::string> Flags::UnknownFlags() const {
   return unknown;
 }
 
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  while (begin <= csv.size()) {
+    size_t comma = csv.find(',', begin);
+    if (comma == std::string::npos) {
+      comma = csv.size();
+    }
+    if (comma > begin) {
+      out.push_back(csv.substr(begin, comma - begin));
+    }
+    begin = comma + 1;
+  }
+  return out;
+}
+
+double ParseFlagNumberOrDie(const std::string& flag, const std::string& token,
+                            const std::string& usage) {
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end == token.c_str() || *end != '\0') {
+    std::fprintf(stderr, "flags: --%s entry '%s' is not a number\n%s\n", flag.c_str(),
+                 token.c_str(), usage.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
 bool Flags::CheckUnknown(const std::string& usage) const {
   bool ok = true;
   for (const std::string& name : UnknownFlags()) {

@@ -25,6 +25,17 @@
 
 namespace zygos {
 
+// Splits a comma-separated flag value into its non-empty tokens (CSV-valued sweep
+// flags like --rates=a,b,c). Empty tokens (",," or trailing commas) are skipped.
+std::vector<std::string> SplitCsv(const std::string& csv);
+
+// Whole-token numeric parse with the same discipline as the Flags getters: a
+// malformed entry in a CSV-valued flag prints `--<flag> entry '<token>' is not a
+// number` plus `usage` to stderr and exits(2) — an experiment must never silently
+// sweep the wrong values.
+double ParseFlagNumberOrDie(const std::string& flag, const std::string& token,
+                            const std::string& usage);
+
 class Flags {
  public:
   // Parses argv. Unrecognized positional arguments are collected in Positional().

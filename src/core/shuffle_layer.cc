@@ -1,5 +1,6 @@
 #include "src/core/shuffle_layer.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace zygos {
@@ -80,6 +81,28 @@ bool ShuffleLayer::CompleteExecution(Pcb* pcb) {
   }
   pcb->set_sched_state(PcbState::kIdle);
   return false;
+}
+
+bool ShuffleLayer::TryRetire(Pcb* pcb) {
+  PerCore& pc = *per_core_[static_cast<size_t>(pcb->home_core())];
+  Spinlock::Guard guard(pc.lock);
+  switch (pcb->sched_state()) {
+    case PcbState::kBusy:
+      return false;  // an owner (home or thief) still holds the socket
+    case PcbState::kReady: {
+      // Ready means queued exactly once on the home core; unlink it so no core can
+      // claim it after we hand it to teardown.
+      auto it = std::find(pc.queue.begin(), pc.queue.end(), pcb);
+      assert(it != pc.queue.end());
+      pc.queue.erase(it);
+      pc.approx_size.store(pc.queue.size(), std::memory_order_relaxed);
+      pcb->set_sched_state(PcbState::kIdle);
+      return true;
+    }
+    case PcbState::kIdle:
+      return true;
+  }
+  return true;  // unreachable; keeps -Wreturn-type quiet
 }
 
 bool ShuffleLayer::ApproxEmpty(int core) const {

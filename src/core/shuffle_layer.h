@@ -62,6 +62,15 @@ class ShuffleLayer {
   // (busy -> idle). Returns true if the connection was re-enqueued.
   bool CompleteExecution(Pcb* pcb);
 
+  // Teardown hook (connection close): atomically detaches `pcb` from the scheduler
+  // if no core owns it. busy -> returns false (the current owner — possibly a thief —
+  // must finish and release first; the caller retries on a later pass, which is how
+  // the §4.3 ownership discipline extends to teardown: a connection is never torn
+  // down while stolen). ready -> removed from the home queue, parked idle, returns
+  // true. idle -> returns true. After a true return the scheduler holds no reference
+  // to `pcb` and the caller may drain/reset/recycle it.
+  bool TryRetire(Pcb* pcb);
+
   // Racy peek used by idle loops; may under- or over-report briefly.
   bool ApproxEmpty(int core) const;
   size_t ApproxSize(int core) const;

@@ -82,6 +82,7 @@ struct GenConn {
   FrameParser parser;
   std::deque<std::pair<uint64_t, Nanos>> in_flight;
   uint64_t next_id = 0;
+  Nanos expires_at = 0;  // churn mode: when this socket's lifetime ends (0 = never)
 };
 
 // Everything one generator thread shares with the aggregation step.
@@ -91,6 +92,7 @@ struct ThreadTotals {
   uint64_t measured = 0;
   uint64_t lost = 0;
   uint64_t mismatches = 0;
+  uint64_t reconnects = 0;
   Nanos max_send_lag = 0;
   Nanos finished_at = 0;
   bool clean = true;
@@ -145,6 +147,13 @@ void DrainReadable(GenConn& conn, std::string& buffer, Nanos measure_start,
 
 void GeneratorThread(const TcpLoadgenOptions& options, int thread_index, int threads,
                      Nanos start, ThreadTotals& totals) {
+  const uint64_t thread_seed = options.seed + static_cast<uint64_t>(thread_index) * 7919;
+  Rng lifetime_rng(thread_seed ^ 0x51c3a9b7ULL);  // churn lifetimes only
+  auto sample_lifetime = [&lifetime_rng, &options]() -> Nanos {
+    return static_cast<Nanos>(lifetime_rng.NextExponential(
+        static_cast<double>(options.churn_mean_lifetime)));
+  };
+
   // This thread's connection share.
   std::vector<GenConn> conns;
   for (int c = thread_index; c < options.connections; c += threads) {
@@ -158,12 +167,14 @@ void GeneratorThread(const TcpLoadgenOptions& options, int thread_index, int thr
       totals.finished_at = NowNanos();
       return;
     }
+    if (options.churn_mean_lifetime > 0) {
+      conn.expires_at = NowNanos() + sample_lifetime();
+    }
     conns.push_back(std::move(conn));
   }
 
   const Nanos measure_start = start + options.warmup;
   const Nanos window_end = start + options.duration;
-  const uint64_t thread_seed = options.seed + static_cast<uint64_t>(thread_index) * 7919;
   ArrivalProcess arrivals(options.arrivals, options.rate_rps / threads, thread_seed);
   Rng rng(thread_seed ^ 0x7cb9fe1dULL);  // payloads + connection choice
   std::string buffer(16 * 1024, '\0');
@@ -171,16 +182,43 @@ void GeneratorThread(const TcpLoadgenOptions& options, int thread_index, int thr
   std::string frame;
   std::vector<pollfd> pfds(conns.size());
 
+  // Churn: an expired connection hangs up once its in-flight FIFO has drained (a
+  // clean close — the server sees an orderly hangup, the accounting loses nothing)
+  // and reconnects with a fresh socket and fresh parser state. The schedule never
+  // sees the swap: the connection *index* it picks stays valid throughout.
+  auto maybe_recycle = [&](GenConn& conn) {
+    if (options.churn_mean_lifetime <= 0 || conn.fd < 0 || !conn.in_flight.empty()) {
+      return;
+    }
+    Nanos now = NowNanos();
+    if (now < conn.expires_at || now >= window_end) {
+      return;  // not expired yet — or the window closed (don't churn the drain)
+    }
+    ::close(conn.fd);
+    conn.parser = FrameParser();
+    conn.fd = ConnectTo(options.host, options.port);
+    if (conn.fd < 0) {
+      totals.clean = false;  // refused mid-run (e.g. server at its concurrency cap)
+      return;
+    }
+    conn.expires_at = now + sample_lifetime();
+    totals.reconnects++;
+  };
+
   auto poll_once = [&](int timeout_ms) {
     for (size_t i = 0; i < conns.size(); ++i) {
       pfds[i] = pollfd{conns[i].fd, POLLIN, 0};
     }
-    if (::poll(pfds.data(), pfds.size(), timeout_ms) <= 0) {
-      return;
+    if (::poll(pfds.data(), pfds.size(), timeout_ms) > 0) {
+      for (size_t i = 0; i < conns.size(); ++i) {
+        if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0 && conns[i].fd >= 0) {
+          DrainReadable(conns[i], buffer, measure_start, totals);
+        }
+      }
     }
-    for (size_t i = 0; i < conns.size(); ++i) {
-      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0 && conns[i].fd >= 0) {
-        DrainReadable(conns[i], buffer, measure_start, totals);
+    if (options.churn_mean_lifetime > 0) {
+      for (GenConn& conn : conns) {
+        maybe_recycle(conn);  // idle lifetimes expire too, not just busy ones
       }
     }
   };
@@ -210,6 +248,7 @@ void GeneratorThread(const TcpLoadgenOptions& options, int thread_index, int thr
                     : 0);
     }
     GenConn& conn = conns[rng.NextBounded(conns.size())];
+    maybe_recycle(conn);  // expired and drained: swap the socket before sending
     if (conn.fd < 0) {
       // Connection died earlier: the scheduled request cannot be sent — count it as
       // lost so sent/lost accounting still covers the whole schedule.
@@ -294,6 +333,7 @@ TcpLoadgenResult RunTcpLoadgen(const TcpLoadgenOptions& options) {
     result.measured += thread_totals.measured;
     result.lost += thread_totals.lost;
     result.mismatches += thread_totals.mismatches;
+    result.reconnects += thread_totals.reconnects;
     result.max_send_lag = std::max(result.max_send_lag, thread_totals.max_send_lag);
     result.measure_end = std::max(result.measure_end, thread_totals.finished_at);
     result.latency.Merge(thread_totals.latency);

@@ -9,6 +9,12 @@
 // blocking send on a full socket buffer) therefore inflates the recorded tail rather
 // than suppressing measurements.
 //
+// Churn mode (churn_mean_lifetime > 0) adds the connection-lifecycle dimension: each
+// connection lives an exponentially distributed lifetime, then hangs up and
+// reconnects with a fresh socket — the workload that exercises the server's
+// accept/teardown/slot-recycling path (bench/churn_live_runtime.cc) instead of only
+// its steady-state data plane.
+//
 // Contract: RunTcpLoadgen blocks until the send window closes and every in-flight
 // request is answered (or drain_timeout expires — then clean=false and the unanswered
 // requests are counted in `lost`). Latencies are wall-clock Nanos, measured on the
@@ -39,6 +45,14 @@ struct TcpLoadgenOptions {
   Nanos warmup = kSecond / 5;      // completions scheduled before start+warmup discarded
   uint64_t seed = 1;
   Nanos drain_timeout = 10 * kSecond;  // wait for stragglers after the window closes
+  // Connection churn: when > 0, each connection's lifetime is drawn from an
+  // exponential distribution with this mean; an expired connection closes (once its
+  // in-flight requests have drained, so accounting stays exact and the server sees a
+  // clean hangup) and immediately reconnects with a fresh socket. The send schedule
+  // is untouched — churn swaps the socket behind a connection index, never the
+  // arrival process — so the measurement stays coordinated-omission safe. 0 = off
+  // (connections live for the whole run).
+  Nanos churn_mean_lifetime = 0;
   // Fills `out` with one request payload (e.g. a KV protocol request or fixed bytes).
   std::function<void(Rng& rng, std::string& out)> make_payload;
 };
@@ -56,6 +70,9 @@ struct TcpLoadgenResult {
   // its send-time matching is unrecoverable — and counts the in-flight tail in
   // `lost`.
   uint64_t mismatches = 0;
+  // Churn-mode reconnects performed (fresh sockets after an expired lifetime);
+  // 0 when churn_mean_lifetime == 0.
+  uint64_t reconnects = 0;
   Nanos max_send_lag = 0;   // worst (actual send - scheduled send) across threads
   Nanos measure_start = 0;
   Nanos measure_end = 0;    // when the last generator thread finished draining

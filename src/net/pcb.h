@@ -56,6 +56,17 @@ class Pcb {
   uint64_t flow_id() const { return flow_id_; }
   int home_core() const { return home_core_; }
 
+  // Rebinds a retired PCB to a fresh connection identity (slot recycling,
+  // src/runtime/runtime.cc). Only legal at teardown quiescence: idle, unowned, empty
+  // event queue — the state ShuffleLayer::TryRetire hands back. The caller provides
+  // that quiescence, so no locks are taken here.
+  void Reset(uint64_t flow_id, int home_core) {
+    flow_id_ = flow_id;
+    home_core_ = home_core;
+    sched_state_ = PcbState::kIdle;
+    owner_core_ = -1;
+  }
+
   // --- Event queue (guarded by event_lock_) -----------------------------------------
 
   // Appends a parsed request; called by the home-core netstack only.
@@ -97,8 +108,10 @@ class Pcb {
   void set_owner_core(int core) { owner_core_ = core; }
 
  private:
-  const uint64_t flow_id_;
-  const int home_core_;
+  // Non-const so a recycled connection slot can rebind its PCB in place (Reset);
+  // immutable between Reset calls.
+  uint64_t flow_id_;
+  int home_core_;
 
   mutable Spinlock event_lock_;
   std::deque<PcbEvent> events_;

@@ -84,20 +84,20 @@ Runtime::Runtime(RuntimeOptions options, std::unique_ptr<Transport> transport,
     : options_(options),
       handler_(std::move(handler)),
       transport_(std::move(transport)),
-      shuffle_(options.num_workers) {
+      shuffle_(options.num_workers),
+      // Connection slots are bound lazily on the home core (first segment or
+      // kFlowOpened); the table itself is sized up front to the flow-capacity source
+      // of truth so slot addresses are stable without synchronization.
+      connections_(ResolvedMaxFlows(options)) {
   if (transport_->num_queues() != options_.num_workers) {
     std::fprintf(stderr,
                  "zygos: transport has %d queues but the runtime has %d workers\n",
                  transport_->num_queues(), options_.num_workers);
     std::abort();
   }
-  // Connection slots are created lazily on the home core at first segment; the table
-  // itself is sized up front so slot addresses are stable without synchronization.
-  size_t capacity = std::max<size_t>(static_cast<size_t>(options_.num_flows),
-                                     options_.max_flows != 0 ? options_.max_flows : 4096);
-  connections_.resize(capacity);
   Rng seeder(0x2e67a5u);
   for (int c = 0; c < options_.num_workers; ++c) {
+    lifecycle_.push_back(std::make_unique<CoreLifecycle>());
     remote_queues_.push_back(std::make_unique<MpmcQueue<RemoteSyscall>>(
         options_.ring_capacity));
     doorbells_.push_back(std::make_unique<Doorbell>());
@@ -196,6 +196,10 @@ WorkerStats Runtime::TotalStats() const {
     total.pool_hits += stats->pool_hits;
     total.pool_misses += stats->pool_misses;
     total.pool_remote_frees += stats->pool_remote_frees;
+    total.flows_opened += stats->flows_opened;
+    total.flows_closed += stats->flows_closed;
+    total.flows_recycled += stats->flows_recycled;
+    total.events_refused += stats->events_refused;
   }
   return total;
 }
@@ -228,6 +232,9 @@ void Runtime::WorkerLoop(int core) {
     worked |= DrainRemoteSyscalls(core) > 0;
     // Priority 2: own receive queue through the netstack, one batch per pass.
     worked |= NetstackRx(core) > 0;
+    // Teardown: flows whose close was deferred behind an owner (possibly a thief)
+    // retry every pass; no-op when nothing is closing.
+    worked |= ProcessClosing(core) > 0;
     // Priority 3: local shuffle queue.
     if (Pcb* pcb = shuffle_.DequeueLocal(core)) {
       ExecuteConnection(core, pcb, /*stolen=*/false);
@@ -313,9 +320,18 @@ uint64_t Runtime::DrainRemoteSyscalls(int core) {
 uint64_t Runtime::NetstackRx(int core) {
   WorkerStats& stats = *stats_[static_cast<size_t>(core)];
   std::array<Segment, kRxBatch> segments;
-  size_t n = transport_->PollBatch(core, std::span<Segment>(segments.data(), kRxBatch));
+  // Per-worker control scratch (never nested): lifecycle events ride the same poll
+  // as segments and are processed first — the transport orders an open before the
+  // flow's first segment and never delivers segments after a close.
+  static thread_local std::vector<ControlEvent> control;
+  control.clear();
+  size_t n = transport_->PollBatch(core, std::span<Segment>(segments.data(), kRxBatch),
+                                   control);
+  for (const ControlEvent& event : control) {
+    HandleControlEvent(event, core);
+  }
   if (n == 0) {
-    return 0;
+    return control.size();
   }
   stats.rx_batches++;
   stats.rx_segments += n;
@@ -361,8 +377,9 @@ uint64_t Runtime::NetstackRx(int core) {
 
 Runtime::Connection* Runtime::ConnectionFor(uint64_t flow_id, int core) {
   if (flow_id >= connections_.size()) {
-    // Transport misconfiguration (its flow-id cap exceeds RuntimeOptions::max_flows):
-    // refuse the flow instead of crashing a live server on remote input. Warn once.
+    // Transport misconfiguration (its flow-id cap exceeds RuntimeOptions::max_flows —
+    // impossible when both sides derive from ResolvedMaxFlows): refuse the flow
+    // instead of crashing a live server on remote input. Warn once.
     if (!flow_overflow_warned_.exchange(true, std::memory_order_relaxed)) {
       std::fprintf(stderr,
                    "zygos: flow id %llu exceeds the connection table (max_flows=%zu); "
@@ -371,14 +388,119 @@ Runtime::Connection* Runtime::ConnectionFor(uint64_t flow_id, int core) {
     }
     return nullptr;
   }
-  auto& slot = connections_[flow_id];
-  if (!slot) {
-    // First segment of the flow: it arrived on `core` because the transport's RSS
-    // steers it there, so `core` is the home core for the connection's lifetime (as in
-    // the paper, flow-group reprogramming migrates *future* connections only).
-    slot = std::make_unique<Connection>(flow_id, core);
+  Slot& slot = connections_[flow_id];
+  if (slot.conn && slot.conn->closing) {
+    // Mid-teardown: the transport contract forbids segments after a close, so this
+    // only happens when a loopback client injects past its own hangup. Refuse.
+    return nullptr;
   }
-  return slot.get();
+  if (!slot.conn) {
+    // First segment of a flow with no explicit open (loopback harness): it arrived on
+    // `core` because the transport's RSS steers it there, so `core` is the home core
+    // for the connection's lifetime (as in the paper, flow-group reprogramming
+    // migrates *future* connections only).
+    return BindFlow(flow_id, core);
+  }
+  return slot.conn.get();
+}
+
+Runtime::Connection* Runtime::BindFlow(uint64_t flow_id, int core) {
+  if (flow_id >= connections_.size()) {
+    return nullptr;
+  }
+  Slot& slot = connections_[flow_id];
+  if (slot.conn) {
+    return slot.conn.get();  // double open: idempotent
+  }
+  CoreLifecycle& lifecycle = *lifecycle_[static_cast<size_t>(core)];
+  if (!lifecycle.free_conns.empty()) {
+    // Recycled object: rebind in place — no allocation, the churn steady state.
+    slot.conn = std::move(lifecycle.free_conns.back());
+    lifecycle.free_conns.pop_back();
+    slot.conn->pcb.Reset(flow_id, core);
+  } else {
+    slot.conn = std::make_unique<Connection>(flow_id, core);
+  }
+  stats_[static_cast<size_t>(core)]->flows_opened++;
+  uint64_t open = open_flows_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t peak = peak_open_flows_.load(std::memory_order_relaxed);
+  while (open > peak &&
+         !peak_open_flows_.compare_exchange_weak(peak, open,
+                                                 std::memory_order_relaxed)) {
+  }
+  return slot.conn.get();
+}
+
+void Runtime::HandleControlEvent(const ControlEvent& event, int core) {
+  WorkerStats& stats = *stats_[static_cast<size_t>(core)];
+  if (event.kind == ControlEventKind::kFlowOpened) {
+    if (BindFlow(event.flow_id, core) == nullptr) {
+      // Beyond the table: unserviceable — sever it right back.
+      transport_->CloseFlow(core, event.flow_id);
+    }
+    return;
+  }
+  // kFlowClosed.
+  stats.flows_closed++;
+  if (event.flow_id >= connections_.size() || !connections_[event.flow_id].conn) {
+    // The flow never bound a slot (refused at ingress, or opened and closed before
+    // any segment on a lazy-binding transport): nothing to tear down, the id is
+    // immediately safe to reuse.
+    transport_->ReleaseFlowId(event.flow_id);
+    return;
+  }
+  Connection& conn = *connections_[event.flow_id].conn;
+  if (conn.closing) {
+    return;  // duplicate close (e.g. sever racing a hangup): first one wins
+  }
+  conn.closing = true;
+  lifecycle_[static_cast<size_t>(core)]->closing.push_back(event.flow_id);
+}
+
+uint64_t Runtime::ProcessClosing(int core) {
+  CoreLifecycle& lifecycle = *lifecycle_[static_cast<size_t>(core)];
+  if (lifecycle.closing.empty()) {
+    return 0;
+  }
+  WorkerStats& stats = *stats_[static_cast<size_t>(core)];
+  uint64_t recycled = 0;
+  for (size_t i = 0; i < lifecycle.closing.size();) {
+    uint64_t flow_id = lifecycle.closing[i];
+    Slot& slot = connections_[flow_id];
+    Connection* conn = slot.conn.get();
+    // The §4.3 ownership discipline extended to teardown: while any core (home or
+    // thief) owns the socket, the slot is untouchable — TryRetire refuses and we
+    // retry next pass. Responses the owner ships home still find the PCB alive.
+    if (!shuffle_.TryRetire(&conn->pcb)) {
+      ++i;
+      continue;
+    }
+    // Detached from the scheduler: drain events that will never execute (their peer
+    // is gone; a TX would hit the floor anyway). They were counted in
+    // injected_/accepted_, so retire them through completed_ like a dropped TX.
+    uint64_t refused = 0;
+    while (conn->pcb.PopEvent()) {
+      refused++;
+    }
+    if (refused > 0) {
+      stats.events_refused += refused;
+      completed_.fetch_add(refused, std::memory_order_release);
+    }
+    // Reset in place — no allocation: the parser drops any half-reassembled frame
+    // (and its pooled buffers) and the object returns to this core's freelist.
+    conn->parser = FrameParser();
+    conn->closing = false;
+    lifecycle.free_conns.push_back(std::move(slot.conn));
+    slot.generation.fetch_add(1, std::memory_order_release);
+    stats.flows_recycled++;
+    open_flows_.fetch_sub(1, std::memory_order_relaxed);
+    recycled++;
+    // The id is now safe to reincarnate; tell the transport's freelist.
+    transport_->ReleaseFlowId(flow_id);
+    lifecycle.closing[i] = lifecycle.closing.back();
+    lifecycle.closing.pop_back();
+  }
+  return recycled;
 }
 
 uint64_t Runtime::ExecuteConnection(int core, Pcb* pcb, bool stolen) {

@@ -15,6 +15,15 @@
 //            Fig. 4 step (b)) and transmitted there in one TransmitBatch pass, keeping
 //            TX home-core-only.
 //
+// Connection lifecycle: the transport announces flow open/close as ControlEvents on
+// the flow's home queue; the runtime binds connection slots out of a fixed,
+// generation-tagged table (per-core freelists make churn allocation-free) and tears a
+// closed flow down only once no core owns it (ShuffleLayer::TryRetire — the §4.3
+// exclusive-ownership discipline extended to teardown), then hands the flow id back
+// to the transport for reuse (Transport::ReleaseFlowId). Lifetime connections are
+// unbounded; the table caps only concurrency. See docs/ARCHITECTURE.md "Connection
+// lifecycle".
+//
 // Work conservation comes from the idle loop (§5): an idle worker scans — own ring,
 // remote shuffle queues (steal), remote rings (doorbell the home core). IPIs are
 // modelled by Doorbells: a software substitute for Dune's posted interrupts that the
@@ -38,6 +47,7 @@
 #ifndef ZYGOS_RUNTIME_RUNTIME_H_
 #define ZYGOS_RUNTIME_RUNTIME_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -107,6 +117,16 @@ struct RuntimeOptions {
   bool enable_doorbells = true;
 };
 
+// Connection-table capacity implied by `options` — the single source of truth for
+// flow capacity. Transports that mint flow ids (TcpTransport) must cap them below
+// this; derive their options with TcpOptionsFor (src/runtime/tcp_transport.h) instead
+// of copying the number by hand, so the two can never drift.
+inline size_t ResolvedMaxFlows(const RuntimeOptions& options) {
+  size_t floor = static_cast<size_t>(options.num_flows);
+  return options.max_flows != 0 ? std::max(floor, options.max_flows)
+                                : std::max<size_t>(floor, 4096);
+}
+
 // Cache-line aligned: each worker writes its own struct every scheduling pass, and
 // adjacent workers' stats sharing a line would turn those writes into coherence
 // traffic (the false-sharing hazard kCacheLineSize exists to prevent).
@@ -124,6 +144,11 @@ struct alignas(kCacheLineSize) WorkerStats {
   uint64_t pool_hits = 0;         // allocations served from the freelist
   uint64_t pool_misses = 0;       // slab growth + oversized fallbacks (heap allocs)
   uint64_t pool_remote_frees = 0; // buffers this core shipped home to another pool
+  // Connection lifecycle (flows homed on this core):
+  uint64_t flows_opened = 0;      // slots bound (explicit kFlowOpened or lazy first segment)
+  uint64_t flows_closed = 0;      // kFlowClosed control events processed
+  uint64_t flows_recycled = 0;    // slots fully torn down and returned to the freelist
+  uint64_t events_refused = 0;    // accepted events drained unexecuted at teardown
 };
 
 class Runtime {
@@ -180,6 +205,22 @@ class Runtime {
   uint64_t Accepted() const { return accepted_.load(std::memory_order_relaxed); }
   uint64_t Completed() const { return completed_.load(std::memory_order_relaxed); }
 
+  // Connection-table occupancy: slots currently bound to a live flow (gauge) and the
+  // high-water mark since Start. Under churn the gauge stays near the concurrent
+  // connection count while lifetime connections grow without bound — the "fixed table
+  // occupancy" the slot recycling exists to provide.
+  uint64_t OpenFlows() const { return open_flows_.load(std::memory_order_relaxed); }
+  uint64_t PeakOpenFlows() const {
+    return peak_open_flows_.load(std::memory_order_relaxed);
+  }
+  // Generation tag of a flow's table slot: bumped each time the slot is recycled, so
+  // tests can assert a slot was NOT recycled while its connection was stolen/owned
+  // (the §4.3 ordering discipline extended to teardown). Racy-but-safe while running;
+  // exact at quiescence.
+  uint32_t FlowGeneration(uint64_t flow_id) const {
+    return connections_[flow_id].generation.load(std::memory_order_acquire);
+  }
+
   // Home core of a flow under the current RSS programming (tests use this to build
   // skewed layouts).
   int HomeCoreOf(uint64_t flow_id) const { return transport_->QueueOf(flow_id); }
@@ -203,6 +244,25 @@ class Runtime {
     explicit Connection(uint64_t flow_id, int home_core) : pcb(flow_id, home_core) {}
     Pcb pcb;
     FrameParser parser;  // touched only by the home core (layer-1 isolation)
+    // kFlowClosed seen; awaiting scheduler quiescence (TryRetire) to recycle. While
+    // set, further segments/closes for the flow are refused/ignored.
+    bool closing = false;
+  };
+
+  // One entry of the flow-id-indexed connection table. The Connection object is
+  // detachable (per-core freelist) so churn recycles it allocation-free; the
+  // generation stays with the slot and counts completed teardowns.
+  struct Slot {
+    std::unique_ptr<Connection> conn;
+    std::atomic<uint32_t> generation{0};
+  };
+
+  // Per-core teardown state: flows whose close is waiting out an owner, plus the
+  // freelist of recycled Connection objects ready to rebind. Touched only by the
+  // owning worker — cache-line isolated like WorkerStats.
+  struct alignas(kCacheLineSize) CoreLifecycle {
+    std::vector<uint64_t> closing;
+    std::vector<std::unique_ptr<Connection>> free_conns;
   };
 
   class WorkerView;
@@ -222,10 +282,21 @@ class Runtime {
   uint64_t ExecuteConnection(int core, Pcb* pcb, bool stolen);
   // Transmits a batch of responses on the home core and records their completion.
   void TransmitBatch(int core, std::span<TxSegment> batch);
-  // Home-core connection lookup, created on first segment (the flow's home core is the
-  // queue its bytes arrive on, so creation is single-threaded per slot). Returns
-  // nullptr for flow ids beyond the table; the caller severs the flow.
+  // Home-core connection lookup, bound on first segment if no kFlowOpened preceded it
+  // (the flow's home core is the queue its bytes arrive on, so binding is
+  // single-threaded per slot). Returns nullptr for flow ids beyond the table and for
+  // flows mid-teardown; the caller severs the flow.
   Connection* ConnectionFor(uint64_t flow_id, int core);
+  // Binds `flow_id`'s slot to a Connection (from the core's freelist when possible),
+  // marking it open. Returns nullptr for ids beyond the table.
+  Connection* BindFlow(uint64_t flow_id, int core);
+  // Processes one transport control event on the flow's home core.
+  void HandleControlEvent(const ControlEvent& event, int core);
+  // Attempts teardown of every flow on this core's closing list: once the scheduler
+  // lets go (TryRetire), drains unserved events, resets the parser in place, bumps
+  // the slot generation, returns the Connection to the freelist and releases the
+  // flow id back to the transport. Returns the number of slots recycled.
+  uint64_t ProcessClosing(int core);
 
   // Cache-line isolated per-core flag: remote cores poll it from the idle loop while
   // the owner toggles it around every handler invocation — sharing a line with any
@@ -238,7 +309,10 @@ class Runtime {
   ViewHandler handler_;
   std::unique_ptr<Transport> transport_;
   ShuffleLayer shuffle_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  // Flow-id-indexed, fixed size (ResolvedMaxFlows): ids are recycled by transports,
+  // never grown past the table. Slot addresses are stable without synchronization.
+  std::vector<Slot> connections_;
+  std::vector<std::unique_ptr<CoreLifecycle>> lifecycle_;
   std::vector<std::unique_ptr<MpmcQueue<RemoteSyscall>>> remote_queues_;
   std::vector<std::unique_ptr<Doorbell>> doorbells_;
   std::vector<std::unique_ptr<WorkerStats>> stats_;
@@ -252,6 +326,8 @@ class Runtime {
   std::atomic<uint64_t> injected_{0};
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> open_flows_{0};
+  std::atomic<uint64_t> peak_open_flows_{0};
 };
 
 }  // namespace zygos

@@ -23,11 +23,9 @@ namespace {
 
 constexpr int kMaxEpollEvents = 64;
 constexpr int kAcceptPollMillis = 20;
+// Granularity of the bounded TX wait: the stall deadline (a TcpTransportOptions
+// field) is split into poll() slices this long.
 constexpr int kTxPollMillis = 10;
-// A peer that stops reading stalls its home core's TX — and every other flow homed
-// there behind it. Bound the stall tightly and close the offending connection, so one
-// misbehaving client costs the core at most ~50 ms once, not per response.
-constexpr int kTxPollRetries = 5;
 
 [[noreturn]] void Fatal(const char* what) {
   std::fprintf(stderr, "zygos: tcp transport: %s: %s\n", what, std::strerror(errno));
@@ -38,10 +36,17 @@ constexpr int kTxPollRetries = 5;
 
 TcpTransport::TcpTransport(TcpTransportOptions options)
     : options_(std::move(options)),
-      rss_(options_.num_flow_groups, options_.num_queues) {
+      rss_(options_.num_flow_groups, options_.num_queues),
+      // Every id in [0, max_flows) may be in the freelist at once.
+      free_ids_(std::max<uint64_t>(options_.max_flows, 1)) {
   queues_.reserve(static_cast<size_t>(options_.num_queues));
   for (int q = 0; q < options_.num_queues; ++q) {
-    queues_.push_back(std::make_unique<PerQueue>());
+    auto pq = std::make_unique<PerQueue>();
+    // Bounded handoff: more un-registered connections than the listen backlog means
+    // the worker is badly behind; refusing at that point is the honest backpressure.
+    pq->accept_ring = std::make_unique<SpscRing<Conn*>>(
+        static_cast<size_t>(std::max(options_.listen_backlog, 16)));
+    queues_.push_back(std::move(pq));
   }
 }
 
@@ -89,8 +94,13 @@ void TcpTransport::Stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  // Quiescent teardown (workers have stopped): connections still in the handoff
+  // rings never reached a worker — close them directly.
   for (auto& pq : queues_) {
-    Spinlock::Guard guard(pq->lock);
+    while (auto pending = pq->accept_ring->TryPop()) {
+      ::close((*pending)->fd);
+      delete *pending;
+    }
     for (auto& [flow, conn] : pq->conns) {
       if (pq->epfd >= 0) {
         ::epoll_ctl(pq->epfd, EPOLL_CTL_DEL, conn->fd, nullptr);
@@ -98,11 +108,33 @@ void TcpTransport::Stop() {
       ::close(conn->fd);
     }
     pq->conns.clear();
+    pq->pending_control.clear();
     if (pq->epfd >= 0) {
       ::close(pq->epfd);
       pq->epfd = -1;
     }
   }
+}
+
+std::optional<uint64_t> TcpTransport::MintFlowId() {
+  // Recycled ids first: they keep the working set of the runtime's slot table (and
+  // its per-core Connection freelists) warm. Fresh ids only until the cap.
+  if (auto recycled = free_ids_.TryPop()) {
+    return *recycled;
+  }
+  uint64_t fresh = next_flow_.load(std::memory_order_relaxed);
+  while (fresh < options_.max_flows) {
+    if (next_flow_.compare_exchange_weak(fresh, fresh + 1,
+                                         std::memory_order_relaxed)) {
+      return fresh;
+    }
+  }
+  return std::nullopt;
+}
+
+void TcpTransport::ReleaseFlowId(uint64_t flow_id) {
+  // Cannot fail: at most max_flows ids exist and the queue is sized for all of them.
+  free_ids_.TryPush(flow_id);
 }
 
 void TcpTransport::AcceptLoop() {
@@ -125,37 +157,37 @@ void TcpTransport::AcceptLoop() {
         }
         break;
       }
-      if (next_flow_.load(std::memory_order_relaxed) >= options_.max_flows) {
-        // Out of flow ids for this transport's lifetime (ids are not recycled, see
-        // TcpTransportOptions::max_flows): refuse rather than overrun the runtime's
-        // connection table.
+      std::optional<uint64_t> flow = MintFlowId();
+      if (!flow) {
+        // max_flows ids outstanding (concurrent connections at the cap): refuse
+        // rather than overrun the runtime's table. Ids return when closed
+        // connections finish recycling, so this is a concurrency cap, not a
+        // lifetime one.
         ::close(fd);
+        capacity_refusals_.fetch_add(1, std::memory_order_relaxed);
         drops_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      // Mint a flow id and steer it through the indirection table, as RSS would hash
-      // a new 5-tuple: the connection's home queue is fixed here, at accept time.
-      uint64_t flow = next_flow_.fetch_add(1, std::memory_order_relaxed);
-      int queue = rss_.HomeCoreOf(flow);
+      // Steer through the indirection table, as RSS would hash a new 5-tuple: the
+      // connection's home queue is fixed here, at accept time.
+      int queue = rss_.HomeCoreOf(*flow);
       PerQueue& pq = *queues_[static_cast<size_t>(queue)];
-      auto conn = std::make_unique<Conn>();
-      conn->fd = fd;
-      conn->flow_id = flow;
-      conn->home_queue = queue;
-      Conn* raw = conn.get();
-      {
-        Spinlock::Guard guard(pq.lock);
-        pq.conns.emplace(flow, std::move(conn));
-      }
-      epoll_event ev{};
-      ev.events = EPOLLIN;
-      ev.data.ptr = raw;
-      if (::epoll_ctl(pq.epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
-        Spinlock::Guard guard(pq.lock);
+      Conn* conn = new Conn{fd, *flow, queue};
+      // Lock-free handoff to the home worker: it registers the socket with its own
+      // epoll set and announces kFlowOpened on its next poll pass. A full ring means
+      // the worker is swamped — refuse, as a NIC drops when its queue overflows.
+      // That is worker lag, NOT id exhaustion, so it counts as a plain drop and not
+      // a capacity refusal (the churn acceptance gate reads CapacityRefusals as
+      // "the recycling fell behind"; a descheduled worker must not fail it).
+      // Ownership passes with the push (the worker wraps it in a unique_ptr), so the
+      // acceptor must not touch `conn` after a successful TryPush.
+      if (!pq.accept_ring->TryPush(conn)) {
+        delete conn;
         ::close(fd);
-        pq.conns.erase(flow);
+        ReleaseFlowId(*flow);
+        drops_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       accepted_connections_.fetch_add(1, std::memory_order_relaxed);
@@ -166,14 +198,42 @@ void TcpTransport::AcceptLoop() {
 void TcpTransport::CloseConn(PerQueue& pq, Conn* conn) {
   ::epoll_ctl(pq.epfd, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
-  Spinlock::Guard guard(pq.lock);
+  // Announce the close upstream; the next PollBatch delivers it and the runtime
+  // recycles the slot (eventually handing the id back via ReleaseFlowId).
+  pq.pending_control.push_back(
+      ControlEvent{ControlEventKind::kFlowClosed, conn->flow_id});
   pq.conns.erase(conn->flow_id);  // frees *conn
 }
 
-size_t TcpTransport::PollBatch(int queue, std::span<Segment> out) {
+size_t TcpTransport::PollBatch(int queue, std::span<Segment> out,
+                               std::vector<ControlEvent>& control) {
   PerQueue& pq = *queues_[static_cast<size_t>(queue)];
   if (pq.epfd < 0 || out.empty()) {
     return 0;
+  }
+  // Closes buffered since the last poll (TX stall drops, severs) go first: they
+  // cannot be followed by segments of their flow, preserving the control ordering.
+  if (!pq.pending_control.empty()) {
+    control.insert(control.end(), pq.pending_control.begin(),
+                   pq.pending_control.end());
+    pq.pending_control.clear();
+  }
+  // Newborn connections from the acceptor: register with this worker's epoll set and
+  // announce them. Registration happens here — on the home core — so an open always
+  // precedes the flow's first segment within this queue's event stream.
+  while (auto handed = pq.accept_ring->TryPop()) {
+    std::unique_ptr<Conn> conn(*handed);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = conn.get();
+    if (::epoll_ctl(pq.epfd, EPOLL_CTL_ADD, conn->fd, &ev) != 0) {
+      ::close(conn->fd);
+      ReleaseFlowId(conn->flow_id);  // never announced; the id is free again
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    control.push_back(ControlEvent{ControlEventKind::kFlowOpened, conn->flow_id});
+    pq.conns.emplace(conn->flow_id, std::move(conn));
   }
   std::array<epoll_event, kMaxEpollEvents> events;
   int max_events = static_cast<int>(std::min(out.size(), events.size()));
@@ -209,19 +269,18 @@ size_t TcpTransport::PollBatch(int queue, std::span<Segment> out) {
 
 size_t TcpTransport::TransmitBatch(int queue, std::span<TxSegment> batch) {
   PerQueue& pq = *queues_[static_cast<size_t>(queue)];
-  // One locked pass resolves every flow in the batch. Holding the raw Conn* pointers
-  // outside the lock is safe on the home core: only this worker erases entries
-  // (CloseConn) — and when it does so mid-batch below, it removes them from the local
-  // view too — while the accept thread only inserts.
+  // One pass resolves every flow in the batch. No lock: `conns` is home-worker-only
+  // now that the acceptor hands connections over the ring, and this IS the home
+  // worker (the transmit discipline the runtime enforces).
   std::unordered_map<uint64_t, Conn*>& resolved = pq.tx_resolved;
   resolved.clear();
-  {
-    Spinlock::Guard guard(pq.lock);
-    for (const TxSegment& tx : batch) {
-      auto it = pq.conns.find(tx.flow_id);
-      resolved[tx.flow_id] = it == pq.conns.end() ? nullptr : it->second.get();
-    }
+  for (const TxSegment& tx : batch) {
+    auto it = pq.conns.find(tx.flow_id);
+    resolved[tx.flow_id] = it == pq.conns.end() ? nullptr : it->second.get();
   }
+  const int max_tx_retries = static_cast<int>(
+      std::max<Nanos>(options_.stall_drop_deadline, kMillisecond) /
+      (kTxPollMillis * kMillisecond));
   for (const TxSegment& tx : batch) {
     Conn* conn = resolved[tx.flow_id];
     if (conn == nullptr) {
@@ -244,8 +303,8 @@ size_t TcpTransport::TransmitBatch(int queue, std::span<TxSegment> batch) {
         continue;
       }
       if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        if (++retries > kTxPollRetries) {
-          break;  // peer stopped reading; give up on it below
+        if (++retries > max_tx_retries) {
+          break;  // peer stopped reading past the stall deadline; give up below
         }
         pollfd pfd{conn->fd, POLLOUT, 0};
         ::poll(&pfd, 1, kTxPollMillis);
@@ -261,6 +320,9 @@ size_t TcpTransport::TransmitBatch(int queue, std::span<TxSegment> batch) {
       // peer cannot head-of-line-block the rest of this core's flows response after
       // response.
       drops_.fetch_add(1, std::memory_order_relaxed);
+      if (retries > max_tx_retries) {
+        stall_drops_.fetch_add(1, std::memory_order_relaxed);
+      }
       resolved[tx.flow_id] = nullptr;  // later responses in this batch see it gone
       CloseConn(pq, conn);
     }
@@ -271,17 +333,10 @@ size_t TcpTransport::TransmitBatch(int queue, std::span<TxSegment> batch) {
 
 void TcpTransport::CloseFlow(int queue, uint64_t flow_id) {
   PerQueue& pq = *queues_[static_cast<size_t>(queue)];
-  Conn* conn = nullptr;
-  {
-    Spinlock::Guard guard(pq.lock);
-    auto it = pq.conns.find(flow_id);
-    if (it != pq.conns.end()) {
-      conn = it->second.get();
-    }
-  }
-  if (conn != nullptr) {
+  auto it = pq.conns.find(flow_id);
+  if (it != pq.conns.end()) {
     drops_.fetch_add(1, std::memory_order_relaxed);
-    CloseConn(pq, conn);
+    CloseConn(pq, it->second.get());
   }
 }
 
@@ -289,6 +344,10 @@ bool TcpTransport::ApproxNonEmpty(int queue) const {
   const PerQueue& pq = *queues_[static_cast<size_t>(queue)];
   if (pq.epfd < 0) {
     return false;
+  }
+  // Newborn connections awaiting registration are pending work for the home core.
+  if (!pq.accept_ring->ApproxEmpty()) {
+    return true;
   }
   // Zero-timeout peek: level-triggered readiness is not consumed by observing it, so
   // any idle core may ask "does this home core have pending packets?" — the remote-

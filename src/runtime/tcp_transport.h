@@ -4,16 +4,21 @@
 // connection is assigned a flow id and hashed through the same RssTable the loopback
 // harness uses, which picks its home queue — the software analogue of programming the
 // NIC's indirection table (or SO_INCOMING_CPU steering), so every connection has a
-// genuine home core for its whole lifetime. The accept thread registers the socket
-// with that queue's epoll instance and never touches it again.
+// genuine home core for its whole lifetime. The acceptor never touches shared
+// per-queue state: it hands the prepared connection to the home worker over a
+// per-queue SPSC ring, and the worker registers the socket with its own epoll set on
+// its next poll pass (announcing it upstream as a kFlowOpened control event). No lock
+// sits between the accept path and the data path.
 //
 // From there the data plane is per-core and batch-oriented:
 //
-//   RX  PollBatch(q) is called only by worker q: a zero-timeout epoll_wait over the
-//       queue's own epoll set, one recv() per ready connection per pass (level-
-//       triggered, so residue is re-reported next pass). Each recv() lands directly
-//       in a pooled buffer (src/common/buffer_pool.h) that becomes the Segment — the
-//       bytes are never copied again; frame reassembly aliases views into them.
+//   RX  PollBatch(q) is called only by worker q: drain the accept ring (register +
+//       kFlowOpened), then a zero-timeout epoll_wait over the queue's own epoll set,
+//       one recv() per ready connection per pass (level-triggered, so residue is
+//       re-reported next pass). Each recv() lands directly in a pooled buffer
+//       (src/common/buffer_pool.h) that becomes the Segment — the bytes are never
+//       copied again; frame reassembly aliases views into them. Hangups/errors close
+//       the connection and surface as kFlowClosed control events.
 //   TX  TransmitBatch(q) is called only by the flow's home worker: each TxSegment
 //       already carries its complete wire frame (built in place by the executing
 //       core's ResponseBuilder), so TX is a single send() from pooled memory —
@@ -21,9 +26,15 @@
 //       it ships the finished frame home over the remote-syscall queue and the home
 //       core makes one batched pass here.
 //
+// Flow ids are minted from a freelist: an id returns to it when the runtime finishes
+// recycling the connection's slot (ReleaseFlowId) — never earlier, so a reincarnated
+// id cannot collide with its predecessor's half-torn-down state. Lifetime connection
+// count is therefore unbounded while the id space (and the runtime's table) stays
+// fixed at max_flows; only the *concurrent* connection count is capped.
+//
 // ApproxNonEmpty peeks the queue's epoll set with a zero-timeout wait from any thread
-// (level-triggered readiness is not consumed by observers), which is what lets the
-// ZygOS idle loop notice a busy core's backlog and doorbell it.
+// (level-triggered readiness is not consumed by observers) and the accept ring, which
+// is what lets the ZygOS idle loop notice a busy core's backlog and doorbell it.
 //
 // Contract: Start binds/listens and launches the acceptor; port() is valid after
 // Start (bind to port 0 for an ephemeral port). Stop joins the acceptor and closes
@@ -36,15 +47,19 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/time_units.h"
 #include "src/concurrency/cache_line.h"
-#include "src/concurrency/spinlock.h"
+#include "src/concurrency/mpmc_queue.h"
+#include "src/concurrency/spsc_ring.h"
 #include "src/hw/rss.h"
+#include "src/runtime/runtime.h"
 #include "src/runtime/transport.h"
 
 namespace zygos {
@@ -60,14 +75,33 @@ struct TcpTransportOptions {
   // (correct, but no longer allocation-free).
   size_t max_segment_bytes = 4096;
   int listen_backlog = 128;
-  // Lifetime cap on minted flow ids. Flow ids are NOT recycled when a connection
-  // closes (recycling would need a close notification through the runtime so stale
-  // per-flow parser state could be reset — future work); once the cap is reached new
-  // connections are refused (closed at accept) and counted as drops. Keep equal to
-  // the runtime's connection-table size (RuntimeOptions::max_flows); ids beyond the
-  // runtime's table are refused there as well (severed, never served).
+  // Cap on *concurrent* connections (== outstanding flow ids). Ids are recycled once
+  // the runtime finishes tearing down a closed connection's slot (ReleaseFlowId), so
+  // lifetime connections are unbounded; at the cap new connections are refused
+  // (closed at accept) and counted in CapacityRefusals(). Must equal the runtime's
+  // connection-table size — derive with TcpOptionsFor instead of setting it by hand.
   uint64_t max_flows = 4096;
+  // A peer that stops reading stalls its home core's TX — and every flow homed there
+  // behind it. TX to one connection blocks at most this long in total before the
+  // response is dropped AND the connection severed (counted in StallDrops()), so one
+  // misbehaving client costs the core a bounded stall once, not per response.
+  Nanos stall_drop_deadline = 50 * kMillisecond;
 };
+
+// The single source of truth for flow capacity: derives the transport geometry
+// (queues, flow groups, flow cap) from the runtime options it must agree with.
+// kv_server/benchmarks build their TcpTransportOptions through this so the transport
+// id cap and the runtime connection table can never drift apart (drift silently
+// severed flows). Fields without a runtime counterpart keep their defaults.
+inline TcpTransportOptions TcpOptionsFor(const RuntimeOptions& runtime_options,
+                                         uint16_t port = 0) {
+  TcpTransportOptions tcp;
+  tcp.port = port;
+  tcp.num_queues = runtime_options.num_workers;
+  tcp.num_flow_groups = runtime_options.num_flow_groups;
+  tcp.max_flows = ResolvedMaxFlows(runtime_options);
+  return tcp;
+}
 
 class TcpTransport final : public Transport {
  public:
@@ -82,15 +116,28 @@ class TcpTransport final : public Transport {
   void Start() override;
   void Stop() override;
 
-  size_t PollBatch(int queue, std::span<Segment> out) override;
+  size_t PollBatch(int queue, std::span<Segment> out,
+                   std::vector<ControlEvent>& control) override;
   size_t TransmitBatch(int queue, std::span<TxSegment> batch) override;
   bool ApproxNonEmpty(int queue) const override;
   void CloseFlow(int queue, uint64_t flow_id) override;
+  void ReleaseFlowId(uint64_t flow_id) override;
   uint64_t Drops() const override { return drops_.load(std::memory_order_relaxed); }
+
+  // Drops() decomposed (both are also counted in the aggregate):
+  //   StallDrops        responses (and their connections) dropped because the peer
+  //                     stopped reading past stall_drop_deadline.
+  //   CapacityRefusals  connections refused at accept because max_flows ids were
+  //                     outstanding (concurrent connections, not lifetime ones).
+  uint64_t StallDrops() const { return stall_drops_.load(std::memory_order_relaxed); }
+  uint64_t CapacityRefusals() const {
+    return capacity_refusals_.load(std::memory_order_relaxed);
+  }
 
   // TCP bound port (valid after Start).
   uint16_t port() const { return port_; }
-  // Connections accepted so far (diagnostics).
+  // Lifetime connections accepted (keeps growing under churn; the churn bench's
+  // sustained accept rate is this over wall-clock time).
   uint64_t AcceptedConnections() const {
     return accepted_connections_.load(std::memory_order_relaxed);
   }
@@ -104,10 +151,15 @@ class TcpTransport final : public Transport {
 
   struct alignas(kCacheLineSize) PerQueue {
     int epfd = -1;
-    // Guards `conns`: the accept thread inserts, the home worker erases on hangup and
-    // looks up fds for TX, Stop tears down. Two-party contention at most.
-    mutable Spinlock lock;
+    // Home-worker-only (plus Stop at quiescence): the acceptor hands connections over
+    // accept_ring instead of inserting here, so the data path takes no lock.
     std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;
+    // Acceptor -> home worker handoff (single producer, single consumer). The worker
+    // drains it at the top of PollBatch: epoll registration + kFlowOpened.
+    std::unique_ptr<SpscRing<Conn*>> accept_ring;
+    // Close events produced outside PollBatch (TX stall drops, CloseFlow severs),
+    // buffered until the next poll delivers them. Home-core-only.
+    std::vector<ControlEvent> pending_control;
     // Home-core-only spare RX buffer: allocated before recv(), consumed only when
     // bytes actually arrive, so an idle poll pass costs zero pool traffic.
     IoBuf rx_spare;
@@ -115,7 +167,9 @@ class TcpTransport final : public Transport {
   };
 
   void AcceptLoop();
-  // Home-core hangup/error path: deregister, close, forget.
+  // Mints a flow id: recycled ids first, then never-used ones; nullopt at the cap.
+  std::optional<uint64_t> MintFlowId();
+  // Home-core hangup/error path: deregister, close, forget, announce kFlowClosed.
   void CloseConn(PerQueue& pq, Conn* conn);
 
   TcpTransportOptions options_;
@@ -126,8 +180,13 @@ class TcpTransport final : public Transport {
   std::thread acceptor_;
   std::atomic<bool> accepting_{false};
   std::atomic<uint64_t> next_flow_{0};
+  // Ids whose runtime slot finished recycling, ready to mint again. Produced by
+  // worker cores (ReleaseFlowId), consumed by the acceptor.
+  MpmcQueue<uint64_t> free_ids_;
   std::atomic<uint64_t> accepted_connections_{0};
   std::atomic<uint64_t> drops_{0};
+  std::atomic<uint64_t> stall_drops_{0};
+  std::atomic<uint64_t> capacity_refusals_{0};
 };
 
 }  // namespace zygos

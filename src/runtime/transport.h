@@ -11,6 +11,13 @@
 //        only from the flow's home core, preserving the home-core-only TX discipline
 //        (the "remote batched syscalls" of Fig. 4 hand responses *to* the home core,
 //        which then makes one batched pass over this interface).
+//   Control  per-queue connection-lifecycle events (ControlEvent): kFlowOpened when a
+//        flow starts existing, kFlowClosed when it stops (peer hangup, error, or a
+//        server-side sever via CloseFlow). Delivered by PollBatch on the flow's home
+//        queue, ordered against that flow's segments: an open precedes the flow's
+//        first segment, and no segment for a flow is delivered in or after the batch
+//        that closes it. The runtime recycles the flow's connection slot on close and
+//        hands the id back with ReleaseFlowId once the slot is safe to rebind.
 //   Completion  the transport decides what "a response left the NIC" means (loopback:
 //        hand it back to the in-process client; TCP: bytes written to the socket), so
 //        the completion callback is a property of the transport, not the runtime.
@@ -30,6 +37,7 @@
 #include <span>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "src/common/buffer_pool.h"
 #include "src/common/time_units.h"
@@ -72,6 +80,17 @@ struct TxSegment {
 using CompletionHandler = std::function<void(uint64_t flow_id, uint64_t request_id,
                                              std::string_view response, Nanos arrival)>;
 
+// Connection-lifecycle notification, delivered by PollBatch on the flow's home queue.
+enum class ControlEventKind : uint8_t {
+  kFlowOpened,  // the flow exists; its first segment can only arrive afterwards
+  kFlowClosed,  // the flow is gone; no further segments will be delivered for it
+};
+
+struct ControlEvent {
+  ControlEventKind kind = ControlEventKind::kFlowOpened;
+  uint64_t flow_id = 0;
+};
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -93,8 +112,12 @@ class Transport {
   virtual void Stop() {}
 
   // Drains up to `out.size()` segments from `queue` in one pass; returns the count
-  // written to the front of `out`.
-  virtual size_t PollBatch(int queue, std::span<Segment> out) = 0;
+  // written to the front of `out`. Connection-lifecycle events for flows homed on
+  // `queue` are appended to `control` (which the caller clears); they are ordered
+  // before this batch's segments — an open always precedes the flow's first segment,
+  // and a close is never followed by more segments for that flow.
+  virtual size_t PollBatch(int queue, std::span<Segment> out,
+                           std::vector<ControlEvent>& control) = 0;
 
   // Transmits every response in `batch` on `queue` and fires the completion handler
   // for each; returns the number transmitted (== batch.size(); responses whose
@@ -107,12 +130,21 @@ class Transport {
 
   // Severs a flow at the transport level (poisoned frame stream, unserviceable flow
   // id): no more segments will be delivered for it and pending responses to it may be
-  // dropped. Home-core-only, like TransmitBatch. No-op for backends with nothing to
-  // close and for unknown flows.
+  // dropped. Backends that track the flow acknowledge the sever with a kFlowClosed
+  // control event on a later PollBatch, which is what triggers slot recycling.
+  // Home-core-only, like TransmitBatch. No-op for backends with nothing to close and
+  // for unknown flows.
   virtual void CloseFlow(int queue, uint64_t flow_id) {
     (void)queue;
     (void)flow_id;
   }
+
+  // The runtime finished recycling `flow_id`'s connection slot (parser/PCB reset,
+  // slot returned to the freelist): the id may be minted for a new connection from
+  // now on — never before, or a reincarnated flow's bytes could land in its
+  // predecessor's half-torn-down slot. Called from the flow's home worker, once per
+  // kFlowClosed the runtime processed. No-op for backends that never reuse ids.
+  virtual void ReleaseFlowId(uint64_t flow_id) { (void)flow_id; }
 
   // Segments rejected at ingress (full ring / failed TX), as a NIC drop counter would.
   virtual uint64_t Drops() const { return 0; }

@@ -19,7 +19,9 @@
 #include "src/loadgen/loadgen.h"
 #include "src/loadgen/report.h"
 #include "src/loadgen/spin_service.h"
+#include "src/loadgen/tcp_loadgen.h"
 #include "src/runtime/runtime.h"
+#include "src/runtime/tcp_transport.h"
 
 namespace zygos {
 namespace {
@@ -195,6 +197,64 @@ TEST(LoadgenLoopbackTest, MeasuresLiveRuntimeEndToEnd) {
   LatencyHistogram hist = completion.Snapshot();
   EXPECT_EQ(hist.Count(), completion.measured_count());
   EXPECT_GE(hist.Min(), 5 * kMicrosecond);
+}
+
+// --- Churn mode over real sockets -----------------------------------------------------
+
+// Churn mode against a live TCP runtime: connections expire, hang up cleanly and
+// reconnect with fresh sockets, so lifetime connections exceed the server's
+// connection-table capacity while its id recycling keeps every one servable.
+// Functional assertions only (counts and cleanliness), never rates.
+TEST(TcpLoadgenChurnTest, ReconnectsServeMoreConnectionsThanTableCapacity) {
+  RuntimeOptions options;
+  options.num_workers = 2;
+  options.num_flows = 8;
+  options.max_flows = 8;
+  auto transport = std::make_unique<TcpTransport>(TcpOptionsFor(options));
+  TcpTransport* tcp = transport.get();
+  ViewHandler echo = [](uint64_t, std::string_view request, ResponseBuilder& out) {
+    out.Append(request);
+  };
+  Runtime runtime(options, std::move(transport), std::move(echo));
+  runtime.Start();
+
+  TcpLoadgenOptions gen;
+  gen.port = tcp->port();
+  gen.connections = 4;
+  gen.threads = 2;
+  gen.rate_rps = 2000;
+  gen.duration = 900 * kMillisecond;
+  gen.warmup = 200 * kMillisecond;
+  gen.seed = 9;
+  gen.churn_mean_lifetime = 40 * kMillisecond;  // ~20+ lifetimes across the window
+  gen.make_payload = [](Rng&, std::string& out) { out.assign(24, 'c'); };
+  TcpLoadgenResult result = RunTcpLoadgen(gen);
+
+  EXPECT_TRUE(result.clean) << "lost=" << result.lost
+                            << " mismatches=" << result.mismatches;
+  EXPECT_EQ(result.mismatches, 0u);
+  EXPECT_GT(result.reconnects, 0u) << "churn mode never churned";
+  EXPECT_GT(result.completed, 0u);
+  // Distinct connections exceeded the 8-slot table with zero capacity refusals:
+  // flow-id recycling at work.
+  EXPECT_GT(tcp->AcceptedConnections(), 8u);
+  EXPECT_EQ(tcp->AcceptedConnections(), 4u + result.reconnects);
+  EXPECT_EQ(tcp->CapacityRefusals(), 0u);
+  EXPECT_LE(runtime.PeakOpenFlows(), 8u) << "occupancy exceeded the table";
+  // Workers are still polling: every accepted connection's hangup gets processed and
+  // its slot recycled (bounded wait, no timing assertion).
+  uint64_t accepted = tcp->AcceptedConnections();
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(8);
+  while (runtime.TotalStats().flows_recycled < accepted &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  runtime.Shutdown();
+  WorkerStats total = runtime.TotalStats();
+  EXPECT_EQ(total.flows_opened, accepted);
+  EXPECT_EQ(total.flows_closed, accepted);
+  EXPECT_EQ(total.flows_recycled, accepted);
+  EXPECT_EQ(runtime.OpenFlows(), 0u);
 }
 
 // --- report.h acceptance predicates ---------------------------------------------------
