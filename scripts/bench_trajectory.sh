@@ -23,7 +23,7 @@ POINTS="${BENCH_POINTS:-6}"
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 for bin in fig8_steal_rate fig6_latency_throughput micro_dataplane fig6_live_runtime \
-           churn_live_runtime; do
+           churn_live_runtime fanout_chaos; do
   if [[ ! -x "${BUILD_DIR}/bench/${bin}" ]]; then
     echo "bench_trajectory: ${BUILD_DIR}/bench/${bin} not built (run cmake --build first)" >&2
     exit 1
@@ -154,5 +154,31 @@ done
 cp "${churn_json}" "${OUT_DIR}/BENCH_0005.json"
 churn_p99="$(sed -nE 's/^  "value": ([0-9.]+),$/\1/p' "${churn_json}" | head -1)"
 echo "   churn_p99_us_at_fastest_churn = ${churn_p99} us  -> ${churn_json}"
+
+# --- fanout_chaos: tail-at-scale amplification through the chaos proxy -----------------
+# The binary writes the BENCH-contract JSON itself; this script stamps the commit and
+# gates on the three acceptance booleans: the through-proxy logical p99 grows with the
+# fan-out width (the max-of-N amplification law), work stealing does not lose to
+# no-steal under injected jitter, and every cell ran clean (no lost logical requests).
+# Absolute latencies are host-dependent; the amplification RATIO and the steal
+# comparison are relative and are the tracked invariants.
+FANOUT_DURATION_MS="${BENCH_FANOUT_DURATION_MS:-2500}"
+echo "== fanout_chaos (fan-out sweep through the chaos proxy, duration=${FANOUT_DURATION_MS}ms/cell)"
+fanout_json="${OUT_DIR}/BENCH_fanout.json"
+"${BUILD_DIR}/bench/fanout_chaos" --fanouts=1,2,4,8 --logical-rate=250 \
+  --duration-ms="${FANOUT_DURATION_MS}" --warmup-ms=600 --steal-compare=true \
+  --seed=11 --json="${fanout_json}"
+sed -i "s/\"commit\": \"\"/\"commit\": \"${COMMIT}\"/" "${fanout_json}"
+for gate in p99_amplification_monotone_in_fanout steal_leq_no_steal_under_jitter \
+            all_runs_clean; do
+  if ! grep -q "\"${gate}\": true" "${fanout_json}"; then
+    echo "bench_trajectory: fanout acceptance boolean ${gate} is not true — noisy host or regression in the fan-out/chaos path?" >&2
+    exit 1
+  fi
+done
+# PR-numbered snapshot: the chaos-layer acceptance record.
+cp "${fanout_json}" "${OUT_DIR}/BENCH_0006.json"
+fanout_amp="$(sed -nE 's/^  "value": ([0-9.]+),$/\1/p' "${fanout_json}" | head -1)"
+echo "   fanout_p99_amplification = ${fanout_amp} x  -> ${fanout_json}"
 
 echo "bench_trajectory OK (commit ${COMMIT})"

@@ -79,13 +79,44 @@ for gate in distinct_conns_exceed_capacity zero_capacity_refusals \
     echo "ci: churn acceptance boolean ${gate} is not true" >&2; exit 1; }
 done
 
-echo "== smoke: kv_server open-loop loadgen mode over real TCP"
+echo "== smoke: bench/fanout_chaos (fan-out amplification through the chaos proxy)"
+fanout_json="${BUILD_DIR}/fanout_smoke.json"
+rm -f "${fanout_json}"
+# --steal-compare=false keeps the smoke short; its boolean is then vacuously true
+# and recorded as such in params ("steal_compare": false).
+fanout_out="$("${BUILD_DIR}/bench/fanout_chaos" --fanouts=1,8 --logical-rate=150 \
+  --duration-ms=1000 --warmup-ms=250 --steal-compare=false --seed=7 \
+  --json="${fanout_json}")"
+printf '%s\n' "${fanout_out}"
+printf '%s\n' "${fanout_out}" | grep -q '^proxy,' || {
+    echo "ci: fanout_chaos emitted no through-proxy CSV row" >&2; exit 1; }
+if command -v python3 > /dev/null; then
+  python3 -m json.tool "${fanout_json}" > /dev/null || {
+    echo "ci: ${fanout_json} is malformed JSON" >&2; exit 1; }
+fi
+for gate in p99_amplification_monotone_in_fanout steal_leq_no_steal_under_jitter \
+            all_runs_clean; do
+  grep -q "\"${gate}\": true" "${fanout_json}" || {
+    echo "ci: fanout acceptance boolean ${gate} is not true" >&2; exit 1; }
+done
+
+echo "== smoke: kv_server serve -> chaos_proxy -> open-loop loadgen over real TCP"
+# The full degraded-network pipeline as three separate processes: the loadgen dials
+# the PROXY port, every byte crosses the injected jitter, and the run must still
+# complete cleanly (the loadgen exits non-zero on a dirty run).
 "${BUILD_DIR}/examples/kv_server" --mode=serve --port=7411 --workers=2 --keys=5000 &
 kv_pid=$!
 trap 'kill "${kv_pid}" 2>/dev/null || true' EXIT
 sleep 1
-"${BUILD_DIR}/examples/kv_server" --mode=loadgen --port=7411 --rate=3000 \
+"${BUILD_DIR}/examples/chaos_proxy" --listen-port=7412 --upstream-port=7411 \
+  --s2c=uniform:50:200 --seed=7 --stats-interval-s=0 &
+proxy_pid=$!
+trap 'kill "${proxy_pid}" "${kv_pid}" 2>/dev/null || true' EXIT
+sleep 1
+"${BUILD_DIR}/examples/kv_server" --mode=loadgen --port=7412 --rate=3000 \
   --duration-ms=600 --warmup-ms=200 --connections=4 --threads=2 --keys=5000
+kill -TERM "${proxy_pid}"
+wait "${proxy_pid}"
 kill -TERM "${kv_pid}"
 wait "${kv_pid}"
 trap - EXIT
@@ -95,19 +126,22 @@ cmake -B "${BUILD_DIR}-werror" -S . -DZYGOS_WERROR=ON \
   -DZYGOS_BUILD_BENCH=OFF -DZYGOS_BUILD_EXAMPLES=OFF -DZYGOS_BUILD_TESTS=OFF
 cmake --build "${BUILD_DIR}-werror" -j "${JOBS}" --target zygos_runtime
 
-echo "== AddressSanitizer: runtime_test + loadgen_test (${BUILD_DIR}-asan)"
+echo "== AddressSanitizer: runtime_test + loadgen_test + chaos_test (${BUILD_DIR}-asan)"
 # Lifecycle refactors are use-after-free factories: the connection slot table hands
 # PCBs to thieves, recycles them behind generation tags and reuses freed flow ids —
 # ASan over the runtime + loadgen suites is the gate that a teardown race never
-# touches recycled memory.
+# touches recycled memory. chaos_test rides along: the proxy's kill/stall paths
+# destroy connections with chunks still parked in the timing wheel, and its replay
+# determinism (SameSeedReplaysIdenticalDelaySchedule) is asserted under ASan too.
 cmake -B "${BUILD_DIR}-asan" -S . -DZYGOS_BUILD_BENCH=OFF -DZYGOS_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
-cmake --build "${BUILD_DIR}-asan" -j "${JOBS}" --target runtime_test loadgen_test
+cmake --build "${BUILD_DIR}-asan" -j "${JOBS}" --target runtime_test loadgen_test \
+  chaos_test
 # Leak checking stays ON; only the by-design thread-pool leak is suppressed
 # (scripts/lsan.supp) — a leaked connection or socket wrapper still fails.
 LSAN_OPTIONS="suppressions=$(pwd)/scripts/lsan.supp" \
-  ctest --test-dir "${BUILD_DIR}-asan" -R 'runtime_test|loadgen_test' \
+  ctest --test-dir "${BUILD_DIR}-asan" -R 'runtime_test|loadgen_test|chaos_test' \
   --output-on-failure -j "${JOBS}"
 
 echo "CI OK"

@@ -1,0 +1,502 @@
+#include "src/chaos/chaos_proxy.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace zygos {
+
+namespace {
+
+// epoll_event.data.u64 encodings for the two non-connection fds.
+constexpr uint64_t kListenerTag = ~0ULL;
+constexpr uint64_t kWakeTag = ~0ULL - 1;
+
+// Retry cadence for a destination socket that returned EAGAIN mid-flush. Polling
+// (via the wheel) instead of EPOLLOUT keeps every fd registered exactly once, for
+// reads — the write path stays epoll-free.
+constexpr Nanos kWriteRetryDelay = 200 * kMicrosecond;
+
+bool SetNonBlocking(int fd) {
+  int fl = ::fcntl(fd, F_GETFL, 0);
+  return fl >= 0 && ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) == 0;
+}
+
+// Decorrelated per-(connection, direction, purpose) seed. The Rng constructor runs
+// SplitMix64 over this, so linear structure here does not correlate the streams.
+uint64_t MixSeed(uint64_t seed, uint64_t conn_id, int direction, uint64_t salt) {
+  return seed ^ (0x9e3779b97f4a7c15ULL * (conn_id * 4 + static_cast<uint64_t>(direction) * 2 + salt + 1));
+}
+
+int ConnectUpstream(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &resolved) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      continue;
+    }
+    // Blocking connect: upstream is expected to be local/near (this is a test
+    // harness); a refused upstream fails the pair immediately instead of wedging it.
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  return fd;
+}
+
+}  // namespace
+
+std::optional<DelayModel> ParseDelayModel(const std::string& spec) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t colon = spec.find(':', begin);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(begin));
+      break;
+    }
+    parts.push_back(spec.substr(begin, colon - begin));
+    begin = colon + 1;
+  }
+  auto micros = [&parts](size_t i) { return FromMicros(std::strtod(parts[i].c_str(), nullptr)); };
+  DelayModel model;
+  if (parts[0] == "none" && parts.size() == 1) {
+    return model;
+  }
+  if (parts[0] == "fixed" && parts.size() == 2) {
+    model.kind = DelayModel::Kind::kFixed;
+    model.base = micros(1);
+    return model;
+  }
+  if (parts[0] == "uniform" && parts.size() == 3) {
+    model.kind = DelayModel::Kind::kUniform;
+    model.base = micros(1);
+    model.jitter = micros(2);
+    return model;
+  }
+  if (parts[0] == "lognormal" && parts.size() == 3) {
+    model.kind = DelayModel::Kind::kLogNormal;
+    model.base = micros(1);
+    model.sigma = std::strtod(parts[2].c_str(), nullptr);
+    return model;
+  }
+  if (parts[0] == "spike" && parts.size() == 5) {
+    model.kind = DelayModel::Kind::kSpike;
+    model.base = micros(1);
+    model.spike_period = static_cast<Nanos>(std::strtod(parts[2].c_str(), nullptr) * 1e6);
+    model.spike_duration = static_cast<Nanos>(std::strtod(parts[3].c_str(), nullptr) * 1e6);
+    model.spike_delay = micros(4);
+    return model;
+  }
+  return std::nullopt;
+}
+
+std::string DelayModelName(const DelayModel& model) {
+  char buf[128];
+  switch (model.kind) {
+    case DelayModel::Kind::kNone:
+      return "none";
+    case DelayModel::Kind::kFixed:
+      std::snprintf(buf, sizeof buf, "fixed:%.0f", ToMicros(model.base));
+      break;
+    case DelayModel::Kind::kUniform:
+      std::snprintf(buf, sizeof buf, "uniform:%.0f:%.0f", ToMicros(model.base),
+                    ToMicros(model.jitter));
+      break;
+    case DelayModel::Kind::kLogNormal:
+      std::snprintf(buf, sizeof buf, "lognormal:%.0f:%.2f", ToMicros(model.base),
+                    model.sigma);
+      break;
+    case DelayModel::Kind::kSpike:
+      std::snprintf(buf, sizeof buf, "spike:%.0f:%.0f:%.0f:%.0f", ToMicros(model.base),
+                    static_cast<double>(model.spike_period) / 1e6,
+                    static_cast<double>(model.spike_duration) / 1e6,
+                    ToMicros(model.spike_delay));
+      break;
+  }
+  return buf;
+}
+
+Nanos DelaySampler::Sample(Nanos now) {
+  switch (model_.kind) {
+    case DelayModel::Kind::kNone:
+      return 0;
+    case DelayModel::Kind::kFixed:
+      return model_.base;
+    case DelayModel::Kind::kUniform:
+      return model_.base +
+             (model_.jitter > 0
+                  ? static_cast<Nanos>(rng_.NextBounded(
+                        static_cast<uint64_t>(model_.jitter) + 1))
+                  : 0);
+    case DelayModel::Kind::kLogNormal: {
+      // Box-Muller: two uniform draws -> one standard normal. 1-u1 is in (0, 1].
+      double u1 = rng_.NextDouble();
+      double u2 = rng_.NextDouble();
+      double z = std::sqrt(-2.0 * std::log(1.0 - u1)) * std::cos(2.0 * M_PI * u2);
+      double d = static_cast<double>(model_.base) * std::exp(model_.sigma * z);
+      // Heavy tail is the point, but cap at 10 s so a pathological draw cannot wedge
+      // a scenario past every drain timeout.
+      return static_cast<Nanos>(std::min(d, 1e10));
+    }
+    case DelayModel::Kind::kSpike:
+      if (model_.spike_period > 0 && now % model_.spike_period < model_.spike_duration) {
+        return model_.spike_delay;
+      }
+      return model_.base;
+  }
+  return 0;
+}
+
+ChaosProxy::ChaosProxy(ChaosProxyOptions options) : options_(std::move(options)) {}
+
+ChaosProxy::~ChaosProxy() { Stop(); }
+
+bool ChaosProxy::Start() {
+  if (running_.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.listen_port);
+  if (::inet_pton(AF_INET, options_.listen_address.c_str(), &addr.sin_addr) != 1) {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 128) != 0 || !SetNonBlocking(listen_fd_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  epfd_ = ::epoll_create1(0);
+  if (epfd_ < 0 || ::pipe2(wake_fds_, O_NONBLOCK) != 0) {
+    Stop();
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  ::epoll_ctl(epfd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fds_[0], &ev);
+
+  wheel_ = std::make_unique<TimingWheel<Token>>(options_.wheel_granularity,
+                                                options_.wheel_slots, Now());
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread(&ChaosProxy::Loop, this);
+  return true;
+}
+
+void ChaosProxy::Stop() {
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    char byte = 1;
+    (void)!::write(wake_fds_[1], &byte, 1);
+    loop_.join();
+  }
+  for (auto& [id, conn] : conns_) {
+    if (conn->client_fd >= 0) {
+      ::close(conn->client_fd);
+    }
+    if (conn->upstream_fd >= 0) {
+      ::close(conn->upstream_fd);
+    }
+  }
+  conns_.clear();
+  for (int* fd : {&listen_fd_, &wake_fds_[0], &wake_fds_[1], &epfd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+std::vector<Nanos> ChaosProxy::DelayTrace(ChaosDirection direction) const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return delay_trace_[static_cast<int>(direction)];
+}
+
+void ChaosProxy::Loop() {
+  epoll_event events[64];
+  while (running_.load(std::memory_order_acquire)) {
+    Nanos now = Now();
+    due_.clear();
+    wheel_->ExpireUpTo(now, due_);
+    for (const Token& token : due_) {
+      auto it = conns_.find(token.conn_id);
+      if (it == conns_.end()) {
+        continue;  // the pair died while the token was in flight
+      }
+      Conn& conn = *it->second;
+      Pipe& pipe = *conn.pipes[token.direction];
+      if (token.kind == Token::Kind::kResumeRead) {
+        pipe.stalled = false;
+        if (pipe.read_paused && pipe.buffered_bytes < options_.max_buffered) {
+          ResumeRead(pipe);
+        }
+        continue;
+      }
+      FlushPipe(conn, token.direction, now);  // may erase conn
+    }
+
+    // Sleep until the next deadline (ceiling to epoll's ms resolution — a chunk is
+    // delivered late by up to ~1 ms + granularity, never early), or 100 ms when idle.
+    Nanos next_deadline = wheel_->NextDeadline();
+    int timeout_ms = 100;
+    if (next_deadline != TimingWheel<Token>::kNoDeadline) {
+      Nanos diff = next_deadline - Now();
+      timeout_ms = diff <= 0 ? 0
+                             : static_cast<int>(std::min<Nanos>(
+                                   (diff + kMillisecond - 1) / kMillisecond, 100));
+    }
+    int n = ::epoll_wait(epfd_, events, 64, timeout_ms);
+    now = Now();
+    for (int i = 0; i < n; ++i) {
+      uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        char drain[64];
+        while (::read(wake_fds_[0], drain, sizeof drain) > 0) {
+        }
+        continue;
+      }
+      if (tag == kListenerTag) {
+        HandleAccept(now);
+        continue;
+      }
+      auto it = conns_.find(tag >> 1);
+      if (it == conns_.end()) {
+        continue;  // stale event for a pair destroyed earlier in this batch
+      }
+      Conn& conn = *it->second;
+      int direction = static_cast<int>(tag & 1);
+      Pipe& pipe = *conn.pipes[direction];
+      if (pipe.read_paused || pipe.src_eof) {
+        // Interest is off (stall/backpressure) or the stream already ended, but
+        // EPOLLHUP/ERR are delivered regardless: the peer vanished — tear down.
+        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+          DestroyConn(conn);
+        }
+        continue;
+      }
+      HandleReadable(conn, direction, now);  // may erase conn
+    }
+  }
+}
+
+void ChaosProxy::HandleAccept(Nanos now) {
+  (void)now;
+  while (true) {
+    int client_fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (client_fd < 0) {
+      return;  // EAGAIN (drained) or transient error: either way, wait for epoll
+    }
+    int upstream_fd = ConnectUpstream(options_.upstream_host, options_.upstream_port);
+    if (upstream_fd < 0) {
+      ::close(client_fd);
+      continue;
+    }
+    SetNonBlocking(upstream_fd);
+    int one = 1;
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    ::setsockopt(upstream_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (options_.client_rcvbuf > 0) {
+      ::setsockopt(client_fd, SOL_SOCKET, SO_RCVBUF, &options_.client_rcvbuf,
+                   sizeof options_.client_rcvbuf);
+    }
+    if (options_.upstream_rcvbuf > 0) {
+      ::setsockopt(upstream_fd, SOL_SOCKET, SO_RCVBUF, &options_.upstream_rcvbuf,
+                   sizeof options_.upstream_rcvbuf);
+    }
+
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->client_fd = client_fd;
+    conn->upstream_fd = upstream_fd;
+    // Seeds derive from (seed, connection index, direction) alone — NOT from shared
+    // generator state — so each connection's chaos replays independently of how
+    // other connections' reads interleave.
+    conn->pipes[0] = std::make_unique<Pipe>(
+        options_.client_to_server, MixSeed(options_.seed, conn->id, 0, 0),
+        MixSeed(options_.seed, conn->id, 0, 1));
+    conn->pipes[0]->conn_id = conn->id;
+    conn->pipes[0]->src_fd = client_fd;
+    conn->pipes[0]->dst_fd = upstream_fd;
+    conn->pipes[0]->direction = ChaosDirection::kClientToServer;
+    conn->pipes[1] = std::make_unique<Pipe>(
+        options_.server_to_client, MixSeed(options_.seed, conn->id, 1, 0),
+        MixSeed(options_.seed, conn->id, 1, 1));
+    conn->pipes[1]->conn_id = conn->id;
+    conn->pipes[1]->src_fd = upstream_fd;
+    conn->pipes[1]->dst_fd = client_fd;
+    conn->pipes[1]->direction = ChaosDirection::kServerToClient;
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id << 1;  // low bit: which pipe reads this fd
+    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, client_fd, &ev);
+    ev.data.u64 = (conn->id << 1) | 1;
+    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, upstream_fd, &ev);
+
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void ChaosProxy::HandleReadable(Conn& conn, int direction, Nanos now) {
+  Pipe& pipe = *conn.pipes[direction];
+  std::string buf(options_.read_chunk, '\0');
+  ssize_t r = ::recv(pipe.src_fd, buf.data(), buf.size(), MSG_DONTWAIT);
+  if (r < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return;
+    }
+    DestroyConn(conn);
+    return;
+  }
+  if (r == 0) {
+    // Source stream ended: flush what is queued, then half-close the destination.
+    pipe.src_eof = true;
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, pipe.src_fd, nullptr);
+    FlushPipe(conn, direction, now);
+    return;
+  }
+  buf.resize(static_cast<size_t>(r));
+
+  if (options_.kill_probability > 0 && pipe.kill_rng.NextBool(options_.kill_probability)) {
+    kills_.fetch_add(1, std::memory_order_relaxed);
+    DestroyConn(conn);
+    return;
+  }
+
+  Nanos delay = pipe.delay.Sample(now);
+  if (options_.record_delay_trace) {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    delay_trace_[direction].push_back(delay);
+  }
+  // Monotone floor: a small delay sampled behind a large one must not let its chunk
+  // overtake — the spliced byte stream stays a byte stream.
+  Nanos deliver_at = std::max(now + delay, pipe.last_deliver_at);
+  pipe.last_deliver_at = deliver_at;
+  pipe.buffered_bytes += buf.size();
+  pipe.queue.push_back(Chunk{std::move(buf), 0, deliver_at});
+
+  bytes_read_[direction] += static_cast<uint64_t>(r);
+  if (options_.stall_after_bytes > 0 && !stall_fired_ &&
+      direction == static_cast<int>(options_.stall_direction) &&
+      bytes_read_[direction] >= options_.stall_after_bytes) {
+    stall_fired_ = true;
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    pipe.stalled = true;
+    PauseRead(pipe);
+    wheel_->Schedule(now + options_.stall_duration,
+                     Token{Token::Kind::kResumeRead, conn.id, direction});
+  }
+
+  if (deliver_at <= now) {
+    FlushPipe(conn, direction, now);  // zero-delay fast path: no wheel round-trip
+    return;
+  }
+  wheel_->Schedule(deliver_at, Token{Token::Kind::kFlush, conn.id, direction});
+  if (!pipe.read_paused && pipe.buffered_bytes >= options_.max_buffered) {
+    PauseRead(pipe);
+  }
+}
+
+void ChaosProxy::FlushPipe(Conn& conn, int direction, Nanos now) {
+  Pipe& pipe = *conn.pipes[direction];
+  while (!pipe.queue.empty() && pipe.queue.front().deliver_at <= now) {
+    Chunk& chunk = pipe.queue.front();
+    while (chunk.offset < chunk.data.size()) {
+      ssize_t w = ::send(pipe.dst_fd, chunk.data.data() + chunk.offset,
+                         chunk.data.size() - chunk.offset, MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Destination full: poll again shortly (no EPOLLOUT; see kWriteRetryDelay).
+        wheel_->Schedule(now + kWriteRetryDelay,
+                         Token{Token::Kind::kFlush, conn.id, direction});
+        return;
+      }
+      if (w < 0 && errno == EINTR) {
+        continue;
+      }
+      if (w <= 0) {
+        DestroyConn(conn);
+        return;
+      }
+      chunk.offset += static_cast<size_t>(w);
+      bytes_forwarded_[direction].fetch_add(static_cast<uint64_t>(w),
+                                            std::memory_order_relaxed);
+    }
+    pipe.buffered_bytes -= chunk.data.size();
+    pipe.queue.pop_front();
+  }
+  if (pipe.read_paused && !pipe.stalled && !pipe.src_eof &&
+      pipe.buffered_bytes < options_.max_buffered / 2) {
+    ResumeRead(pipe);
+  }
+  if (pipe.queue.empty() && pipe.src_eof && !pipe.done) {
+    ::shutdown(pipe.dst_fd, SHUT_WR);
+    pipe.done = true;
+    if (conn.pipes[1 - direction]->done) {
+      DestroyConn(conn);
+    }
+  }
+}
+
+void ChaosProxy::PauseRead(Pipe& pipe) {
+  pipe.read_paused = true;
+  epoll_event ev{};
+  ev.events = 0;  // EPOLLHUP/EPOLLERR still delivered — peer death is never missed
+  ev.data.u64 = (pipe.conn_id << 1) | static_cast<uint64_t>(pipe.direction);
+  ::epoll_ctl(epfd_, EPOLL_CTL_MOD, pipe.src_fd, &ev);
+}
+
+void ChaosProxy::ResumeRead(Pipe& pipe) {
+  pipe.read_paused = false;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = (pipe.conn_id << 1) | static_cast<uint64_t>(pipe.direction);
+  ::epoll_ctl(epfd_, EPOLL_CTL_MOD, pipe.src_fd, &ev);
+}
+
+void ChaosProxy::DestroyConn(Conn& conn) {
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn.client_fd, nullptr);
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn.upstream_fd, nullptr);
+  ::close(conn.client_fd);
+  ::close(conn.upstream_fd);
+  conns_.erase(conn.id);  // invalidates `conn`
+}
+
+}  // namespace zygos

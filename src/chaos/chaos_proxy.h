@@ -1,0 +1,258 @@
+// Chaos proxy: a TCP splice that forwards client <-> server byte streams through
+// configurable network misbehaviour — the adverse-network layer every live
+// measurement so far has lacked (they all ran over pristine localhost TCP).
+//
+// A single epoll thread owns every connection. Each accepted client socket is paired
+// with a fresh upstream connection; each direction of the pair is a Pipe that reads
+// chunks from its source socket, stamps each chunk with a delivery deadline
+// (now + sampled delay, floored at the previous chunk's deadline so the byte stream
+// never reorders), and parks it on a timing wheel (src/chaos/timing_wheel.h). When
+// the deadline passes, the chunk is written to the destination socket. On top of the
+// delay models the proxy can:
+//
+//   kill    with probability `kill_probability` per forwarded chunk, sever the
+//           connection pair outright (both sockets closed; the server sees a reset
+//           or EOF and must emit kFlowClosed + recycle the slot),
+//   stall   after `stall_after_bytes` have been forwarded in `stall_direction`,
+//           stop *reading* that direction for `stall_duration` — the kernel socket
+//           buffers fill and the server's TX stalls, the exact condition
+//           TcpTransportOptions::stall_drop_deadline exists for.
+//
+// Determinism: every random draw (delay samples, kill decisions) comes from per-
+// connection per-direction generators derived purely from (seed, connection index,
+// direction), so a scenario replays byte-identically for a fixed seed and connection
+// arrival order — the replay contract tests/chaos_test.cc asserts. The spike model is
+// the one exception: its on/off phase is a function of wall-clock time, not the rng.
+//
+// Contract: Start() binds (port 0 = ephemeral; read back with port()) and launches
+// the event-loop thread; Stop() joins it and closes every socket. The object is a
+// library first (tests compose runtime + proxy + loadgen in one process);
+// examples/chaos_proxy wraps it in a standalone binary. Stats getters are safe from
+// any thread; DelayTrace is taken under a lock and may be read mid-run.
+#ifndef ZYGOS_CHAOS_CHAOS_PROXY_H_
+#define ZYGOS_CHAOS_CHAOS_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time_units.h"
+#include "src/chaos/timing_wheel.h"
+
+namespace zygos {
+
+// One direction of a spliced connection pair.
+enum class ChaosDirection : int {
+  kClientToServer = 0,
+  kServerToClient = 1,
+};
+
+// Per-direction latency injection. `Sample` time-dependence exists only for kSpike.
+struct DelayModel {
+  enum class Kind {
+    kNone,       // forward immediately
+    kFixed,      // always `base`
+    kUniform,    // uniform in [base, base + jitter]
+    kLogNormal,  // base * exp(sigma * N(0,1)) — heavy upper tail, median = base
+    kSpike,      // `base` normally; `spike_delay` while inside a periodic window
+  };
+  Kind kind = Kind::kNone;
+  Nanos base = 0;
+  Nanos jitter = 0;           // kUniform width
+  double sigma = 0.0;         // kLogNormal shape
+  Nanos spike_period = 0;     // kSpike: window repeats every this many ns
+  Nanos spike_duration = 0;   // kSpike: window length at the start of each period
+  Nanos spike_delay = 0;      // kSpike: delay inside the window
+};
+
+// Parses the compact spec used by example/bench flags into a DelayModel:
+//   none
+//   fixed:BASE_US
+//   uniform:BASE_US:JITTER_US          delay in [base, base + jitter]
+//   lognormal:BASE_US:SIGMA            median base, shape sigma
+//   spike:BASE_US:PERIOD_MS:DUR_MS:SPIKE_US
+// Returns nullopt on a malformed spec.
+std::optional<DelayModel> ParseDelayModel(const std::string& spec);
+// Inverse-ish of ParseDelayModel for logging: a stable human-readable rendering.
+std::string DelayModelName(const DelayModel& model);
+
+// Draws delays for one (connection, direction) stream. Pure function of the seed
+// sequence (plus `now` for kSpike), so two samplers built with the same model and
+// seed emit identical sequences — the unit of the replay-determinism contract.
+class DelaySampler {
+ public:
+  DelaySampler(const DelayModel& model, uint64_t seed) : model_(model), rng_(seed) {}
+
+  Nanos Sample(Nanos now);
+
+ private:
+  DelayModel model_;
+  Rng rng_;
+};
+
+struct ChaosProxyOptions {
+  std::string listen_address = "127.0.0.1";
+  uint16_t listen_port = 0;  // 0 = ephemeral; read back with port()
+  std::string upstream_host = "127.0.0.1";
+  uint16_t upstream_port = 0;
+
+  DelayModel client_to_server;
+  DelayModel server_to_client;
+
+  // Per forwarded chunk, in either direction: probability the connection pair is
+  // severed on the spot (both sockets closed, queued chunks dropped).
+  double kill_probability = 0.0;
+
+  // Stall injection: once `stall_after_bytes` (> 0 enables) have been read off
+  // `stall_direction`'s source sockets — summed across connections — the triggering
+  // connection stops being read in that direction for `stall_duration`, then
+  // resumes. Injected once per proxy lifetime: the scenario is "one peer goes
+  // deaf", not "the network melts".
+  ChaosDirection stall_direction = ChaosDirection::kServerToClient;
+  uint64_t stall_after_bytes = 0;
+  Nanos stall_duration = 100 * kMillisecond;
+
+  // Root of every random draw (see the determinism contract above).
+  uint64_t seed = 1;
+
+  // Max bytes read from a socket per chunk (== the delay quantum's payload unit).
+  size_t read_chunk = 16 * 1024;
+  // Per-pipe buffered-bytes cap: past it the source socket stops being read until
+  // the queue drains below half (backpressure instead of unbounded memory).
+  size_t max_buffered = 16 * 1024 * 1024;
+  // Timing-wheel geometry. A chunk's deadline is exact and is a LOWER bound:
+  // delivery is never early, and late by at most ~(granularity + epoll's 1 ms
+  // timeout resolution) — which is what makes configured-delay tests deterministic
+  // one-sided assertions.
+  Nanos wheel_granularity = 100 * kMicrosecond;
+  size_t wheel_slots = 4096;
+
+  // SO_RCVBUF clamps (0 = kernel default). `upstream_rcvbuf` bounds how many bytes
+  // the server can push into a stalled proxy before its own TX blocks — small values
+  // make stall injection trip stall_drop_deadline fast.
+  int upstream_rcvbuf = 0;
+  int client_rcvbuf = 0;
+
+  // When true, every sampled delay is appended to a per-direction trace
+  // (DelayTrace) — the replay-determinism probe. Off by default (unbounded memory).
+  bool record_delay_trace = false;
+
+  // Injectable clock for deterministic unit drills; production uses NowNanos.
+  std::function<Nanos()> clock;
+};
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosProxyOptions options);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  // Binds + listens and launches the event loop. False on bind/listen failure.
+  bool Start();
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  uint64_t Connections() const { return connections_.load(std::memory_order_relaxed); }
+  uint64_t Kills() const { return kills_.load(std::memory_order_relaxed); }
+  uint64_t StallsInjected() const { return stalls_.load(std::memory_order_relaxed); }
+  uint64_t BytesForwarded(ChaosDirection direction) const {
+    return bytes_forwarded_[static_cast<int>(direction)].load(std::memory_order_relaxed);
+  }
+  // Sampled delays in sampling order (record_delay_trace only).
+  std::vector<Nanos> DelayTrace(ChaosDirection direction) const;
+
+ private:
+  struct Chunk {
+    std::string data;
+    size_t offset = 0;    // bytes already written to the destination
+    Nanos deliver_at = 0;
+  };
+
+  // One direction of a connection pair: read src_fd, delay, write dst_fd.
+  struct Pipe {
+    uint64_t conn_id = 0;
+    int src_fd = -1;
+    int dst_fd = -1;
+    ChaosDirection direction = ChaosDirection::kClientToServer;
+    DelaySampler delay;
+    Rng kill_rng;
+    std::deque<Chunk> queue;
+    size_t buffered_bytes = 0;
+    Nanos last_deliver_at = 0;  // monotone floor: the stream never reorders
+    bool src_eof = false;       // no more reads; flush then half-close dst
+    bool done = false;          // EOF fully flushed and dst half-closed
+    bool read_paused = false;   // backpressure or stall: EPOLLIN off on src_fd
+    bool stalled = false;       // stall injection active (resume token pending)
+
+    Pipe(const DelayModel& model, uint64_t delay_seed, uint64_t kill_seed)
+        : delay(model, delay_seed), kill_rng(kill_seed) {}
+  };
+
+  struct Conn {
+    uint64_t id = 0;
+    int client_fd = -1;
+    int upstream_fd = -1;
+    std::unique_ptr<Pipe> pipes[2];  // indexed by ChaosDirection
+  };
+
+  // Wheel token: a deferred action on one pipe of one connection.
+  struct Token {
+    enum class Kind { kFlush, kResumeRead };
+    Kind kind = Kind::kFlush;
+    uint64_t conn_id = 0;
+    int direction = 0;
+  };
+
+  void Loop();
+  void HandleAccept(Nanos now);
+  void HandleReadable(Conn& conn, int direction, Nanos now);
+  // Writes every due chunk; half-closes on flushed EOF; frees the pair when both
+  // directions are done. `conn` may be erased on return.
+  void FlushPipe(Conn& conn, int direction, Nanos now);
+  void PauseRead(Pipe& pipe);
+  void ResumeRead(Pipe& pipe);
+  // Closes both sockets, drops queued chunks and erases the pair (the reference is
+  // dead on return).
+  void DestroyConn(Conn& conn);
+  Nanos Now() const { return options_.clock ? options_.clock() : NowNanos(); }
+
+  ChaosProxyOptions options_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop() kicks the event loop
+  int epfd_ = -1;
+  uint16_t port_ = 0;
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 0;
+  std::unique_ptr<TimingWheel<Token>> wheel_;
+  std::vector<Token> due_;  // ExpireUpTo scratch
+
+  bool stall_fired_ = false;
+  uint64_t bytes_read_[2] = {0, 0};  // stall trigger accounting (loop thread only)
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> kills_{0};
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<uint64_t> bytes_forwarded_[2]{};
+
+  mutable std::mutex trace_mu_;
+  std::vector<Nanos> delay_trace_[2];
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_CHAOS_CHAOS_PROXY_H_

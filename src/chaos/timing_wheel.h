@@ -1,0 +1,159 @@
+// Timing wheel: slotted deadline scheduling for the chaos proxy's delayed buffers.
+//
+// The proxy holds every delayed chunk (and every deferred action: write retries,
+// stall resumes) as a wheel entry, so a single thread services thousands of pending
+// delays with O(1) schedule and O(slots touched) expiry — the classic alternative to
+// a per-entry heap. Slots quantize deadlines to `granularity`; an entry is expired
+// only when `now >= deadline` (never early), so a delay can land up to one
+// granularity late but a test asserting a configured lower bound is deterministic.
+//
+// Entries whose deadline lies beyond the wheel horizon (slots * granularity) go to an
+// overflow list and are re-homed into slots as the wheel advances past them — the
+// wheel never drops or truncates a deadline.
+//
+// Contract: single-threaded (the proxy's event loop). Time is an explicit parameter
+// everywhere — nothing here reads a clock — so tests drive the wheel with fake time.
+#ifndef ZYGOS_CHAOS_TIMING_WHEEL_H_
+#define ZYGOS_CHAOS_TIMING_WHEEL_H_
+
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "src/common/time_units.h"
+
+namespace zygos {
+
+template <typename T>
+class TimingWheel {
+ public:
+  static constexpr Nanos kNoDeadline = std::numeric_limits<Nanos>::max();
+
+  // `start` anchors slot 0; deadlines scheduled before it land in the current slot
+  // (already due). `granularity` is the quantization step, `num_slots` the horizon
+  // in steps.
+  TimingWheel(Nanos granularity, size_t num_slots, Nanos start)
+      : granularity_(granularity > 0 ? granularity : 1),
+        slots_(num_slots > 1 ? num_slots : 2),
+        base_(start) {}
+
+  // Registers `item` to expire once time reaches `deadline`. O(1) amortized.
+  void Schedule(Nanos deadline, T item) {
+    size_++;
+    if (deadline <= base_) {
+      slots_[cursor_].push_back(Entry{deadline, std::move(item)});
+      return;
+    }
+    size_t offset = static_cast<size_t>((deadline - base_) / granularity_);
+    if (offset >= slots_.size()) {
+      overflow_.push_back(Entry{deadline, std::move(item)});
+      return;
+    }
+    slots_[(cursor_ + offset) % slots_.size()].push_back(
+        Entry{deadline, std::move(item)});
+  }
+
+  // Appends every item whose deadline has passed (deadline <= now) to `out`, in
+  // wheel-slot order, and advances the wheel. Returns the number appended.
+  size_t ExpireUpTo(Nanos now, std::vector<T>& out) {
+    size_t expired = 0;
+    // Fully-elapsed slots: everything in them is due by construction.
+    while (base_ + granularity_ <= now) {
+      if (size_ == 0) {
+        // Idle fast-forward: snap the anchor instead of walking empty slots.
+        base_ = now - ((now - base_) % granularity_);
+        break;
+      }
+      expired += DrainSlot(slots_[cursor_], now, out, /*whole_slot=*/true);
+      base_ += granularity_;
+      cursor_ = (cursor_ + 1) % slots_.size();
+      RehomeOverflow();
+    }
+    // The current (partial) slot: per-entry deadline check, order preserved.
+    if (size_ > 0) {
+      expired += DrainSlot(slots_[cursor_], now, out, /*whole_slot=*/false);
+    }
+    return expired;
+  }
+
+  // Earliest pending deadline, or kNoDeadline when empty — the event loop's sleep
+  // bound. Exact: slots are time-ordered and overflow deadlines all lie beyond them.
+  Nanos NextDeadline() const {
+    if (size_ == 0) {
+      return kNoDeadline;
+    }
+    for (size_t step = 0; step < slots_.size(); ++step) {
+      const std::vector<Entry>& slot = slots_[(cursor_ + step) % slots_.size()];
+      if (!slot.empty()) {
+        Nanos earliest = kNoDeadline;
+        for (const Entry& entry : slot) {
+          earliest = entry.deadline < earliest ? entry.deadline : earliest;
+        }
+        return earliest;
+      }
+    }
+    Nanos earliest = kNoDeadline;
+    for (const Entry& entry : overflow_) {
+      earliest = entry.deadline < earliest ? entry.deadline : earliest;
+    }
+    return earliest;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  struct Entry {
+    Nanos deadline = 0;
+    T item;
+  };
+
+  size_t DrainSlot(std::vector<Entry>& slot, Nanos now, std::vector<T>& out,
+                   bool whole_slot) {
+    size_t expired = 0;
+    size_t keep = 0;
+    for (size_t i = 0; i < slot.size(); ++i) {
+      if (whole_slot || slot[i].deadline <= now) {
+        out.push_back(std::move(slot[i].item));
+        expired++;
+      } else {
+        if (keep != i) {
+          slot[keep] = std::move(slot[i]);
+        }
+        keep++;
+      }
+    }
+    slot.resize(keep);
+    size_ -= expired;
+    return expired;
+  }
+
+  // Pulls overflow entries that came inside the horizon into their proper slot.
+  void RehomeOverflow() {
+    Nanos horizon = base_ + static_cast<Nanos>(slots_.size()) * granularity_;
+    size_t keep = 0;
+    for (size_t i = 0; i < overflow_.size(); ++i) {
+      if (overflow_[i].deadline < horizon) {
+        size_t offset = static_cast<size_t>((overflow_[i].deadline - base_) / granularity_);
+        slots_[(cursor_ + offset) % slots_.size()].push_back(std::move(overflow_[i]));
+      } else {
+        if (keep != i) {
+          overflow_[keep] = std::move(overflow_[i]);
+        }
+        keep++;
+      }
+    }
+    overflow_.resize(keep);
+  }
+
+  Nanos granularity_;
+  std::vector<std::vector<Entry>> slots_;
+  std::vector<Entry> overflow_;
+  Nanos base_;        // lower time bound of slots_[cursor_]
+  size_t cursor_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_CHAOS_TIMING_WHEEL_H_

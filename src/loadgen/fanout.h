@@ -1,0 +1,123 @@
+// Fan-out accounting: the tail-at-scale bookkeeping for TcpLoadgenOptions::fanout_n.
+//
+// A logical request fans into N sub-requests on distinct connections; the logical
+// latency is max(sub completion) - scheduled send time, the quantity whose p99 the
+// amplification law (Sriraman et al., "Deconstructing the Tail at Scale Effect")
+// predicts grows with N. This class owns the logical side of the ledger:
+//
+//   Open(scheduled)        start a logical request (N outstanding subs), return its
+//                          slot key
+//   SubCompleted(slot, t)  one sub answered at time t
+//   SubFailed(slot)        one sub lost (dead connection at send, severed mid-
+//                          flight, unanswered at drain timeout)
+//
+// A logical request finalizes exactly once, when its last sub resolves: any failed
+// sub makes the whole request lost (counted once, no matter how many subs failed);
+// otherwise it completes with latency max(t) - scheduled, recorded iff it was
+// scheduled inside the measurement window. Coordinated-omission safety is inherited:
+// `scheduled` is the schedule's send time, not the actual one, so a stalled
+// sub-connection inflates the recorded max instead of suppressing the sample.
+//
+// Contract: single-threaded (one instance per generator thread); merge the getters
+// into run totals after the thread joins. FinalizeOutstanding() force-loses whatever
+// is still open (safety net — after drain cleanup every sub has resolved, so it
+// should find nothing).
+#ifndef ZYGOS_LOADGEN_FANOUT_H_
+#define ZYGOS_LOADGEN_FANOUT_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/histogram.h"
+#include "src/common/time_units.h"
+
+namespace zygos {
+
+class FanoutAccounting {
+ public:
+  FanoutAccounting(int fanout_n, Nanos measure_start)
+      : fanout_n_(fanout_n > 0 ? fanout_n : 1), measure_start_(measure_start) {}
+
+  uint64_t Open(Nanos scheduled) {
+    uint64_t slot = next_slot_++;
+    open_.emplace(slot, Logical{scheduled, 0, fanout_n_, false});
+    opened_++;
+    return slot;
+  }
+
+  void SubCompleted(uint64_t slot, Nanos completion) {
+    auto it = open_.find(slot);
+    if (it == open_.end()) {
+      return;
+    }
+    Logical& logical = it->second;
+    logical.max_completion =
+        completion > logical.max_completion ? completion : logical.max_completion;
+    if (--logical.remaining == 0) {
+      Finalize(it);
+    }
+  }
+
+  void SubFailed(uint64_t slot) {
+    auto it = open_.find(slot);
+    if (it == open_.end()) {
+      return;
+    }
+    it->second.failed = true;
+    if (--it->second.remaining == 0) {
+      Finalize(it);
+    }
+  }
+
+  // Force-loses every still-open logical request (each exactly once).
+  void FinalizeOutstanding() {
+    for (auto& [slot, logical] : open_) {
+      (void)slot;
+      (void)logical;
+      lost_++;
+    }
+    open_.clear();
+  }
+
+  uint64_t opened() const { return opened_; }
+  uint64_t completed() const { return completed_; }
+  uint64_t measured() const { return measured_; }
+  uint64_t lost() const { return lost_; }
+  const LatencyHistogram& latency() const { return latency_; }
+
+ private:
+  struct Logical {
+    Nanos scheduled = 0;
+    Nanos max_completion = 0;
+    int remaining = 0;
+    bool failed = false;
+  };
+
+  void Finalize(std::unordered_map<uint64_t, Logical>::iterator it) {
+    const Logical& logical = it->second;
+    if (logical.failed) {
+      lost_++;
+    } else {
+      completed_++;
+      if (logical.scheduled >= measure_start_) {
+        latency_.Record(logical.max_completion - logical.scheduled);
+        measured_++;
+      }
+    }
+    open_.erase(it);
+  }
+
+  int fanout_n_;
+  Nanos measure_start_;
+  uint64_t next_slot_ = 0;
+  std::unordered_map<uint64_t, Logical> open_;
+  uint64_t opened_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t measured_ = 0;
+  uint64_t lost_ = 0;
+  LatencyHistogram latency_;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_LOADGEN_FANOUT_H_

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/concurrency/spinlock.h"
+#include "src/loadgen/fanout.h"
 #include "src/loadgen/loadgen.h"
 #include "src/net/message.h"
 
@@ -74,13 +75,21 @@ bool SendAll(int fd, const std::string& bytes) {
   return true;
 }
 
+// One sub-request awaiting its response: wire id, the schedule's send time, and the
+// logical request (FanoutAccounting slot) it belongs to.
+struct InFlight {
+  uint64_t id = 0;
+  Nanos scheduled = 0;
+  uint64_t slot = 0;
+};
+
 // One generator-side connection: socket, response reassembly, and the FIFO of
-// (request id, scheduled send time) pairs awaiting responses. Per-connection response
-// ordering (the §4.3 guarantee) makes latency matching a queue pop.
+// sub-requests awaiting responses. Per-connection response ordering (the §4.3
+// guarantee) makes latency matching a queue pop.
 struct GenConn {
   int fd = -1;
   FrameParser parser;
-  std::deque<std::pair<uint64_t, Nanos>> in_flight;
+  std::deque<InFlight> in_flight;
   uint64_t next_id = 0;
   Nanos expires_at = 0;  // churn mode: when this socket's lifetime ends (0 = never)
 };
@@ -93,16 +102,33 @@ struct ThreadTotals {
   uint64_t lost = 0;
   uint64_t mismatches = 0;
   uint64_t reconnects = 0;
+  uint64_t logical_sent = 0;
+  uint64_t logical_completed = 0;
+  uint64_t logical_measured = 0;
+  uint64_t logical_lost = 0;
   Nanos max_send_lag = 0;
   Nanos finished_at = 0;
   bool clean = true;
-  LatencyHistogram latency;
+  LatencyHistogram latency;      // logical (max-of-N) latencies
+  LatencyHistogram sub_latency;  // per-sub-request latencies
 };
+
+// Severs `conn` and fails every sub-request it still owes — each one propagates to
+// its logical request, which resolves as lost the moment its last sub does.
+void SeverConn(GenConn& conn, ThreadTotals& totals, FanoutAccounting& fanout) {
+  ::close(conn.fd);
+  conn.fd = -1;
+  totals.lost += conn.in_flight.size();
+  for (const InFlight& sub : conn.in_flight) {
+    fanout.SubFailed(sub.slot);
+  }
+  conn.in_flight.clear();
+}
 
 // Drains whatever is readable on `conn`, matching responses against the in-flight
 // FIFO and recording measured-window latencies.
 void DrainReadable(GenConn& conn, std::string& buffer, Nanos measure_start,
-                   ThreadTotals& totals) {
+                   ThreadTotals& totals, FanoutAccounting& fanout) {
   while (true) {
     ssize_t r = ::recv(conn.fd, buffer.data(), buffer.size(), MSG_DONTWAIT);
     if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
@@ -110,34 +136,29 @@ void DrainReadable(GenConn& conn, std::string& buffer, Nanos measure_start,
     }
     if (r <= 0) {
       totals.clean = false;  // peer hung up (or hard error) with requests outstanding
-      ::close(conn.fd);
-      conn.fd = -1;
-      totals.lost += conn.in_flight.size();
-      conn.in_flight.clear();
+      SeverConn(conn, totals, fanout);
       return;
     }
     conn.parser.Feed(buffer.data(), static_cast<size_t>(r));
     for (Message& msg : conn.parser.TakeMessages()) {
       Nanos now = NowNanos();
-      if (conn.in_flight.empty() || conn.in_flight.front().first != msg.request_id) {
+      if (conn.in_flight.empty() || conn.in_flight.front().id != msg.request_id) {
         // Ordering violation: responses can no longer be matched to send times, so
         // every number this connection would produce is suspect. Sever it and count
         // the outstanding requests as lost — keeping it alive would let the stale
         // responses cascade into fresh mismatches and silently corrupt accounting.
         totals.mismatches++;
-        totals.lost += conn.in_flight.size();
-        conn.in_flight.clear();
-        ::close(conn.fd);
-        conn.fd = -1;
+        SeverConn(conn, totals, fanout);
         return;
       }
-      Nanos scheduled = conn.in_flight.front().second;
+      InFlight sub = conn.in_flight.front();
       conn.in_flight.pop_front();
       totals.completed++;
-      if (scheduled >= measure_start) {
-        totals.latency.Record(now - scheduled);
+      if (sub.scheduled >= measure_start) {
+        totals.sub_latency.Record(now - sub.scheduled);
         totals.measured++;
       }
+      fanout.SubCompleted(sub.slot, now);
     }
     if (static_cast<size_t>(r) < buffer.size()) {
       return;  // socket drained
@@ -146,7 +167,7 @@ void DrainReadable(GenConn& conn, std::string& buffer, Nanos measure_start,
 }
 
 void GeneratorThread(const TcpLoadgenOptions& options, int thread_index, int threads,
-                     Nanos start, ThreadTotals& totals) {
+                     int fanout_n, Nanos start, ThreadTotals& totals) {
   const uint64_t thread_seed = options.seed + static_cast<uint64_t>(thread_index) * 7919;
   Rng lifetime_rng(thread_seed ^ 0x51c3a9b7ULL);  // churn lifetimes only
   auto sample_lifetime = [&lifetime_rng, &options]() -> Nanos {
@@ -177,10 +198,12 @@ void GeneratorThread(const TcpLoadgenOptions& options, int thread_index, int thr
   const Nanos window_end = start + options.duration;
   ArrivalProcess arrivals(options.arrivals, options.rate_rps / threads, thread_seed);
   Rng rng(thread_seed ^ 0x7cb9fe1dULL);  // payloads + connection choice
+  FanoutAccounting fanout(fanout_n, measure_start);
   std::string buffer(16 * 1024, '\0');
   std::string payload;
   std::string frame;
   std::vector<pollfd> pfds(conns.size());
+  std::vector<size_t> pick(conns.size());  // partial Fisher-Yates scratch
 
   // Churn: an expired connection hangs up once its in-flight FIFO has drained (a
   // clean close — the server sees an orderly hangup, the accounting loses nothing)
@@ -212,7 +235,7 @@ void GeneratorThread(const TcpLoadgenOptions& options, int thread_index, int thr
     if (::poll(pfds.data(), pfds.size(), timeout_ms) > 0) {
       for (size_t i = 0; i < conns.size(); ++i) {
         if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0 && conns[i].fd >= 0) {
-          DrainReadable(conns[i], buffer, measure_start, totals);
+          DrainReadable(conns[i], buffer, measure_start, totals, fanout);
         }
       }
     }
@@ -247,31 +270,45 @@ void GeneratorThread(const TcpLoadgenOptions& options, int thread_index, int thr
                     ? static_cast<int>((remaining - kMillisecond) / kMillisecond)
                     : 0);
     }
-    GenConn& conn = conns[rng.NextBounded(conns.size())];
-    maybe_recycle(conn);  // expired and drained: swap the socket before sending
-    if (conn.fd < 0) {
-      // Connection died earlier: the scheduled request cannot be sent — count it as
-      // lost so sent/lost accounting still covers the whole schedule.
-      totals.clean = false;
-      totals.lost++;
-      continue;
+    // One logical request: fanout_n sub-requests on DISTINCT connections. The picks
+    // come from a partial Fisher-Yates shuffle, which for fanout_n == 1 degenerates
+    // to the single NextBounded draw the pre-fan-out generator made — byte-identical
+    // RNG stream, so existing seeds reproduce exactly.
+    uint64_t slot = fanout.Open(next);
+    for (size_t i = 0; i < pick.size(); ++i) {
+      pick[i] = i;
     }
-    payload.clear();
-    options.make_payload(rng, payload);
-    frame.clear();
-    EncodeMessage(conn.next_id, payload, frame);
-    if (!SendAll(conn.fd, frame)) {
-      totals.clean = false;
-      ::close(conn.fd);
-      conn.fd = -1;
-      totals.lost += conn.in_flight.size();
-      conn.in_flight.clear();
-      continue;
+    for (int sub = 0; sub < fanout_n; ++sub) {
+      size_t swap_with =
+          static_cast<size_t>(sub) +
+          static_cast<size_t>(rng.NextBounded(pick.size() - static_cast<size_t>(sub)));
+      std::swap(pick[static_cast<size_t>(sub)], pick[swap_with]);
+      GenConn& conn = conns[pick[static_cast<size_t>(sub)]];
+      maybe_recycle(conn);  // expired and drained: swap the socket before sending
+      if (conn.fd < 0) {
+        // Connection died earlier: the scheduled sub-request cannot be sent — count
+        // it as lost so sent/lost accounting still covers the whole schedule.
+        totals.clean = false;
+        totals.lost++;
+        fanout.SubFailed(slot);
+        continue;
+      }
+      payload.clear();
+      options.make_payload(rng, payload);
+      frame.clear();
+      EncodeMessage(conn.next_id, payload, frame);
+      if (!SendAll(conn.fd, frame)) {
+        totals.clean = false;
+        SeverConn(conn, totals, fanout);
+        totals.lost++;  // this sub never reached the wire either
+        fanout.SubFailed(slot);
+        continue;
+      }
+      conn.in_flight.push_back(InFlight{conn.next_id, next, slot});
+      conn.next_id++;
+      totals.sent++;
+      totals.max_send_lag = std::max(totals.max_send_lag, NowNanos() - next);
     }
-    conn.in_flight.emplace_back(conn.next_id, next);
-    conn.next_id++;
-    totals.sent++;
-    totals.max_send_lag = std::max(totals.max_send_lag, NowNanos() - next);
   }
 
   // Drain: the window is closed; wait (bounded) for every outstanding response.
@@ -289,12 +326,21 @@ void GeneratorThread(const TcpLoadgenOptions& options, int thread_index, int thr
   for (GenConn& conn : conns) {
     if (conn.fd >= 0) {
       if (!conn.in_flight.empty()) {
-        totals.lost += conn.in_flight.size();
         totals.clean = false;
+        SeverConn(conn, totals, fanout);
+      } else {
+        ::close(conn.fd);
       }
-      ::close(conn.fd);
     }
   }
+  // Safety net: every logical request should have resolved through its subs by now;
+  // anything still open is force-lost so logical accounting always balances.
+  fanout.FinalizeOutstanding();
+  totals.logical_sent = fanout.opened();
+  totals.logical_completed = fanout.completed();
+  totals.logical_measured = fanout.measured();
+  totals.logical_lost = fanout.lost();
+  totals.latency = fanout.latency();
   totals.finished_at = NowNanos();
 }
 
@@ -308,9 +354,21 @@ double TcpLoadgenResult::achieved_rps() const {
   return static_cast<double>(measured) * 1e9 / static_cast<double>(window);
 }
 
+double TcpLoadgenResult::achieved_logical_rps() const {
+  Nanos window = measure_end - measure_start;
+  if (window <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(logical_measured) * 1e9 / static_cast<double>(window);
+}
+
 TcpLoadgenResult RunTcpLoadgen(const TcpLoadgenOptions& options) {
   TcpLoadgenResult result;
-  int threads = std::max(1, std::min(options.threads, options.connections));
+  // Every thread's connection share must seat fanout_n DISTINCT picks, so threads
+  // clamp to connections / fanout_n (each share then holds >= fanout_n connections).
+  const int fanout_n = std::max(1, std::min(options.fanout_n, options.connections));
+  int threads =
+      std::max(1, std::min(options.threads, options.connections / fanout_n));
   Nanos start = NowNanos();
   result.measure_start = start + options.warmup;
 
@@ -318,8 +376,8 @@ TcpLoadgenResult RunTcpLoadgen(const TcpLoadgenOptions& options) {
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; ++t) {
-    workers.emplace_back(GeneratorThread, std::cref(options), t, threads, start,
-                         std::ref(totals[static_cast<size_t>(t)]));
+    workers.emplace_back(GeneratorThread, std::cref(options), t, threads, fanout_n,
+                         start, std::ref(totals[static_cast<size_t>(t)]));
   }
   for (auto& worker : workers) {
     worker.join();
@@ -334,9 +392,14 @@ TcpLoadgenResult RunTcpLoadgen(const TcpLoadgenOptions& options) {
     result.lost += thread_totals.lost;
     result.mismatches += thread_totals.mismatches;
     result.reconnects += thread_totals.reconnects;
+    result.logical_sent += thread_totals.logical_sent;
+    result.logical_completed += thread_totals.logical_completed;
+    result.logical_measured += thread_totals.logical_measured;
+    result.logical_lost += thread_totals.logical_lost;
     result.max_send_lag = std::max(result.max_send_lag, thread_totals.max_send_lag);
     result.measure_end = std::max(result.measure_end, thread_totals.finished_at);
     result.latency.Merge(thread_totals.latency);
+    result.sub_latency.Merge(thread_totals.sub_latency);
   }
   result.clean = result.clean && result.mismatches == 0;
   return result;

@@ -9,6 +9,12 @@
 // blocking send on a full socket buffer) therefore inflates the recorded tail rather
 // than suppressing measurements.
 //
+// Fan-out mode (fanout_n > 1) adds the tail-at-scale dimension: each scheduled
+// arrival becomes one LOGICAL request of N sub-requests on distinct connections,
+// measured as the max of its subs (src/loadgen/fanout.h). The schedule itself is
+// untouched — fan-out widens each arrival, it never adds or moves arrivals — so the
+// logical measurement keeps the same CO-safety argument.
+//
 // Churn mode (churn_mean_lifetime > 0) adds the connection-lifecycle dimension: each
 // connection lives an exponentially distributed lifetime, then hangs up and
 // reconnects with a fresh socket — the workload that exercises the server's
@@ -53,12 +59,23 @@ struct TcpLoadgenOptions {
   // arrival process — so the measurement stays coordinated-omission safe. 0 = off
   // (connections live for the whole run).
   Nanos churn_mean_lifetime = 0;
+  // Fan-out: each logical request fans into this many sub-requests, sent to
+  // `fanout_n` DISTINCT connections drawn uniformly from the thread's share; the
+  // logical request completes when its slowest sub completes (latency = max of the
+  // N — the tail-at-scale amplification quantity), and is lost (exactly once) if
+  // ANY sub is lost. The top-level histogram and logical_* counters operate on
+  // logical requests; sent/completed/measured/lost/sub_latency stay sub-request
+  // granularity. 1 = off (logical == sub, byte-identical schedule and RNG stream to
+  // the pre-fan-out generator). Threads are clamped so every thread's connection
+  // share can seat `fanout_n` distinct picks.
+  int fanout_n = 1;
   // Fills `out` with one request payload (e.g. a KV protocol request or fixed bytes).
   std::function<void(Rng& rng, std::string& out)> make_payload;
 };
 
 struct TcpLoadgenResult {
   bool clean = false;       // all connections healthy and fully drained
+  // Sub-request (wire-level) counters; with fanout_n == 1 these ARE the requests.
   uint64_t sent = 0;
   uint64_t completed = 0;   // responses received (any window)
   uint64_t measured = 0;    // responses whose request was scheduled in the window
@@ -73,12 +90,27 @@ struct TcpLoadgenResult {
   // Churn-mode reconnects performed (fresh sockets after an expired lifetime);
   // 0 when churn_mean_lifetime == 0.
   uint64_t reconnects = 0;
+  // Logical-request counters (src/loadgen/fanout.h). logical_sent counts scheduled
+  // logical requests and is a pure function of (seed, rate, duration, threads) —
+  // the server cannot suppress it, which is what the schedule-independence CO test
+  // pins down. Every scheduled logical request resolves exactly once:
+  // logical_completed + logical_lost == logical_sent.
+  uint64_t logical_sent = 0;
+  uint64_t logical_completed = 0;
+  uint64_t logical_measured = 0;  // completed AND scheduled inside the window
+  uint64_t logical_lost = 0;      // >= 1 sub lost (counted once per logical request)
   Nanos max_send_lag = 0;   // worst (actual send - scheduled send) across threads
   Nanos measure_start = 0;
   Nanos measure_end = 0;    // when the last generator thread finished draining
-  LatencyHistogram latency; // measured-window latencies, merged across threads
-  // measured / (measure_end - measure_start), in requests/s.
+  // Measured-window LOGICAL latencies (max-of-N), merged across threads. With
+  // fanout_n == 1 this is identical to sub_latency — existing consumers keep their
+  // meaning.
+  LatencyHistogram latency;
+  LatencyHistogram sub_latency;  // measured-window per-sub-request latencies
+  // measured / (measure_end - measure_start), in sub-requests/s.
   double achieved_rps() const;
+  // logical_measured over the same window, in logical requests/s.
+  double achieved_logical_rps() const;
 };
 
 TcpLoadgenResult RunTcpLoadgen(const TcpLoadgenOptions& options);

@@ -15,7 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/chaos/chaos_proxy.h"
 #include "src/loadgen/arrival.h"
+#include "src/loadgen/fanout.h"
 #include "src/loadgen/loadgen.h"
 #include "src/loadgen/report.h"
 #include "src/loadgen/spin_service.h"
@@ -115,15 +117,26 @@ TEST(OpenLoopGeneratorTest, ScheduleIsIndependentOfSinkDelays) {
   RecordingSink fast;
   GeneratorResult fast_result = OpenLoopGenerator(options).RunFrom(start, fast);
 
-  RecordingSink slow(/*stall=*/100 * kMicrosecond);  // ~50% of the mean gap, per send
+  // Per-send stall chosen so the cumulative stall provably exceeds the send window:
+  // sent * 300 us >> 40 ms for the ~200-request schedule.
+  constexpr Nanos kStall = 300 * kMicrosecond;
+  RecordingSink slow(kStall);
   GeneratorResult slow_result = OpenLoopGenerator(options).RunFrom(start, slow);
 
   ASSERT_GT(fast.sends().size(), 100u);
   EXPECT_EQ(fast_result.sent, slow_result.sent);
   EXPECT_EQ(fast.sends(), slow.sends())
       << "sink latency leaked into the send schedule (coordinated omission)";
-  // The slow run fell behind its schedule and must admit it.
-  EXPECT_GT(slow_result.max_send_lag, fast_result.max_send_lag);
+  // The slow run fell behind its schedule and must admit it. Deterministic bound, not
+  // a comparison against the fast run (whose lag is scheduler noise): by the last
+  // send the run has slept >= sent * kStall of stall while the last scheduled time is
+  // < duration after start, so the worst lag is at least the difference
+  // (tests/README.md: lower bounds derived from injected sleeps are safe; comparing
+  // two wall-clock measurements is not).
+  Nanos provable_lag =
+      static_cast<Nanos>(slow_result.sent) * kStall - options.duration;
+  ASSERT_GT(provable_lag, 0) << "stall too small to prove lag for this schedule";
+  EXPECT_GE(slow_result.max_send_lag, provable_lag);
 }
 
 TEST(OpenLoopGeneratorTest, CountsSinkRefusalsAsDrops) {
@@ -255,6 +268,174 @@ TEST(TcpLoadgenChurnTest, ReconnectsServeMoreConnectionsThanTableCapacity) {
   EXPECT_EQ(total.flows_closed, accepted);
   EXPECT_EQ(total.flows_recycled, accepted);
   EXPECT_EQ(runtime.OpenFlows(), 0u);
+}
+
+// --- Fan-out mode (tail-at-scale) -----------------------------------------------------
+
+TEST(FanoutAccountingTest, LogicalLatencyIsMaxOfSubCompletions) {
+  FanoutAccounting fanout(/*fanout_n=*/3, /*measure_start=*/0);
+  uint64_t slot = fanout.Open(/*scheduled=*/100);
+  fanout.SubCompleted(slot, 150);
+  fanout.SubCompleted(slot, 400);  // the straggler defines the logical latency
+  EXPECT_EQ(fanout.completed(), 0u) << "finalized before its last sub";
+  fanout.SubCompleted(slot, 250);
+  EXPECT_EQ(fanout.completed(), 1u);
+  EXPECT_EQ(fanout.measured(), 1u);
+  EXPECT_EQ(fanout.lost(), 0u);
+  EXPECT_EQ(fanout.latency().Count(), 1u);
+  EXPECT_EQ(fanout.latency().Min(), 300);  // max(150, 400, 250) - 100
+  EXPECT_EQ(fanout.latency().Max(), 300);
+}
+
+TEST(FanoutAccountingTest, WarmupScheduledRequestsCompleteButAreNotMeasured) {
+  FanoutAccounting fanout(2, /*measure_start=*/1000);
+  uint64_t warm = fanout.Open(999);  // scheduled before the window
+  fanout.SubCompleted(warm, 1500);
+  fanout.SubCompleted(warm, 1600);
+  uint64_t measured = fanout.Open(1000);  // boundary is inclusive
+  fanout.SubCompleted(measured, 1700);
+  fanout.SubCompleted(measured, 1800);
+  EXPECT_EQ(fanout.completed(), 2u);
+  EXPECT_EQ(fanout.measured(), 1u);
+  EXPECT_EQ(fanout.latency().Count(), 1u);
+  EXPECT_EQ(fanout.latency().Min(), 800);
+}
+
+TEST(FanoutAccountingTest, AnySubLossMarksTheLogicalRequestLostExactlyOnce) {
+  FanoutAccounting fanout(4, 0);
+  uint64_t slot = fanout.Open(10);
+  fanout.SubFailed(slot);
+  fanout.SubFailed(slot);  // second failure must not double-count
+  fanout.SubCompleted(slot, 500);
+  EXPECT_EQ(fanout.lost(), 0u) << "finalized before its last sub";
+  fanout.SubCompleted(slot, 600);
+  EXPECT_EQ(fanout.lost(), 1u);
+  EXPECT_EQ(fanout.completed(), 0u);
+  EXPECT_EQ(fanout.latency().Count(), 0u) << "a lost logical request must not record";
+  // The safety net force-loses whatever never resolved — exactly once each.
+  uint64_t open_a = fanout.Open(20);
+  uint64_t open_b = fanout.Open(30);
+  fanout.SubCompleted(open_a, 700);  // partially resolved, still open
+  fanout.FinalizeOutstanding();
+  EXPECT_EQ(fanout.lost(), 3u);
+  EXPECT_EQ(fanout.opened(), 3u);
+  fanout.SubCompleted(open_b, 800);  // late resolution after finalize: inert
+  EXPECT_EQ(fanout.lost() + fanout.completed(), fanout.opened());
+}
+
+// Fan-out over the live runtime with per-flow service times: flow slot f sleeps
+// f * 2 ms, so every logical request's max-of-4 covers the slowest flow's sleep.
+// Injected sleeps give deterministic LOWER bounds (tests/README.md); no upper bounds.
+TEST(TcpLoadgenFanoutTest, LogicalLatencyCoversTheSlowestSubFlow) {
+  RuntimeOptions options;
+  options.num_workers = 2;
+  options.num_flows = 4;
+  auto transport = std::make_unique<TcpTransport>(TcpOptionsFor(options));
+  TcpTransport* tcp = transport.get();
+  ViewHandler laggard = [](uint64_t flow, std::string_view request,
+                           ResponseBuilder& out) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2 * (flow % 4)));
+    out.Append(request);
+  };
+  Runtime runtime(options, std::move(transport), std::move(laggard));
+  runtime.Start();
+
+  TcpLoadgenOptions gen;
+  gen.port = tcp->port();
+  gen.connections = 4;
+  gen.threads = 1;
+  gen.fanout_n = 4;  // every logical request touches ALL four flows
+  gen.rate_rps = 40;  // well under the ~125/s a serial 8 ms straggler chain allows
+  gen.duration = 500 * kMillisecond;
+  gen.warmup = 100 * kMillisecond;
+  gen.seed = 21;
+  gen.make_payload = [](Rng&, std::string& out) { out.assign(16, 'f'); };
+  TcpLoadgenResult result = RunTcpLoadgen(gen);
+  runtime.Shutdown();
+
+  EXPECT_TRUE(result.clean) << "lost=" << result.lost
+                            << " mismatches=" << result.mismatches;
+  EXPECT_GT(result.logical_sent, 0u);
+  EXPECT_EQ(result.sent, result.logical_sent * 4) << "fan-out width leaked";
+  EXPECT_EQ(result.logical_completed + result.logical_lost, result.logical_sent);
+  EXPECT_EQ(result.logical_lost, 0u);
+  EXPECT_EQ(result.measured, result.logical_measured * 4);
+  ASSERT_GT(result.latency.Count(), 0u);
+  // Every logical request includes a sub on flow 3 (2 * 3 = 6 ms sleep), so the
+  // logical MINIMUM is bounded below by the slowest flow's service time...
+  EXPECT_GE(result.latency.Min(), 6 * kMillisecond);
+  // ...while the fastest individual sub (flow 0, no sleep) finishes well under it.
+  EXPECT_LT(result.sub_latency.Min(), result.latency.Min());
+}
+
+// The fan-out CO guard: a degraded network (chaos proxy stalling one direction) must
+// not thin the LOGICAL schedule — logical_sent is a pure function of
+// (seed, rate, duration, threads), and every scheduled logical request resolves
+// exactly once as completed or lost.
+TEST(TcpLoadgenFanoutTest, LogicalScheduleIsIndependentOfNetworkDegradation) {
+  ViewHandler echo = [](uint64_t, std::string_view request, ResponseBuilder& out) {
+    out.Append(request);
+  };
+  auto run = [&](uint16_t port) {
+    TcpLoadgenOptions gen;
+    gen.port = port;
+    gen.connections = 4;
+    gen.threads = 1;
+    gen.fanout_n = 4;
+    gen.rate_rps = 200;
+    gen.duration = 300 * kMillisecond;
+    gen.warmup = 50 * kMillisecond;
+    gen.seed = 77;
+    gen.drain_timeout = 500 * kMillisecond;  // don't wait 10 s for stalled subs
+    gen.make_payload = [](Rng&, std::string& out) { out.assign(16, 's'); };
+    return RunTcpLoadgen(gen);
+  };
+
+  TcpLoadgenResult direct;
+  {
+    RuntimeOptions options;
+    options.num_workers = 2;
+    options.num_flows = 8;
+    auto transport = std::make_unique<TcpTransport>(TcpOptionsFor(options));
+    TcpTransport* tcp = transport.get();
+    Runtime runtime(options, std::move(transport), echo);
+    runtime.Start();
+    direct = run(tcp->port());
+    runtime.Shutdown();
+  }
+
+  TcpLoadgenResult degraded;
+  {
+    RuntimeOptions options;
+    options.num_workers = 2;
+    options.num_flows = 8;
+    auto transport = std::make_unique<TcpTransport>(TcpOptionsFor(options));
+    TcpTransport* tcp = transport.get();
+    Runtime runtime(options, std::move(transport), echo);
+    runtime.Start();
+    // The proxy goes deaf on server->client after the first response byte and stays
+    // deaf past the whole run: one sub-connection's responses stop arriving.
+    ChaosProxyOptions chaos;
+    chaos.upstream_port = tcp->port();
+    chaos.seed = 3;
+    chaos.stall_direction = ChaosDirection::kServerToClient;
+    chaos.stall_after_bytes = 1;
+    chaos.stall_duration = 30 * kSecond;
+    ChaosProxy proxy(chaos);
+    ASSERT_TRUE(proxy.Start());
+    degraded = run(proxy.port());
+    proxy.Stop();
+    runtime.Shutdown();
+  }
+
+  // The degradation must be real (subs died, logical requests were lost)...
+  EXPECT_EQ(degraded.clean, false);
+  EXPECT_GT(degraded.logical_lost, 0u);
+  // ...and still must not bend the schedule or leak a request from the ledger.
+  EXPECT_EQ(degraded.logical_sent, direct.logical_sent)
+      << "network degradation thinned the logical schedule (coordinated omission)";
+  EXPECT_EQ(direct.logical_completed + direct.logical_lost, direct.logical_sent);
+  EXPECT_EQ(degraded.logical_completed + degraded.logical_lost, degraded.logical_sent);
 }
 
 // --- report.h acceptance predicates ---------------------------------------------------
