@@ -1,6 +1,9 @@
 // memcached-style KV service on the ZygOS runtime, served over real TCP sockets.
 //
-// The runtime runs on the epoll-based TcpTransport (src/runtime/tcp_transport.h): one
+// The runtime serves on either socket backend (`--transport`): the epoll-based
+// TcpTransport (src/runtime/tcp_transport.h, the default) or the batched io_uring
+// UringTransport (src/runtime/uring_transport.h; requires kernel support — the binary
+// exits with a clear message when the io_uring_setup probe fails). Either way: one
 // listener, connections hashed to home cores through the RSS indirection table, frames
 // reassembled on the home core, responses sent home-core-only. The binary protocol is
 // src/kvstore/protocol.h carried inside the length-prefixed RPC frames of
@@ -19,6 +22,7 @@
 //                  measured from each request's *scheduled* send time).
 //
 // Common flags:  [--workload=usr|etc] [--keys=50000] [--workers=4]
+// Server-side:   [--transport=tcp|uring]
 // Client-side:   [--connections=16] [--threads=4] [--requests=40000] [--pipeline=8]
 // Loadgen-side:  [--rate=20000] [--duration-ms=2000] [--warmup-ms=500]
 //                [--arrivals=poisson|fixed] [--churn-ms=N]  (churn: mean connection
@@ -55,7 +59,9 @@
 #include "src/net/message.h"
 #include "src/runtime/client.h"
 #include "src/runtime/runtime.h"
+#include "src/runtime/socket_transport.h"
 #include "src/runtime/tcp_transport.h"
+#include "src/runtime/uring_transport.h"
 
 namespace zygos {
 namespace {
@@ -286,12 +292,14 @@ struct Server {
   std::atomic<uint64_t> hits{0};
   std::atomic<uint64_t> misses{0};
   std::unique_ptr<Runtime> runtime;
-  TcpTransport* transport = nullptr;  // owned by the runtime
-  LatencyCollector server_latency;    // arrival at the transport -> TX
+  SocketTransportBase* transport = nullptr;  // owned by the runtime
+  std::string transport_name;
+  LatencyCollector server_latency;  // arrival at the transport -> TX
 };
 
 std::unique_ptr<Server> StartServer(int workers, size_t max_flows,
-                                    const KvWorkloadSpec& spec, uint16_t port) {
+                                    const KvWorkloadSpec& spec, uint16_t port,
+                                    const std::string& transport_name) {
   auto server = std::make_unique<Server>();
   KvWorkload workload(spec, /*seed=*/5);
   std::printf("kv_server: populating %llu keys (%s workload)...\n",
@@ -319,13 +327,20 @@ std::unique_ptr<Server> StartServer(int workers, size_t max_flows,
   // Single source of truth: the transport's geometry (including its flow-id cap) is
   // derived from the runtime options, so the two can never drift apart.
   TcpTransportOptions tcp = TcpOptionsFor(options, port);
-  auto transport = std::make_unique<TcpTransport>(tcp);
+  std::unique_ptr<SocketTransportBase> transport;
+  if (transport_name == "uring") {
+    transport = std::make_unique<UringTransport>(tcp);
+  } else {
+    transport = std::make_unique<TcpTransport>(tcp);
+  }
   server->transport = transport.get();
+  server->transport_name = transport_name;
   transport->set_on_complete(server->server_latency.Handler());
   server->runtime = std::make_unique<Runtime>(options, std::move(transport), handler);
   server->runtime->Start();
-  std::printf("kv_server: %d workers listening on %s:%u\n", options.num_workers,
-              tcp.bind_address.c_str(), server->transport->port());
+  std::printf("kv_server: %d workers listening on %s:%u (%s transport)\n",
+              options.num_workers, tcp.bind_address.c_str(),
+              server->transport->port(), transport_name.c_str());
   return server;
 }
 
@@ -356,6 +371,14 @@ void PrintServerStats(Server& server) {
               static_cast<unsigned long long>(stats.pool_hits),
               static_cast<unsigned long long>(stats.pool_misses),
               static_cast<unsigned long long>(stats.pool_remote_frees));
+  uint64_t completed = server.runtime->Completed();
+  uint64_t io_syscalls = server.transport->IoSyscalls();
+  std::printf("data plane: %llu io syscalls, %.3f per request (%s transport)\n",
+              static_cast<unsigned long long>(io_syscalls),
+              completed > 0 ? static_cast<double>(io_syscalls) /
+                                  static_cast<double>(completed)
+                            : 0.0,
+              server.transport_name.c_str());
   std::printf("lifecycle: %llu flows opened, %llu closed, %llu slots recycled, "
               "%llu open now (peak %llu of %zu), %llu capacity refusals, "
               "%llu stall drops\n",
@@ -404,6 +427,7 @@ int Main(int argc, char** argv) {
   load.spec = spec;
 
   // Server-side knobs (read unconditionally so CheckUnknown knows every flag).
+  const std::string transport_name = flags.GetString("transport", "tcp");
   const int workers = static_cast<int>(flags.GetInt("workers", 4));
   // Concurrent-connection cap (ids are recycled, so churn no longer needs headroom).
   const auto max_flows = static_cast<size_t>(flags.GetInt("max-flows", 1 << 12));
@@ -417,11 +441,25 @@ int Main(int argc, char** argv) {
   const Nanos churn_lifetime = flags.GetInt("churn-ms", 0) * kMillisecond;
   if (!flags.CheckUnknown(
           "usage: kv_server [--mode=demo|serve|client|loadgen] [--workload=usr|etc]\n"
-          "  [--keys=N] [--workers=N] [--max-flows=N] [--host=H] [--port=P]\n"
-          "  [--connections=N] [--threads=N] [--requests=N] [--pipeline=N] [--seed=N]\n"
-          "  [--rate=RPS] [--duration-ms=N] [--warmup-ms=N] [--churn-ms=N]\n"
-          "  [--arrivals=poisson|fixed]")) {
+          "  [--keys=N] [--workers=N] [--max-flows=N] [--transport=tcp|uring]\n"
+          "  [--host=H] [--port=P] [--connections=N] [--threads=N] [--requests=N]\n"
+          "  [--pipeline=N] [--seed=N] [--rate=RPS] [--duration-ms=N] [--warmup-ms=N]\n"
+          "  [--churn-ms=N] [--arrivals=poisson|fixed]")) {
     return 2;
+  }
+  if (transport_name != "tcp" && transport_name != "uring") {
+    std::fprintf(stderr, "kv_server: unknown --transport=%s (expected tcp|uring)\n",
+                 transport_name.c_str());
+    return 2;
+  }
+  if (transport_name == "uring" && !UringTransport::Available()) {
+    // Graceful capability fallback: fail before binding anything, with the probe's
+    // reason, so harnesses can `--transport=uring || skip`.
+    std::fprintf(stderr,
+                 "kv_server: --transport=uring requested but io_uring is unavailable "
+                 "on this host: %s\n",
+                 UringTransport::UnavailableReason().c_str());
+    return 1;
   }
   if (mode != "demo" && mode != "serve" && mode != "client" && mode != "loadgen") {
     std::fprintf(stderr,
@@ -488,7 +526,7 @@ int Main(int argc, char** argv) {
     return result.clean ? 0 : 1;
   }
 
-  auto server = StartServer(workers, max_flows, spec, load.port);
+  auto server = StartServer(workers, max_flows, spec, load.port, transport_name);
 
   if (mode == "serve") {
     std::signal(SIGINT, OnSignal);

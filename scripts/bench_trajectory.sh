@@ -22,6 +22,23 @@ REQUESTS="${BENCH_REQUESTS:-20000}"
 POINTS="${BENCH_POINTS:-6}"
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
+# Host tunings active during this run (scripts/tune_env.sh state file): stamped into
+# every BENCH_*.json so recorded numbers never silently mix tuned and untuned hosts.
+TUNE_STATE="${TUNE_STATE:-/tmp/zygos_tune_env.state}"
+if [[ -s "${TUNE_STATE}" ]]; then
+  ENV_TUNINGS="$(paste -sd, "${TUNE_STATE}")"
+else
+  ENV_TUNINGS="none"
+fi
+echo "bench_trajectory: env_tunings=${ENV_TUNINGS}"
+
+# stamp_json <file>: fill in the commit and prepend env_tunings to the params block
+# of a binary-written BENCH JSON.
+stamp_json() {
+  sed -i "s/\"commit\": \"\"/\"commit\": \"${COMMIT}\"/" "$1"
+  sed -i "s/\"params\": {/\"params\": {\\n    \"env_tunings\": \"${ENV_TUNINGS}\",/" "$1"
+}
+
 for bin in fig8_steal_rate fig6_latency_throughput micro_dataplane fig6_live_runtime \
            churn_live_runtime fanout_chaos; do
   if [[ ! -x "${BUILD_DIR}/bench/${bin}" ]]; then
@@ -48,7 +65,8 @@ cat > "${OUT_DIR}/BENCH_fig8_steal_rate.json" <<EOF
   "value": ${peak_steal},
   "unit": "steals_per_event_pct",
   "commit": "${COMMIT}",
-  "params": {"requests": ${REQUESTS}, "points": ${POINTS}, "mean_us": 25, "seed": 51}
+  "params": {"requests": ${REQUESTS}, "points": ${POINTS}, "mean_us": 25, "seed": 51,
+             "env_tunings": "${ENV_TUNINGS}"}
 }
 EOF
 echo "   zygos_peak_steal_rate = ${peak_steal} %  -> ${OUT_DIR}/BENCH_fig8_steal_rate.json"
@@ -69,7 +87,7 @@ cat > "${OUT_DIR}/BENCH_fig6_latency_throughput.json" <<EOF
   "value": ${frac},
   "unit": "percent",
   "commit": "${COMMIT}",
-  "params": {"requests": ${REQUESTS}, "points": ${POINTS}, "distribution": "exponential", "mean_us": 10, "slo": "10x_mean", "seed": 35}
+  "params": {"requests": ${REQUESTS}, "points": ${POINTS}, "distribution": "exponential", "mean_us": 10, "slo": "10x_mean", "seed": 35, "env_tunings": "${ENV_TUNINGS}"}
 }
 EOF
 echo "   zygos_frac_of_theoretical_max_load = ${frac} %  -> ${OUT_DIR}/BENCH_fig6_latency_throughput.json"
@@ -87,6 +105,13 @@ if [[ -z "${pooled_ns}" || -z "${string_ns}" ]]; then
   exit 1
 fi
 speedup="$(awk -v s="${string_ns}" -v p="${pooled_ns}" 'BEGIN {printf "%.2f", s / p}')"
+# The pooled fast path measures 1.2-1.3x the string path on this host; gate well
+# below that (1.05) so the trajectory catches a real fast-path regression (the
+# pre-inline state was 0.96x) without flaking on run-to-run ns/op jitter.
+if awk -v s="${speedup}" 'BEGIN {exit !(s < 1.05)}'; then
+  echo "bench_trajectory: pooled data plane (${speedup}x string) lost its edge — small-class fast-path regression?" >&2
+  exit 1
+fi
 dp_json="$(cat <<EOF
 {
   "metric": "dataplane_pooled_echo_ns_per_op",
@@ -95,7 +120,8 @@ dp_json="$(cat <<EOF
   "commit": "${COMMIT}",
   "params": {"requests": 200000, "warmup": 20000, "payload": 32,
              "pooled_allocs_per_op": ${pooled_allocs}, "string_ns_per_op": ${string_ns},
-             "string_allocs_per_op": ${string_allocs}, "speedup_vs_string": ${speedup}}
+             "string_allocs_per_op": ${string_allocs}, "speedup_vs_string": ${speedup},
+             "env_tunings": "${ENV_TUNINGS}"}
 }
 EOF
 )"
@@ -104,20 +130,39 @@ printf '%s\n' "${dp_json}" > "${OUT_DIR}/BENCH_micro_dataplane.json"
 printf '%s\n' "${dp_json}" > "${OUT_DIR}/BENCH_0003.json"
 echo "   dataplane_pooled_echo_ns_per_op = ${pooled_ns} ns (string ${string_ns} ns, ${speedup}x, ${pooled_allocs} allocs/op) -> ${OUT_DIR}/BENCH_micro_dataplane.json"
 
-# --- fig6_live: the LIVE runtime under open-loop load (zygos vs no-steal vs no-ipi) ----
+# --- fig6_live: the LIVE runtime under open-loop load, on all three transports --------
 # The binary itself writes the BENCH-contract JSON (src/loadgen/report.h), including
-# the two acceptance booleans; this script stamps the commit and gates on them.
+# the four acceptance booleans; this script stamps the commit and gates on them.
 # Wall-clock latencies are host-dependent; the *relative* curves (monotone-in-load
-# p99, stealing <= no-steal at the peak load) are the tracked invariants. The sleep-
+# p99, stealing <= no-steal at the peak load, uring <= epoll at matched load, uring
+# syscalls/request below epoll's) are the tracked invariants. tcp leads the transport
+# list so the calibrated rate list comes from a socket backend and every transport
+# then sweeps the same absolute rates (matched-load uring-vs-epoll cells). The sleep-
 # mode service keeps the scheduling policies distinguishable on CI hosts with fewer
-# hardware threads than workers (see src/loadgen/spin_service.h).
-LIVE_DURATION_MS="${BENCH_LIVE_DURATION_MS:-1500}"
-echo "== fig6_live_runtime (live data plane, duration=${LIVE_DURATION_MS}ms/point)"
+# hardware threads than workers (see src/loadgen/spin_service.h). A host without
+# io_uring drops that leg (the binary prints `# skip:`) and the uring booleans hold
+# vacuously.
+# 3000ms/point: at the lowest swept rate (~1000 rps) a cell needs ~3k completions
+# for the p99 to rest on ~30 samples — 1500ms cells made the monotonicity gate a
+# coin flip on oversubscribed single-CPU hosts.
+LIVE_DURATION_MS="${BENCH_LIVE_DURATION_MS:-3000}"
+echo "== fig6_live_runtime (live data plane, tcp+uring+loopback, duration=${LIVE_DURATION_MS}ms/point)"
 live_json="${OUT_DIR}/BENCH_fig6_live.json"
-"${BUILD_DIR}/bench/fig6_live_runtime" --transport=loopback --dist=exponential \
-  --service-us=300 --service-mode=sleep --workers=2 --connections=16 \
-  --duration-ms="${LIVE_DURATION_MS}" --warmup-ms=400 --seed=3 --json="${live_json}"
-sed -i "s/\"commit\": \"\"/\"commit\": \"${COMMIT}\"/" "${live_json}"
+# 0.2..0.8 of the calibrated peak (not the default 0.95 top point): calibration is a
+# single overload cell whose peak estimate swings ~15% run to run, and the rate list
+# comes from the FASTEST backend (tcp) while the slowest (loopback) peaks lower — at
+# 0.95 an optimistic calibration pushes cells past saturation, where open-loop p99
+# measures queue growth, not the scheduler. 0.8 keeps every transport sub-saturated.
+# --cell-repeats=3: median-of-3 per cell (and for the calibration probe). On a host
+# where the loadgen and the server share cores, a single scheduler stall books tens
+# of ms into one cell's p99 (CO-safe accounting must count it); the median row
+# discards the one-off without biasing the curve.
+"${BUILD_DIR}/bench/fig6_live_runtime" --transport=tcp,uring,loopback \
+  --dist=exponential --service-us=300 --service-mode=sleep --workers=2 \
+  --connections=16 --load-fractions=0.2,0.4,0.6,0.8 --cell-repeats=3 \
+  --duration-ms="${LIVE_DURATION_MS}" --warmup-ms=400 --seed=3 \
+  --json="${live_json}"
+stamp_json "${live_json}"
 if ! grep -q '"zygos_p99_monotone_in_load": true' "${live_json}"; then
   echo "bench_trajectory: live zygos p99 is not monotone in load — noisy host or regression; rerun or investigate" >&2
   exit 1
@@ -126,8 +171,18 @@ if ! grep -q '"steal_leq_no_steal_at_peak": true' "${live_json}"; then
   echo "bench_trajectory: stealing did not beat no-steal at the peak load point — regression in the steal path?" >&2
   exit 1
 fi
-# PR-numbered snapshot: the live-harness acceptance record.
+if ! grep -q '"uring_p99_leq_epoll_at_peak": true' "${live_json}"; then
+  echo "bench_trajectory: uring p99 exceeded epoll at matched peak load — noisy host or uring regression; rerun or investigate" >&2
+  exit 1
+fi
+if ! grep -q '"uring_syscalls_below_epoll": true' "${live_json}"; then
+  echo "bench_trajectory: uring syscalls/request not below epoll — the batched submission path regressed?" >&2
+  exit 1
+fi
+# PR-numbered snapshots: the live-harness acceptance record (0004) and the uring
+# transport's syscalls-per-request trajectory record (0007).
 cp "${live_json}" "${OUT_DIR}/BENCH_0004.json"
+cp "${live_json}" "${OUT_DIR}/BENCH_0007.json"
 live_p99="$(sed -nE 's/^  "value": ([0-9.]+),$/\1/p' "${live_json}" | head -1)"
 echo "   live_zygos_p99_us_at_peak_load = ${live_p99} us  -> ${live_json}"
 
@@ -142,7 +197,7 @@ churn_json="${OUT_DIR}/BENCH_churn.json"
 "${BUILD_DIR}/bench/churn_live_runtime" --rate=2000 --churn-ms=0,160,80,40,20 \
   --duration-ms="${CHURN_DURATION_MS}" --warmup-ms=300 --connections=8 --threads=2 \
   --max-flows=32 --seed=5 --json="${churn_json}"
-sed -i "s/\"commit\": \"\"/\"commit\": \"${COMMIT}\"/" "${churn_json}"
+stamp_json "${churn_json}"
 for gate in distinct_conns_exceed_capacity zero_capacity_refusals \
             flat_table_occupancy allocation_free_after_warmup; do
   if ! grep -q "\"${gate}\": true" "${churn_json}"; then
@@ -168,7 +223,7 @@ fanout_json="${OUT_DIR}/BENCH_fanout.json"
 "${BUILD_DIR}/bench/fanout_chaos" --fanouts=1,2,4,8 --logical-rate=250 \
   --duration-ms="${FANOUT_DURATION_MS}" --warmup-ms=600 --steal-compare=true \
   --seed=11 --json="${fanout_json}"
-sed -i "s/\"commit\": \"\"/\"commit\": \"${COMMIT}\"/" "${fanout_json}"
+stamp_json "${fanout_json}"
 for gate in p99_amplification_monotone_in_fanout steal_leq_no_steal_under_jitter \
             all_runs_clean; do
   if ! grep -q "\"${gate}\": true" "${fanout_json}"; then

@@ -121,27 +121,50 @@ kill -TERM "${kv_pid}"
 wait "${kv_pid}"
 trap - EXIT
 
+echo "== smoke: kv_server serve (uring transport) -> open-loop loadgen over real TCP"
+# Same serve->loadgen pipeline on the io_uring backend. Gated on the runtime probe
+# (io_uring_setup may be denied by seccomp/container policy): an ineligible host
+# prints the skip and stays green, a capable host must pass.
+if "${BUILD_DIR}/bench/fig6_live_runtime" --probe-uring; then
+  "${BUILD_DIR}/examples/kv_server" --mode=serve --transport=uring --port=7413 \
+    --workers=2 --keys=5000 &
+  kv_pid=$!
+  trap 'kill "${kv_pid}" 2>/dev/null || true' EXIT
+  sleep 1
+  "${BUILD_DIR}/examples/kv_server" --mode=loadgen --port=7413 --rate=3000 \
+    --duration-ms=600 --warmup-ms=200 --connections=4 --threads=2 --keys=5000
+  kill -TERM "${kv_pid}"
+  wait "${kv_pid}"
+  trap - EXIT
+else
+  echo "ci: skipping uring smoke (io_uring unavailable on this host)"
+fi
+
 echo "== warnings-as-errors configure of the transport layer (${BUILD_DIR}-werror)"
 cmake -B "${BUILD_DIR}-werror" -S . -DZYGOS_WERROR=ON \
   -DZYGOS_BUILD_BENCH=OFF -DZYGOS_BUILD_EXAMPLES=OFF -DZYGOS_BUILD_TESTS=OFF
 cmake --build "${BUILD_DIR}-werror" -j "${JOBS}" --target zygos_runtime
 
-echo "== AddressSanitizer: runtime_test + loadgen_test + chaos_test (${BUILD_DIR}-asan)"
+echo "== AddressSanitizer: runtime + loadgen + chaos + transport suites (${BUILD_DIR}-asan)"
 # Lifecycle refactors are use-after-free factories: the connection slot table hands
 # PCBs to thieves, recycles them behind generation tags and reuses freed flow ids —
 # ASan over the runtime + loadgen suites is the gate that a teardown race never
 # touches recycled memory. chaos_test rides along: the proxy's kill/stall paths
 # destroy connections with chunks still parked in the timing wheel, and its replay
 # determinism (SameSeedReplaysIdenticalDelaySchedule) is asserted under ASan too.
+# transport_conformance_test runs the same lifecycle battery over all three backends;
+# for uring that is the gate that a kernel-owned completion (recv or straggler send)
+# never lands in freed buffers after a sever or shutdown.
 cmake -B "${BUILD_DIR}-asan" -S . -DZYGOS_BUILD_BENCH=OFF -DZYGOS_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
 cmake --build "${BUILD_DIR}-asan" -j "${JOBS}" --target runtime_test loadgen_test \
-  chaos_test
+  chaos_test transport_conformance_test
 # Leak checking stays ON; only the by-design thread-pool leak is suppressed
 # (scripts/lsan.supp) — a leaked connection or socket wrapper still fails.
 LSAN_OPTIONS="suppressions=$(pwd)/scripts/lsan.supp" \
-  ctest --test-dir "${BUILD_DIR}-asan" -R 'runtime_test|loadgen_test|chaos_test' \
+  ctest --test-dir "${BUILD_DIR}-asan" \
+  -R 'runtime_test|loadgen_test|chaos_test|transport_conformance_test' \
   --output-on-failure -j "${JOBS}"
 
 echo "CI OK"

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Undo scripts/tune_env.sh: replay the `knob=old>new` entries from the state file in
+# reverse, restoring each knob's pre-tuning value. Safe to run when tune_env applied
+# nothing (empty or missing state file -> no-op with a message).
+#
+# Usage: scripts/restore_env.sh
+#        TUNE_STATE=/path scripts/restore_env.sh
+set -uo pipefail
+
+STATE="${TUNE_STATE:-/tmp/zygos_tune_env.state}"
+if [[ ! -s "${STATE}" ]]; then
+  echo "restore_env: no recorded tunings in ${STATE} — nothing to restore"
+  exit 0
+fi
+
+# Map a tuning label back to its sysfs path (inverse of tune_env.sh).
+path_of() {
+  case "$1" in
+    governor:*) echo "/sys/devices/system/cpu/cpufreq/${1#governor:}/scaling_governor" ;;
+    no_turbo) echo /sys/devices/system/cpu/intel_pstate/no_turbo ;;
+    boost) echo /sys/devices/system/cpu/cpufreq/boost ;;
+    smt) echo /sys/devices/system/cpu/smt/control ;;
+    *) echo "" ;;
+  esac
+}
+
+restored=0
+failed=0
+while IFS= read -r entry; do
+  label="${entry%%=*}"
+  transition="${entry#*=}"
+  old="${transition%%>*}"
+  path="$(path_of "${label}")"
+  if [[ -z "${path}" ]]; then
+    echo "restore_env: unknown entry '${entry}' — skipping"
+    failed=$((failed + 1))
+    continue
+  fi
+  if echo "${old}" > "${path}" 2>/dev/null; then
+    echo "restore_env: ${label} -> ${old}"
+    restored=$((restored + 1))
+  else
+    echo "restore_env: cannot restore ${label} (${path}) to ${old}"
+    failed=$((failed + 1))
+  fi
+done < <(tac "${STATE}")
+
+if [[ "${failed}" -eq 0 ]]; then
+  : > "${STATE}"
+  echo "restore_env: ${restored} tunings restored, state cleared"
+else
+  echo "restore_env: ${restored} restored, ${failed} failed — state kept in ${STATE}" >&2
+  exit 1
+fi

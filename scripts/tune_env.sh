@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Best-effort host tuning for low-variance benchmark runs (the knobs ZygOS-class
+# measurements care about: frequency governor, turbo, and SMT). Every knob is
+# optional: on an unprivileged or containerized host each one degrades to a printed
+# no-op instead of failing, so harnesses can always `scripts/tune_env.sh || true`.
+#
+# Applied tunings are recorded one-per-line in a state file (default
+# /tmp/zygos_tune_env.state, override with TUNE_STATE=...) holding `knob=old>new`
+# entries. scripts/restore_env.sh replays the old values; scripts/bench_trajectory.sh
+# stamps the active list into every BENCH_*.json params block as "env_tunings", so a
+# recorded number can never silently mix tuned and untuned hosts.
+#
+# Usage: scripts/tune_env.sh            # apply what this host allows
+#        TUNE_STATE=/path scripts/tune_env.sh
+set -uo pipefail
+
+STATE="${TUNE_STATE:-/tmp/zygos_tune_env.state}"
+: > "${STATE}" 2>/dev/null || { echo "tune_env: cannot write ${STATE}" >&2; exit 1; }
+
+applied=0
+skipped=0
+
+# try_write <path> <value> <label>: apply one sysfs knob if it exists and we may
+# write it; record `label=old>new` on success, print a no-op note otherwise.
+try_write() {
+  local path="$1" value="$2" label="$3" old
+  if [[ ! -f "${path}" ]]; then
+    echo "tune_env: no-op ${label} (${path} absent on this host)"
+    skipped=$((skipped + 1))
+    return
+  fi
+  old="$(cat "${path}" 2>/dev/null || echo '?')"
+  if [[ "${old}" == "${value}" ]]; then
+    echo "tune_env: ${label} already ${value}"
+    return
+  fi
+  if echo "${value}" > "${path}" 2>/dev/null; then
+    echo "${label}=${old}>${value}" >> "${STATE}"
+    echo "tune_env: ${label}: ${old} -> ${value}"
+    applied=$((applied + 1))
+  else
+    echo "tune_env: no-op ${label} (unprivileged; would set ${path}=${value})"
+    skipped=$((skipped + 1))
+  fi
+}
+
+# Frequency governor: performance on every policy (DVFS ramp-up is pure latency
+# noise at the microsecond scales fig6_live_runtime measures).
+for policy in /sys/devices/system/cpu/cpufreq/policy*; do
+  [[ -d "${policy}" ]] || continue
+  try_write "${policy}/scaling_governor" performance \
+    "governor:$(basename "${policy}")"
+done
+
+# Turbo boost off: opportunistic frequencies make run-to-run throughput drift.
+try_write /sys/devices/system/cpu/intel_pstate/no_turbo 1 no_turbo
+try_write /sys/devices/system/cpu/cpufreq/boost 0 boost
+
+# SMT off: sibling-thread interference is the classic tail-latency confounder.
+try_write /sys/devices/system/cpu/smt/control off smt
+
+if [[ "${applied}" -eq 0 ]]; then
+  echo "tune_env: nothing applied (${skipped} knobs unavailable/unprivileged) — benchmarks run on the untuned host"
+else
+  echo "tune_env: ${applied} tunings applied, recorded in ${STATE} (restore with scripts/restore_env.sh)"
+fi
+exit 0

@@ -28,13 +28,6 @@ constexpr size_t ClassCapacity(size_t cls) {
 
 }  // namespace
 
-void IoBuf::ReleaseRef() {
-  if (slab_ != nullptr &&
-      slab_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    BufferPool::Release(slab_);
-  }
-}
-
 BufferPool::BufferPool() : remote_ring_(kRemoteRingCapacity) {
   for (auto& freelist : freelists_) {
     freelist.reserve(64);
@@ -95,21 +88,15 @@ void BufferPool::HeapFree(IoSlab* slab) {
   ::operator delete(static_cast<void*>(slab), std::align_val_t{kCacheLineSize});
 }
 
-IoBuf BufferPool::Alloc(size_t min_capacity) {
-  size_t cls;
-  if (min_capacity <= kSmallCapacity) {
-    cls = 0;
-  } else if (min_capacity <= kLargeCapacity) {
-    cls = 1;
-  } else {
-    // Oversized (e.g. a multi-megabyte frame): exact-size heap slab, pool-less.
-    fallback_allocs_.fetch_add(1, std::memory_order_relaxed);
-    return IoBuf(NewSlab(min_capacity, kFallbackClass, nullptr));
-  }
+IoBuf BufferPool::AllocOversized(size_t min_capacity) {
+  // Oversized (e.g. a multi-megabyte frame): exact-size heap slab, pool-less.
+  fallback_allocs_.fetch_add(1, std::memory_order_relaxed);
+  return IoBuf(NewSlab(min_capacity, kFallbackClass, nullptr));
+}
+
+IoBuf BufferPool::AllocSlow(size_t cls) {
   std::vector<IoSlab*>& freelist = freelists_[cls];
-  if (freelist.empty()) {
-    DrainRemoteRing();
-  }
+  DrainRemoteRing();
   if (!freelist.empty()) {
     IoSlab* slab = freelist.back();
     freelist.pop_back();

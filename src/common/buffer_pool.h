@@ -105,6 +105,15 @@ class IoBuf {
     slab_ = nullptr;
   }
 
+  // Handles currently sharing the slab (racy snapshot under concurrency; exact when
+  // only this thread holds references). The uring transport's registered-buffer
+  // arena uses unique() to decide when a slot's bytes are no longer aliased by any
+  // in-flight Segment/parser view and the slot can be re-armed for the next recv.
+  uint32_t use_count() const {
+    return slab_ == nullptr ? 0 : slab_->refs.load(std::memory_order_acquire);
+  }
+  bool unique() const { return use_count() == 1; }
+
  private:
   void Retain() {
     if (slab_ != nullptr) {
@@ -145,8 +154,33 @@ class BufferPool {
   // Sum of every thread pool's counters (process-wide view for regression tests).
   static BufferPoolStats GlobalSnapshot();
 
-  // Allocates a buffer with capacity >= min_capacity. Owner thread only.
-  IoBuf Alloc(size_t min_capacity);
+  // Allocates a buffer with capacity >= min_capacity. Owner thread only. The
+  // small-class hit is fully inlined (class select + freelist pop + counter bump,
+  // no call, no locked instruction — the pool is single-owner so its counters are
+  // single-writer plain stores); only misses (empty freelist, oversized request)
+  // leave the header. Prefetches the next slab's header and this slab's payload
+  // line, which the caller is about to write (recv target / response frame).
+  IoBuf Alloc(size_t min_capacity) {
+    if (min_capacity > kLargeCapacity) [[unlikely]] {
+      return AllocOversized(min_capacity);
+    }
+    const size_t cls = static_cast<size_t>(min_capacity > kSmallCapacity);
+    std::vector<IoSlab*>& freelist = freelists_[cls];
+    if (freelist.empty()) [[unlikely]] {
+      return AllocSlow(cls);
+    }
+    IoSlab* slab = freelist.back();
+    freelist.pop_back();
+    if (!freelist.empty()) {
+      __builtin_prefetch(freelist.back(), 1, 3);  // next Alloc's header line
+    }
+    __builtin_prefetch(slab->data(), 1, 3);  // the payload write that follows
+    slab->refs.store(1, std::memory_order_relaxed);
+    slab->size = 0;
+    freelist_hits_.store(freelist_hits_.load(std::memory_order_relaxed) + 1,
+                         std::memory_order_relaxed);
+    return IoBuf(slab);
+  }
 
   // Returns a slab whose refcount hit zero. Thread-safe; called by IoBuf.
   static void Release(IoSlab* slab);
@@ -167,6 +201,11 @@ class BufferPool {
   static IoSlab* NewSlab(size_t capacity, uint8_t size_class, BufferPool* owner);
   static void HeapFree(IoSlab* slab);
 
+  // Alloc's out-of-line misses: empty freelist (drain the remote ring, then grow)
+  // and oversized requests (exact-size heap slab).
+  IoBuf AllocSlow(size_t cls);
+  IoBuf AllocOversized(size_t min_capacity);
+
   void LocalFree(IoSlab* slab);
   void RemoteFree(IoSlab* slab);  // invoked on the *releasing* thread
   // Moves everything the remote ring holds onto the freelists; returns count.
@@ -183,6 +222,16 @@ class BufferPool {
   std::atomic<uint64_t> ring_drains_{0};
   std::atomic<uint64_t> unpooled_frees_{0};
 };
+
+// Out-of-class so BufferPool::Release is visible: the refcount decrement stays
+// inline on the release hot path; only the terminal release (refs hit zero) leaves
+// the header.
+inline void IoBuf::ReleaseRef() {
+  if (slab_ != nullptr &&
+      slab_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    BufferPool::Release(slab_);
+  }
+}
 
 // Allocates from the calling thread's pool: the one-liner the data plane uses.
 inline IoBuf AllocBuffer(size_t min_capacity) {

@@ -5,9 +5,16 @@
 // One LivePoint per (config, load) cell of a sweep. The JSON report follows the
 // repo's BENCH contract ({metric, value, unit, commit, params}): the headline value
 // is the full-ZygOS p99 at the highest swept load, and params carries every curve
-// plus two precomputed acceptance booleans —
-//   zygos_p99_monotone_in_load : ZygOS p99 never decreases as offered load rises
+// plus four precomputed acceptance booleans —
+//   zygos_p99_monotone_in_load : ZygOS p99 never drops below 0.8x its running max
+//                                as offered load rises (one-sided estimator-noise
+//                                tolerance — a cell's p99 rests on a few dozen tail
+//                                samples and flips 10-20% between identical cells)
 //   steal_leq_no_steal_at_peak : ZygOS p99 <= no-steal p99 at the highest common load
+//   uring_p99_leq_epoll_at_peak : uring p99 <= epoll p99 at the highest matched load
+//                                (same 0.8x noise tolerance)
+//   uring_syscalls_below_epoll  : uring syscalls/request strictly below epoll's
+//                                (counter-exact, no tolerance)
 // so shell harnesses can grep instead of re-deriving them. `commit` is written empty
 // ("") and stamped by scripts/bench_trajectory.sh.
 //
@@ -26,8 +33,11 @@ namespace zygos {
 
 // One measured sweep cell. `config` is the runtime ablation ("zygos", "no-steal",
 // "no-ipi"); load cells of one config must be appended in ascending offered_rps order.
+// `transport` is the backend that served the cell ("loopback" | "tcp" | "uring") —
+// sweeps may run the same configs over several transports at matched rates.
 struct LivePoint {
   std::string config;
+  std::string transport = "loopback";
   double offered_rps = 0;
   double achieved_rps = 0;
   uint64_t sent = 0;
@@ -43,6 +53,10 @@ struct LivePoint {
   uint64_t stolen_events = 0;
   uint64_t doorbells_sent = 0;
   uint64_t remote_syscalls = 0;
+  // Data-path syscalls per completed request (Transport::IoSyscalls over completions;
+  // see bench/README.md "syscalls_per_request"). 0 for loopback. The headline the
+  // uring backend exists to lower: epoll pays ~2+/req, batched uring well under 1.
+  double syscalls_per_req = 0;
 };
 
 // Experiment-wide parameters echoed into the CSV preamble and the JSON params block.
@@ -61,15 +75,27 @@ struct LiveRunInfo {
 };
 
 // CSV contract (stdout): header row then one row per point, `#` lines are prose.
+// `config` stays the FIRST column (harnesses grep `^zygos,`); new columns are only
+// ever appended at the end.
 //   config,offered_rps,achieved_rps,p50_us,p99_us,p999_us,mean_us,max_us,
-//   measured,sent,dropped,send_lag_max_us,steals,doorbells
+//   measured,sent,dropped,send_lag_max_us,steals,doorbells,syscalls_per_req,transport
 void PrintLiveCsvHeader(FILE* out);
 void PrintLiveCsvRow(FILE* out, const LivePoint& point);
 
 // Acceptance predicates (see the header comment). Configs are matched by exact name;
-// an absent config makes the predicate vacuously true.
+// an absent config makes the predicate vacuously true. The single-transport
+// predicates treat every transport's curve of that config as one ascending sweep per
+// transport (they are evaluated per transport and AND-ed).
 bool ZygosP99MonotoneInLoad(const std::vector<LivePoint>& points);
 bool StealLeqNoStealAtPeak(const std::vector<LivePoint>& points);
+// Cross-transport acceptance, full-ZygOS config at the highest common load point
+// (both transports sweep the same ascending rate list):
+//   UringP99LeqEpollAtPeak    uring p99 <= epoll p99 at matched load, within the
+//                             one-sided p99 noise tolerance (see header comment)
+//   UringSyscallsBelowEpoll   uring syscalls/request strictly below epoll's
+// Vacuously true when either transport's curve is absent.
+bool UringP99LeqEpollAtPeak(const std::vector<LivePoint>& points);
+bool UringSyscallsBelowEpoll(const std::vector<LivePoint>& points);
 
 // Writes the BENCH-contract JSON report. Returns false (and prints to stderr) on I/O
 // failure. `points` must hold at least one "zygos" row.

@@ -85,6 +85,9 @@ class LoopbackTransport final : public Transport {
   void CloseFlow(int queue, uint64_t flow_id) override {
     severs_[static_cast<size_t>(queue)]->events.push_back(
         ControlEvent{ControlEventKind::kFlowClosed, flow_id});
+    // A sever discards whatever the flow had in flight: account it as a drop, the
+    // same bookkeeping the socket backends do (transport conformance contract).
+    drops_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Drains buffered severs, then client control events, then the segment ring in one

@@ -1,8 +1,5 @@
 #include "src/runtime/tcp_transport.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
@@ -11,96 +8,42 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
-#include <chrono>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <thread>
 
 namespace zygos {
 
 namespace {
 
 constexpr int kMaxEpollEvents = 64;
-constexpr int kAcceptPollMillis = 20;
 // Granularity of the bounded TX wait: the stall deadline (a TcpTransportOptions
 // field) is split into poll() slices this long.
 constexpr int kTxPollMillis = 10;
 
-[[noreturn]] void Fatal(const char* what) {
-  std::fprintf(stderr, "zygos: tcp transport: %s: %s\n", what, std::strerror(errno));
-  std::abort();
-}
-
 }  // namespace
 
 TcpTransport::TcpTransport(TcpTransportOptions options)
-    : options_(std::move(options)),
-      rss_(options_.num_flow_groups, options_.num_queues),
-      // Every id in [0, max_flows) may be in the freelist at once.
-      free_ids_(std::max<uint64_t>(options_.max_flows, 1)) {
+    : SocketTransportBase(std::move(options), "tcp transport") {
   queues_.reserve(static_cast<size_t>(options_.num_queues));
   for (int q = 0; q < options_.num_queues; ++q) {
-    auto pq = std::make_unique<PerQueue>();
-    // Bounded handoff: more un-registered connections than the listen backlog means
-    // the worker is badly behind; refusing at that point is the honest backpressure.
-    pq->accept_ring = std::make_unique<SpscRing<Conn*>>(
-        static_cast<size_t>(std::max(options_.listen_backlog, 16)));
-    queues_.push_back(std::move(pq));
+    queues_.push_back(std::make_unique<PerQueue>());
   }
 }
 
 TcpTransport::~TcpTransport() { Stop(); }
 
 void TcpTransport::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
-  if (listen_fd_ < 0) {
-    Fatal("socket");
-  }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    Fatal("inet_pton");
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    Fatal("bind");
-  }
-  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
-    Fatal("listen");
-  }
-  socklen_t len = sizeof addr;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    Fatal("getsockname");
-  }
-  port_ = ntohs(addr.sin_port);
   for (auto& pq : queues_) {
     pq->epfd = ::epoll_create1(0);
     if (pq->epfd < 0) {
       Fatal("epoll_create1");
     }
   }
-  accepting_.store(true, std::memory_order_release);
-  acceptor_ = std::thread([this] { AcceptLoop(); });
+  StartListener();
 }
 
 void TcpTransport::Stop() {
-  if (accepting_.exchange(false, std::memory_order_acq_rel)) {
-    acceptor_.join();
-  }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  // Quiescent teardown (workers have stopped): connections still in the handoff
-  // rings never reached a worker — close them directly.
+  StopListener();
+  // Quiescent teardown (workers have stopped): close every registered connection.
   for (auto& pq : queues_) {
-    while (auto pending = pq->accept_ring->TryPop()) {
-      ::close((*pending)->fd);
-      delete *pending;
-    }
     for (auto& [flow, conn] : pq->conns) {
       if (pq->epfd >= 0) {
         ::epoll_ctl(pq->epfd, EPOLL_CTL_DEL, conn->fd, nullptr);
@@ -112,85 +55,6 @@ void TcpTransport::Stop() {
     if (pq->epfd >= 0) {
       ::close(pq->epfd);
       pq->epfd = -1;
-    }
-  }
-}
-
-std::optional<uint64_t> TcpTransport::MintFlowId() {
-  // Recycled ids first: they keep the working set of the runtime's slot table (and
-  // its per-core Connection freelists) warm. Fresh ids only until the cap.
-  if (auto recycled = free_ids_.TryPop()) {
-    return *recycled;
-  }
-  uint64_t fresh = next_flow_.load(std::memory_order_relaxed);
-  while (fresh < options_.max_flows) {
-    if (next_flow_.compare_exchange_weak(fresh, fresh + 1,
-                                         std::memory_order_relaxed)) {
-      return fresh;
-    }
-  }
-  return std::nullopt;
-}
-
-void TcpTransport::ReleaseFlowId(uint64_t flow_id) {
-  // Cannot fail: at most max_flows ids exist and the queue is sized for all of them.
-  free_ids_.TryPush(flow_id);
-}
-
-void TcpTransport::AcceptLoop() {
-  while (accepting_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    int ready = ::poll(&pfd, 1, kAcceptPollMillis);
-    if (ready <= 0) {
-      continue;
-    }
-    while (true) {
-      int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
-      if (fd < 0) {
-        if (errno == EINTR) {
-          continue;
-        }
-        if (errno != EAGAIN && errno != EWOULDBLOCK) {
-          // Hard error (e.g. EMFILE): the listener stays readable, so breaking
-          // straight back to poll() would busy-spin. Back off before retrying.
-          std::this_thread::sleep_for(std::chrono::milliseconds(kAcceptPollMillis));
-        }
-        break;
-      }
-      std::optional<uint64_t> flow = MintFlowId();
-      if (!flow) {
-        // max_flows ids outstanding (concurrent connections at the cap): refuse
-        // rather than overrun the runtime's table. Ids return when closed
-        // connections finish recycling, so this is a concurrency cap, not a
-        // lifetime one.
-        ::close(fd);
-        capacity_refusals_.fetch_add(1, std::memory_order_relaxed);
-        drops_.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      // Steer through the indirection table, as RSS would hash a new 5-tuple: the
-      // connection's home queue is fixed here, at accept time.
-      int queue = rss_.HomeCoreOf(*flow);
-      PerQueue& pq = *queues_[static_cast<size_t>(queue)];
-      Conn* conn = new Conn{fd, *flow, queue};
-      // Lock-free handoff to the home worker: it registers the socket with its own
-      // epoll set and announces kFlowOpened on its next poll pass. A full ring means
-      // the worker is swamped — refuse, as a NIC drops when its queue overflows.
-      // That is worker lag, NOT id exhaustion, so it counts as a plain drop and not
-      // a capacity refusal (the churn acceptance gate reads CapacityRefusals as
-      // "the recycling fell behind"; a descheduled worker must not fail it).
-      // Ownership passes with the push (the worker wraps it in a unique_ptr), so the
-      // acceptor must not touch `conn` after a successful TryPush.
-      if (!pq.accept_ring->TryPush(conn)) {
-        delete conn;
-        ::close(fd);
-        ReleaseFlowId(*flow);
-        drops_.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      accepted_connections_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
@@ -221,15 +85,16 @@ size_t TcpTransport::PollBatch(int queue, std::span<Segment> out,
   // Newborn connections from the acceptor: register with this worker's epoll set and
   // announce them. Registration happens here — on the home core — so an open always
   // precedes the flow's first segment within this queue's event stream.
-  while (auto handed = pq.accept_ring->TryPop()) {
-    std::unique_ptr<Conn> conn(*handed);
+  while (auto handed = accept_ring(queue).TryPop()) {
+    auto conn = std::make_unique<Conn>(Conn{handed->fd, handed->flow_id,
+                                            handed->home_queue});
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.ptr = conn.get();
     if (::epoll_ctl(pq.epfd, EPOLL_CTL_ADD, conn->fd, &ev) != 0) {
       ::close(conn->fd);
       ReleaseFlowId(conn->flow_id);  // never announced; the id is free again
-      drops_.fetch_add(1, std::memory_order_relaxed);
+      CountDrop();
       continue;
     }
     control.push_back(ControlEvent{ControlEventKind::kFlowOpened, conn->flow_id});
@@ -238,6 +103,7 @@ size_t TcpTransport::PollBatch(int queue, std::span<Segment> out,
   std::array<epoll_event, kMaxEpollEvents> events;
   int max_events = static_cast<int>(std::min(out.size(), events.size()));
   int ready = ::epoll_wait(pq.epfd, events.data(), max_events, 0);
+  CountSyscalls(queue, 1);
   if (ready <= 0) {
     return 0;
   }
@@ -254,6 +120,7 @@ size_t TcpTransport::PollBatch(int queue, std::span<Segment> out,
     }
     size_t budget = std::min(pq.rx_spare.capacity(), options_.max_segment_bytes);
     ssize_t r = ::recv(conn->fd, pq.rx_spare.data(), budget, 0);
+    CountSyscalls(queue, 1);
     if (r > 0) {
       pq.rx_spare.set_size(static_cast<size_t>(r));
       Segment& segment = out[produced++];
@@ -286,7 +153,7 @@ size_t TcpTransport::TransmitBatch(int queue, std::span<TxSegment> batch) {
     if (conn == nullptr) {
       // Connection hung up before its response: the TX hits the floor, as a NIC would
       // drop a frame for a dead link. Completion still fires (the request retired).
-      drops_.fetch_add(1, std::memory_order_relaxed);
+      CountDrop();
       NotifyComplete(tx);
       continue;
     }
@@ -298,6 +165,7 @@ size_t TcpTransport::TransmitBatch(int queue, std::span<TxSegment> batch) {
     while (sent < frame.size()) {
       ssize_t w =
           ::send(conn->fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+      CountSyscalls(queue, 1);
       if (w > 0) {
         sent += static_cast<size_t>(w);
         continue;
@@ -308,6 +176,7 @@ size_t TcpTransport::TransmitBatch(int queue, std::span<TxSegment> batch) {
         }
         pollfd pfd{conn->fd, POLLOUT, 0};
         ::poll(&pfd, 1, kTxPollMillis);
+        CountSyscalls(queue, 1);
         continue;
       }
       if (w < 0 && errno == EINTR) {
@@ -319,9 +188,10 @@ size_t TcpTransport::TransmitBatch(int queue, std::span<TxSegment> batch) {
       // Failed or timed-out TX: drop the response AND the connection, so a stalled
       // peer cannot head-of-line-block the rest of this core's flows response after
       // response.
-      drops_.fetch_add(1, std::memory_order_relaxed);
       if (retries > max_tx_retries) {
-        stall_drops_.fetch_add(1, std::memory_order_relaxed);
+        CountStallDrop();
+      } else {
+        CountDrop();
       }
       resolved[tx.flow_id] = nullptr;  // later responses in this batch see it gone
       CloseConn(pq, conn);
@@ -335,7 +205,7 @@ void TcpTransport::CloseFlow(int queue, uint64_t flow_id) {
   PerQueue& pq = *queues_[static_cast<size_t>(queue)];
   auto it = pq.conns.find(flow_id);
   if (it != pq.conns.end()) {
-    drops_.fetch_add(1, std::memory_order_relaxed);
+    CountDrop();
     CloseConn(pq, it->second.get());
   }
 }
@@ -346,12 +216,13 @@ bool TcpTransport::ApproxNonEmpty(int queue) const {
     return false;
   }
   // Newborn connections awaiting registration are pending work for the home core.
-  if (!pq.accept_ring->ApproxEmpty()) {
+  if (!accept_ring(queue).ApproxEmpty()) {
     return true;
   }
   // Zero-timeout peek: level-triggered readiness is not consumed by observing it, so
   // any idle core may ask "does this home core have pending packets?" — the remote-
-  // ring polling step of the ZygOS idle loop.
+  // ring polling step of the ZygOS idle loop. (Deliberately NOT counted in
+  // IoSyscalls: it is the observer's cost, not the data path's.)
   epoll_event ev;
   return ::epoll_wait(pq.epfd, &ev, 1, 0) > 0;
 }

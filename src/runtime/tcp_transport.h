@@ -1,16 +1,14 @@
-// TCP transport: the Transport backend that makes the runtime a real server.
+// TCP transport: the epoll-based Transport backend that makes the runtime a real
+// server.
 //
-// One non-blocking listener accepts connections on a background thread; each accepted
-// connection is assigned a flow id and hashed through the same RssTable the loopback
-// harness uses, which picks its home queue — the software analogue of programming the
-// NIC's indirection table (or SO_INCOMING_CPU steering), so every connection has a
-// genuine home core for its whole lifetime. The acceptor never touches shared
-// per-queue state: it hands the prepared connection to the home worker over a
-// per-queue SPSC ring, and the worker registers the socket with its own epoll set on
-// its next poll pass (announcing it upstream as a kFlowOpened control event). No lock
-// sits between the accept path and the data path.
+// The accept path, flow-id freelist and drop accounting live in SocketTransportBase
+// (src/runtime/socket_transport.h): one non-blocking listener accepts connections on
+// a background thread, assigns each a flow id hashed through the shared RssTable —
+// the software analogue of programming the NIC's indirection table — and hands the
+// prepared connection to the home worker over a per-queue SPSC ring. No lock sits
+// between the accept path and the data path.
 //
-// From there the data plane is per-core and batch-oriented:
+// This backend's per-queue I/O engine is epoll + per-fd syscalls:
 //
 //   RX  PollBatch(q) is called only by worker q: drain the accept ring (register +
 //       kFlowOpened), then a zero-timeout epoll_wait over the queue's own epoll set,
@@ -26,11 +24,11 @@
 //       it ships the finished frame home over the remote-syscall queue and the home
 //       core makes one batched pass here.
 //
-// Flow ids are minted from a freelist: an id returns to it when the runtime finishes
-// recycling the connection's slot (ReleaseFlowId) — never earlier, so a reincarnated
-// id cannot collide with its predecessor's half-torn-down state. Lifetime connection
-// count is therefore unbounded while the id space (and the runtime's table) stays
-// fixed at max_flows; only the *concurrent* connection count is capped.
+// The syscall bill of this engine is what the io_uring backend exists to amortize:
+// every PollBatch pays one epoll_wait plus one recv per ready connection, every
+// TransmitBatch one send per response — ≈2+ data-path syscalls per request at small
+// payloads, counted per queue and reported through IoSyscalls() so the live benches
+// can print syscalls_per_request for both backends side by side.
 //
 // ApproxNonEmpty peeks the queue's epoll set with a zero-timeout wait from any thread
 // (level-triggered readiness is not consumed by observers) and the accept ring, which
@@ -44,74 +42,22 @@
 #ifndef ZYGOS_RUNTIME_TCP_TRANSPORT_H_
 #define ZYGOS_RUNTIME_TCP_TRANSPORT_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <span>
-#include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
-#include "src/common/time_units.h"
 #include "src/concurrency/cache_line.h"
-#include "src/concurrency/mpmc_queue.h"
-#include "src/concurrency/spsc_ring.h"
-#include "src/hw/rss.h"
-#include "src/runtime/runtime.h"
+#include "src/runtime/socket_transport.h"
 #include "src/runtime/transport.h"
 
 namespace zygos {
 
-struct TcpTransportOptions {
-  std::string bind_address = "127.0.0.1";
-  uint16_t port = 0;  // 0 = ephemeral; read the bound port back with port()
-  int num_queues = 4;
-  int num_flow_groups = 128;
-  // recv() size per connection per poll pass. The default matches the buffer pool's
-  // large size class so every RX segment is a pooled slab; raising it past
-  // BufferPool::kLargeCapacity makes each segment an exact-size heap fallback
-  // (correct, but no longer allocation-free).
-  size_t max_segment_bytes = 4096;
-  int listen_backlog = 128;
-  // Cap on *concurrent* connections (== outstanding flow ids). Ids are recycled once
-  // the runtime finishes tearing down a closed connection's slot (ReleaseFlowId), so
-  // lifetime connections are unbounded; at the cap new connections are refused
-  // (closed at accept) and counted in CapacityRefusals(). Must equal the runtime's
-  // connection-table size — derive with TcpOptionsFor instead of setting it by hand.
-  uint64_t max_flows = 4096;
-  // A peer that stops reading stalls its home core's TX — and every flow homed there
-  // behind it. TX to one connection blocks at most this long in total before the
-  // response is dropped AND the connection severed (counted in StallDrops()), so one
-  // misbehaving client costs the core a bounded stall once, not per response.
-  Nanos stall_drop_deadline = 50 * kMillisecond;
-};
-
-// The single source of truth for flow capacity: derives the transport geometry
-// (queues, flow groups, flow cap) from the runtime options it must agree with.
-// kv_server/benchmarks build their TcpTransportOptions through this so the transport
-// id cap and the runtime connection table can never drift apart (drift silently
-// severed flows). Fields without a runtime counterpart keep their defaults.
-inline TcpTransportOptions TcpOptionsFor(const RuntimeOptions& runtime_options,
-                                         uint16_t port = 0) {
-  TcpTransportOptions tcp;
-  tcp.port = port;
-  tcp.num_queues = runtime_options.num_workers;
-  tcp.num_flow_groups = runtime_options.num_flow_groups;
-  tcp.max_flows = ResolvedMaxFlows(runtime_options);
-  return tcp;
-}
-
-class TcpTransport final : public Transport {
+class TcpTransport final : public SocketTransportBase {
  public:
   explicit TcpTransport(TcpTransportOptions options);
   ~TcpTransport() override;
-
-  int num_queues() const override { return options_.num_queues; }
-  const RssTable& rss() const override { return rss_; }
-  RssTable& mutable_rss() override { return rss_; }
-  int QueueOf(uint64_t flow_id) const override { return rss_.HomeCoreOf(flow_id); }
 
   void Start() override;
   void Stop() override;
@@ -121,26 +67,6 @@ class TcpTransport final : public Transport {
   size_t TransmitBatch(int queue, std::span<TxSegment> batch) override;
   bool ApproxNonEmpty(int queue) const override;
   void CloseFlow(int queue, uint64_t flow_id) override;
-  void ReleaseFlowId(uint64_t flow_id) override;
-  uint64_t Drops() const override { return drops_.load(std::memory_order_relaxed); }
-
-  // Drops() decomposed (both are also counted in the aggregate):
-  //   StallDrops        responses (and their connections) dropped because the peer
-  //                     stopped reading past stall_drop_deadline.
-  //   CapacityRefusals  connections refused at accept because max_flows ids were
-  //                     outstanding (concurrent connections, not lifetime ones).
-  uint64_t StallDrops() const { return stall_drops_.load(std::memory_order_relaxed); }
-  uint64_t CapacityRefusals() const {
-    return capacity_refusals_.load(std::memory_order_relaxed);
-  }
-
-  // TCP bound port (valid after Start).
-  uint16_t port() const { return port_; }
-  // Lifetime connections accepted (keeps growing under churn; the churn bench's
-  // sustained accept rate is this over wall-clock time).
-  uint64_t AcceptedConnections() const {
-    return accepted_connections_.load(std::memory_order_relaxed);
-  }
 
  private:
   struct Conn {
@@ -152,11 +78,9 @@ class TcpTransport final : public Transport {
   struct alignas(kCacheLineSize) PerQueue {
     int epfd = -1;
     // Home-worker-only (plus Stop at quiescence): the acceptor hands connections over
-    // accept_ring instead of inserting here, so the data path takes no lock.
+    // the base's accept ring instead of inserting here, so the data path takes no
+    // lock.
     std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;
-    // Acceptor -> home worker handoff (single producer, single consumer). The worker
-    // drains it at the top of PollBatch: epoll registration + kFlowOpened.
-    std::unique_ptr<SpscRing<Conn*>> accept_ring;
     // Close events produced outside PollBatch (TX stall drops, CloseFlow severs),
     // buffered until the next poll delivers them. Home-core-only.
     std::vector<ControlEvent> pending_control;
@@ -166,27 +90,10 @@ class TcpTransport final : public Transport {
     std::unordered_map<uint64_t, Conn*> tx_resolved;  // home-core-only batch scratch
   };
 
-  void AcceptLoop();
-  // Mints a flow id: recycled ids first, then never-used ones; nullopt at the cap.
-  std::optional<uint64_t> MintFlowId();
   // Home-core hangup/error path: deregister, close, forget, announce kFlowClosed.
   void CloseConn(PerQueue& pq, Conn* conn);
 
-  TcpTransportOptions options_;
-  RssTable rss_;
   std::vector<std::unique_ptr<PerQueue>> queues_;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-  std::thread acceptor_;
-  std::atomic<bool> accepting_{false};
-  std::atomic<uint64_t> next_flow_{0};
-  // Ids whose runtime slot finished recycling, ready to mint again. Produced by
-  // worker cores (ReleaseFlowId), consumed by the acceptor.
-  MpmcQueue<uint64_t> free_ids_;
-  std::atomic<uint64_t> accepted_connections_{0};
-  std::atomic<uint64_t> drops_{0};
-  std::atomic<uint64_t> stall_drops_{0};
-  std::atomic<uint64_t> capacity_refusals_{0};
 };
 
 }  // namespace zygos

@@ -149,6 +149,13 @@ class Transport {
   // Segments rejected at ingress (full ring / failed TX), as a NIC drop counter would.
   virtual uint64_t Drops() const { return 0; }
 
+  // Data-path syscalls made inside PollBatch/TransmitBatch since Start (epoll:
+  // epoll_wait + recv + send + poll; uring: io_uring_enter). The numerator of the
+  // syscalls_per_request metric the live benches report (bench/README.md). Excludes
+  // control-plane work (acceptor thread) and ApproxNonEmpty observer peeks. Zero for
+  // in-process backends (loopback). Racy-but-safe snapshot from any thread.
+  virtual uint64_t IoSyscalls() const { return 0; }
+
   // In-process ingress for loopback-style backends; transports fed by real I/O return
   // false (their traffic arrives on sockets, not through the API).
   virtual bool Inject(Segment segment) {

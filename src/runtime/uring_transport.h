@@ -1,0 +1,178 @@
+// io_uring transport: the batched-syscall Transport backend (ISSUE 7 tentpole).
+//
+// Same accept path, flow-id freelist and drop accounting as the epoll backend
+// (SocketTransportBase); what changes is the per-queue I/O engine. Each worker queue
+// owns one io_uring (src/runtime/uring_ring.h — raw-syscall shim, no liburing):
+//
+//   RX  every registered connection keeps one recv armed. Completions land in the
+//       queue's CQ and are drained — not per-fd syscalls but shared-memory reads —
+//       at the top of PollBatch; each completed recv re-arms immediately and all
+//       re-arm SQEs of a pass are submitted with ONE io_uring_enter. Recv targets
+//       come from a per-queue REGISTERED-BUFFER ARENA: BufferPool large-class slabs
+//       pinned once via IORING_REGISTER_BUFFERS and read with IORING_OP_READ_FIXED
+//       (read(2) semantics on a socket), so the kernel skips per-op page pinning and
+//       the bytes still flow zero-copy into FrameParser views — the Segment's IoBuf
+//       is a refcounted alias of the arena slot, and the slot is re-armed only once
+//       no view references it (IoBuf::unique). When the arena is exhausted (or
+//       fixed-buffer reads fail at runtime), recvs fall back to plain IORING_OP_RECV
+//       into ordinary pooled buffers — never a stall, just a cheaper optimization
+//       lost (PooledRecvs counts the misses).
+//   TX  TransmitBatch queues one IORING_OP_SEND SQE per TxSegment and submits the
+//       whole batch with a single io_uring_enter (submit-and-wait): N responses cost
+//       ~1 syscall instead of N sends. Short sends are resubmitted; a peer that
+//       stops reading past stall_drop_deadline gets its SQE cancelled
+//       (IORING_OP_ASYNC_CANCEL), the response dropped and the connection severed —
+//       the same bounded-stall discipline as the epoll backend. TX completions are
+//       reaped before returning (the runtime's Shutdown accounting requires
+//       completions to fire synchronously inside TransmitBatch).
+//
+// Control-event ordering (the PR 5 contract) is preserved through a per-queue FIFO:
+// CQ completions append segments and closes in arrival order, and PollBatch stops
+// draining the FIFO rather than deliver a kFlowClosed in the same batch as one of
+// that flow's segments (the runtime processes all control events before a batch's
+// segments, so co-delivery would drop them). A sever with a recv in flight is
+// deferred — cancel first, close the fd only after the recv's CQE is reaped — so the
+// kernel can never complete into a closed connection's buffer.
+//
+// The headline metric: the epoll engine pays one epoll_wait per poll pass plus one
+// recv per segment and one send per response (≈2+ data-path syscalls/request at
+// small payloads); this engine pays one io_uring_enter per PollBatch pass that armed
+// anything plus one per TransmitBatch — well under 1 syscall/request once batches
+// reach ~4. IoSyscalls() reports the measured count (io_uring_enter only; CQ/SQ
+// traffic is shared memory).
+//
+// Capability: io_uring may be denied wholesale (seccomp/sandbox). Check
+// UringTransport::Available() BEFORE constructing; Start aborts with the probe's
+// reason otherwise. Registered buffers failing (RLIMIT_MEMLOCK) degrades to pooled
+// recvs, not an error.
+#ifndef ZYGOS_RUNTIME_URING_TRANSPORT_H_
+#define ZYGOS_RUNTIME_URING_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/buffer_pool.h"
+#include "src/concurrency/cache_line.h"
+#include "src/runtime/socket_transport.h"
+#include "src/runtime/transport.h"
+#include "src/runtime/uring_ring.h"
+
+namespace zygos {
+
+class UringTransport final : public SocketTransportBase {
+ public:
+  explicit UringTransport(TcpTransportOptions options);
+  ~UringTransport() override;
+
+  // Process-wide capability probe (io_uring_setup may be denied by seccomp).
+  static bool Available() { return UringAvailable(); }
+  static std::string UnavailableReason() { return ProbeUring().reason; }
+
+  void Start() override;
+  void Stop() override;
+
+  size_t PollBatch(int queue, std::span<Segment> out,
+                   std::vector<ControlEvent>& control) override;
+  size_t TransmitBatch(int queue, std::span<TxSegment> batch) override;
+  bool ApproxNonEmpty(int queue) const override;
+  void CloseFlow(int queue, uint64_t flow_id) override;
+
+  // io_uring_enter calls across all queues — overrides the base (which counts
+  // per-call syscalls) because here the ring shim already counts every enter.
+  uint64_t IoSyscalls() const override;
+
+  // RX observability: recvs served from the registered arena vs pooled fallbacks.
+  uint64_t FixedBufferRecvs() const;
+  uint64_t PooledRecvs() const;
+
+ private:
+  struct UConn {
+    int fd = -1;
+    uint64_t flow_id = 0;
+    int home_queue = 0;
+    bool rx_inflight = false;  // a recv SQE is in flight; its CQE must be reaped
+    bool closing = false;      // sever/hangup seen; finalize once rx_inflight clears
+    bool purge_on_close = false;  // sever: drop this flow's undelivered segments
+    int rx_slot = -1;          // registered-arena slot of the armed recv; -1 = pooled
+    IoBuf rx_buf;              // pooled recv target (unused for arena recvs)
+  };
+
+  // One entry of the per-queue delivery FIFO: a received segment or a close, in CQ
+  // arrival order (opens never queue — they are announced at accept-drain, before
+  // the flow's first recv is even armed).
+  struct PendingItem {
+    bool is_close = false;
+    uint64_t flow_id = 0;
+    IoBuf buf;
+    Nanos arrival = 0;
+  };
+
+  // TransmitBatch bookkeeping for one in-flight SEND.
+  struct TxState {
+    size_t sent = 0;
+    bool done = false;
+    bool failed = false;
+    bool stalled = false;
+  };
+
+  // TX context threaded through the CQ dispatcher while TransmitBatch waits; null
+  // during PollBatch (where a kSend CQE can only belong to a zombie send). Send
+  // user_data payloads are `token_base + index`, so batch membership is one range
+  // check and stale tokens (prior batches' zombies) fall out of range.
+  struct TxContext {
+    std::span<TxSegment> batch;
+    std::vector<TxState>* state = nullptr;
+    uint64_t token_base = 0;
+    size_t outstanding = 0;
+  };
+
+  struct alignas(kCacheLineSize) PerQueue {
+    UringRing ring;
+    // Home-worker-only (plus Stop at quiescence).
+    std::unordered_map<uint64_t, std::unique_ptr<UConn>> conns;
+    // Delivery FIFO (see PendingItem); pending_count mirrors its size for the
+    // any-thread ApproxNonEmpty peek.
+    std::deque<PendingItem> pending;
+    std::atomic<size_t> pending_count{0};
+    // Registered RX arena: permanent IoBuf per slot keeps the slab alive (and its
+    // registration valid) for the transport's lifetime. free_slots holds slots with
+    // no recv armed; a slot is reusable only when its arena handle is also unique()
+    // (no Segment/parser view still aliases the bytes).
+    std::vector<IoBuf> arena;
+    std::vector<int> free_slots;
+    bool fixed_ok = false;  // arena registered and READ_FIXED working
+    uint64_t fixed_recvs = 0;
+    uint64_t pooled_recvs = 0;
+    // Sends abandoned after a cancel outwaited its grace period: the frame ref is
+    // parked here, keyed by send token, so the slab cannot be recycled while the
+    // kernel op may still read it. Reaped when the straggler CQE finally lands.
+    std::unordered_map<uint64_t, IoBuf> zombie_sends;
+    uint64_t next_send_token = 0;
+    std::vector<TxState> tx_state;        // per-batch scratch
+    std::vector<uint64_t> emitted_scratch;  // flows given segments this PollBatch
+  };
+
+  io_uring_sqe* GetSqe(PerQueue& pq);
+  void ArmRecv(PerQueue& pq, UConn* conn);
+  int AcquireSlot(PerQueue& pq);
+  // Drains every available CQE through HandleCqe. tx may be null.
+  void DrainCq(PerQueue& pq, TxContext* tx);
+  void HandleCqe(PerQueue& pq, uint64_t user_data, int res, TxContext* tx);
+  void HandleRecvCqe(PerQueue& pq, uint64_t flow_id, int res);
+  // Sever/hangup: cancel an in-flight recv and defer, or finalize immediately.
+  void CloseConn(PerQueue& pq, UConn* conn, bool purge_pending);
+  void FinalizeClose(PerQueue& pq, UConn* conn);
+  void PushPending(PerQueue& pq, PendingItem item);
+
+  std::vector<std::unique_ptr<PerQueue>> queues_;
+  bool started_ = false;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_RUNTIME_URING_TRANSPORT_H_

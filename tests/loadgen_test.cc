@@ -448,13 +448,69 @@ LivePoint Point(const std::string& config, double offered, double p99) {
   return point;
 }
 
+LivePoint PointT(const std::string& config, const std::string& transport,
+                 double offered, double p99, double syscalls_per_req = 0) {
+  LivePoint point = Point(config, offered, p99);
+  point.transport = transport;
+  point.syscalls_per_req = syscalls_per_req;
+  return point;
+}
+
 TEST(LiveReportTest, MonotonePredicateChecksZygosCurveOnly) {
   std::vector<LivePoint> points = {Point("zygos", 100, 10), Point("zygos", 200, 12),
                                    Point("no-steal", 100, 50),
                                    Point("no-steal", 200, 20)};  // non-monotone, ignored
   EXPECT_TRUE(ZygosP99MonotoneInLoad(points));
-  points.push_back(Point("zygos", 300, 11.9));  // dips below the previous point
+  points.push_back(Point("zygos", 300, 11.9));  // within the one-bucket noise band
+  EXPECT_TRUE(ZygosP99MonotoneInLoad(points));
+  points.push_back(Point("zygos", 400, 9.0));  // >20% below the running max: real dip
   EXPECT_FALSE(ZygosP99MonotoneInLoad(points));
+}
+
+TEST(LiveReportTest, MonotonePredicateComparesAgainstRunningMaxNotNeighbor) {
+  // Each step dips only ~7% from its NEIGHBOR (inside the noise tolerance), but the
+  // curve drifts steadily downward: the running-max comparison bounds the TOTAL
+  // drift at the tolerance, so the last point must fail even though a pairwise
+  // check would wave every step through.
+  std::vector<LivePoint> points = {Point("zygos", 100, 10.0), Point("zygos", 200, 9.3),
+                                   Point("zygos", 300, 8.7), Point("zygos", 400, 8.2),
+                                   Point("zygos", 500, 7.6)};
+  EXPECT_FALSE(ZygosP99MonotoneInLoad(points));
+}
+
+TEST(LiveReportTest, MonotonePredicateEvaluatesEachTransportSeparately) {
+  // A second transport's sweep restarts at low rates; its (lower) first point must
+  // not read as a dip of the first transport's curve.
+  std::vector<LivePoint> points = {PointT("zygos", "tcp", 100, 10),
+                                   PointT("zygos", "tcp", 200, 30),
+                                   PointT("zygos", "uring", 100, 8),
+                                   PointT("zygos", "uring", 200, 29)};
+  EXPECT_TRUE(ZygosP99MonotoneInLoad(points));
+  points.push_back(PointT("zygos", "uring", 300, 5));  // real dip inside one transport
+  EXPECT_FALSE(ZygosP99MonotoneInLoad(points));
+}
+
+TEST(LiveReportTest, UringP99ComparedToEpollAtLastCommonPointWithNoiseTolerance) {
+  std::vector<LivePoint> points = {PointT("zygos", "tcp", 100, 10, 3.0),
+                                   PointT("zygos", "tcp", 200, 30, 2.5),
+                                   PointT("zygos", "uring", 100, 50, 1.0),
+                                   PointT("zygos", "uring", 200, 31, 0.7)};
+  // 31 vs 30 at the last common point is inside the noise band (peak cells only —
+  // uring's terrible first point is not consulted); 40 vs 30 is a real loss.
+  EXPECT_TRUE(UringP99LeqEpollAtPeak(points));
+  points[3].p99_us = 40;
+  EXPECT_FALSE(UringP99LeqEpollAtPeak(points));
+  // Vacuously true when either transport is absent from the sweep.
+  EXPECT_TRUE(UringP99LeqEpollAtPeak({PointT("zygos", "tcp", 100, 10)}));
+}
+
+TEST(LiveReportTest, UringSyscallsMustBeStrictlyBelowEpoll) {
+  std::vector<LivePoint> points = {PointT("zygos", "tcp", 100, 10, 2.5),
+                                   PointT("zygos", "uring", 100, 10, 0.4)};
+  EXPECT_TRUE(UringSyscallsBelowEpoll(points));
+  points[1].syscalls_per_req = 2.5;  // equality is NOT enough — no tolerance here
+  EXPECT_FALSE(UringSyscallsBelowEpoll(points));
+  EXPECT_TRUE(UringSyscallsBelowEpoll({PointT("zygos", "uring", 100, 10, 0.4)}));
 }
 
 TEST(LiveReportTest, StealComparisonUsesHighestCommonLoadPoint) {
