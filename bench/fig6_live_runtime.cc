@@ -170,6 +170,7 @@ LivePoint RunCell(const Experiment& exp, const Config& config, double rate) {
     point.stolen_events = stats.stolen_events;
     point.doorbells_sent = stats.doorbells_sent;
     point.remote_syscalls = stats.remote_syscalls;
+    point.sheds = stats.sheds_deadline + stats.sheds_fairness + stats.sheds_admission;
     // Data-path syscalls amortized over every completed echo of the run (warmup
     // included — it is a steady-state ratio, not a window measurement). epoll pays
     // recv+send per request; batched uring pays io_uring_enter per poll pass.
@@ -238,6 +239,7 @@ LivePoint RunCell(const Experiment& exp, const Config& config, double rate) {
   point.stolen_events = stats.stolen_events;
   point.doorbells_sent = stats.doorbells_sent;
   point.remote_syscalls = stats.remote_syscalls;
+  point.sheds = stats.sheds_deadline + stats.sheds_fairness + stats.sheds_admission;
   return point;
 }
 
@@ -464,9 +466,11 @@ int Main(int argc, char** argv) {
   // the LAST swept transport (all transports run the same rate list).
   double zygos_peak = 0, no_steal_peak = 0;
   double uring_syscalls = 0, epoll_syscalls = 0;
+  uint64_t zygos_sheds = 0;
   for (const LivePoint& point : points) {
     if (point.config == "zygos") {
       zygos_peak = point.p99_us;
+      zygos_sheds = point.sheds;
       if (point.transport == "uring") {
         uring_syscalls = point.syscalls_per_req;
       } else if (point.transport == "tcp") {
@@ -477,9 +481,10 @@ int Main(int argc, char** argv) {
       no_steal_peak = point.p99_us;
     }
   }
-  std::printf("# headline: live p99@peak zygos=%.1fus no-steal=%.1fus monotone=%s "
-              "steal_leq_no_steal=%s\n",
+  std::printf("# headline: live p99@peak zygos=%.1fus no-steal=%.1fus sheds=%llu "
+              "monotone=%s steal_leq_no_steal=%s\n",
               zygos_peak, no_steal_peak,
+              static_cast<unsigned long long>(zygos_sheds),
               ZygosP99MonotoneInLoad(points) ? "yes" : "no",
               StealLeqNoStealAtPeak(points) ? "yes" : "no");
   std::printf("# headline: syscalls/req@peak epoll=%.3f uring=%.3f "

@@ -40,7 +40,7 @@ stamp_json() {
 }
 
 for bin in fig8_steal_rate fig6_latency_throughput micro_dataplane fig6_live_runtime \
-           churn_live_runtime fanout_chaos; do
+           churn_live_runtime fanout_chaos overload_live_runtime; do
   if [[ ! -x "${BUILD_DIR}/bench/${bin}" ]]; then
     echo "bench_trajectory: ${BUILD_DIR}/bench/${bin} not built (run cmake --build first)" >&2
     exit 1
@@ -94,17 +94,31 @@ echo "   zygos_frac_of_theoretical_max_load = ${frac} %  -> ${OUT_DIR}/BENCH_fig
 
 # --- micro_dataplane: ns/op and allocs/op for one echo RPC, string vs pooled -----------
 # CSV contract: path,ns_per_op,allocs_per_op with rows `string` and `pooled`.
-echo "== micro_dataplane (requests=200000)"
-dp_csv="$("${BUILD_DIR}/bench/micro_dataplane" --requests=200000 --warmup=20000)"
+# Median-of-3 on the speedup (same rationale as fig6_live's --cell-repeats=3): on an
+# oversubscribed host the string path's 4 mallocs/op book scheduler stalls into a
+# single run's ns/op — observed single-run speedups swing 0.8x-1.5x while the pooled
+# ns/op barely moves. The median run discards the one-off in either direction; a
+# real fast-path regression shifts all three runs.
+echo "== micro_dataplane (requests=200000, median of 3)"
+dp_runs=()
+dp_speedups=()
+for i in 1 2 3; do
+  dp_runs[i]="$("${BUILD_DIR}/bench/micro_dataplane" --requests=200000 --warmup=20000)"
+  p="$(printf '%s\n' "${dp_runs[i]}" | awk -F, '$1 == "pooled" {print $2}')"
+  s="$(printf '%s\n' "${dp_runs[i]}" | awk -F, '$1 == "string" {print $2}')"
+  if [[ -z "${p}" || -z "${s}" ]]; then
+    echo "bench_trajectory: micro_dataplane rows missing — the CSV contract changed?" >&2
+    exit 1
+  fi
+  dp_speedups[i]="$(awk -v s="${s}" -v p="${p}" 'BEGIN {printf "%.2f", s / p}')"
+done
+median_i="$(for i in 1 2 3; do echo "${dp_speedups[i]} ${i}"; done | sort -n | awk 'NR == 2 {print $2}')"
+dp_csv="${dp_runs[median_i]}"
+speedup="${dp_speedups[median_i]}"
 pooled_ns="$(printf '%s\n' "${dp_csv}" | awk -F, '$1 == "pooled" {print $2}')"
 pooled_allocs="$(printf '%s\n' "${dp_csv}" | awk -F, '$1 == "pooled" {print $3}')"
 string_ns="$(printf '%s\n' "${dp_csv}" | awk -F, '$1 == "string" {print $2}')"
 string_allocs="$(printf '%s\n' "${dp_csv}" | awk -F, '$1 == "string" {print $3}')"
-if [[ -z "${pooled_ns}" || -z "${string_ns}" ]]; then
-  echo "bench_trajectory: micro_dataplane rows missing — the CSV contract changed?" >&2
-  exit 1
-fi
-speedup="$(awk -v s="${string_ns}" -v p="${pooled_ns}" 'BEGIN {printf "%.2f", s / p}')"
 # The pooled fast path measures 1.2-1.3x the string path on this host; gate well
 # below that (1.05) so the trajectory catches a real fast-path regression (the
 # pre-inline state was 0.96x) without flaking on run-to-run ns/op jitter.
@@ -235,5 +249,33 @@ done
 cp "${fanout_json}" "${OUT_DIR}/BENCH_0006.json"
 fanout_amp="$(sed -nE 's/^  "value": ([0-9.]+),$/\1/p' "${fanout_json}" | head -1)"
 echo "   fanout_p99_amplification = ${fanout_amp} x  -> ${fanout_json}"
+
+# --- overload_live: goodput under overload with deadline shedding + adaptive admission -
+# The binary calibrates its own peak, derives the deadline budget from a no-shed
+# baseline, sweeps {0.8,1,2,4,10}x across zygos/no-shed configs and writes the
+# BENCH-contract JSON itself; this script stamps the commit and gates on the six
+# acceptance booleans. Absolute rates are host-dependent; the booleans are all
+# calibration-relative (goodput@2x vs the host's own no-overload peak, sheds vs the
+# analytic max(0, 1 - 1/m) curve) and are the tracked invariants.
+OVERLOAD_DURATION_MS="${BENCH_OVERLOAD_DURATION_MS:-1200}"
+echo "== overload_live_runtime (overload sweep, duration=${OVERLOAD_DURATION_MS}ms/cell)"
+overload_json="${OUT_DIR}/BENCH_overload.json"
+"${BUILD_DIR}/bench/overload_live_runtime" --workers=2 --connections=8 --threads=2 \
+  --service-us=1000 --multipliers=0.8,1,2,4,10 \
+  --duration-ms="${OVERLOAD_DURATION_MS}" --warmup-ms=300 --seed=1 \
+  --json="${overload_json}"
+stamp_json "${overload_json}"
+for gate in goodput_at_2x_geq_090_peak admitted_p99_bounded_under_overload \
+            no_shed_collapses zero_sheds_below_saturation \
+            shed_fraction_tracks_analytic ledger_balanced; do
+  if ! grep -q "\"${gate}\": true" "${overload_json}"; then
+    echo "bench_trajectory: overload acceptance boolean ${gate} is not true — regression in the shedding path?" >&2
+    exit 1
+  fi
+done
+# PR-numbered snapshot: the overload-control acceptance record.
+cp "${overload_json}" "${OUT_DIR}/BENCH_0008.json"
+overload_ratio="$(sed -nE 's/^  "value": ([0-9.]+),$/\1/p' "${overload_json}" | head -1)"
+echo "   overload_goodput_ratio_at_2x = ${overload_ratio} x peak  -> ${overload_json}"
 
 echo "bench_trajectory OK (commit ${COMMIT})"

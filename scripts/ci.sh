@@ -100,6 +100,29 @@ for gate in p99_amplification_monotone_in_fanout steal_leq_no_steal_under_jitter
     echo "ci: fanout acceptance boolean ${gate} is not true" >&2; exit 1; }
 done
 
+echo "== smoke: bench/overload_live_runtime (one 2x-overload cell, real TCP)"
+# Short-window overload smoke: calibrate, then a 0.8x cell (must shed nothing) and a
+# 2x cell (zygos must hold goodput while no-shed collapses). The binary exits
+# non-zero if any acceptance boolean fails, so `set -e` is the gate; the JSON is
+# validated on top.
+overload_json="${BUILD_DIR}/overload_smoke.json"
+rm -f "${overload_json}"
+overload_out="$("${BUILD_DIR}/bench/overload_live_runtime" --workers=2 \
+  --connections=8 --threads=2 --service-us=1000 --multipliers=0.8,2 \
+  --duration-ms=600 --warmup-ms=150 --seed=7 --json="${overload_json}")"
+printf '%s\n' "${overload_out}"
+printf '%s\n' "${overload_out}" | grep -q '^zygos,2\.00,' || {
+    echo "ci: overload_live_runtime emitted no 2x zygos CSV row" >&2; exit 1; }
+if command -v python3 > /dev/null; then
+  python3 -m json.tool "${overload_json}" > /dev/null || {
+    echo "ci: ${overload_json} is malformed JSON" >&2; exit 1; }
+fi
+for gate in goodput_at_2x_geq_090_peak no_shed_collapses \
+            zero_sheds_below_saturation ledger_balanced; do
+  grep -q "\"${gate}\": true" "${overload_json}" || {
+    echo "ci: overload acceptance boolean ${gate} is not true" >&2; exit 1; }
+done
+
 echo "== smoke: kv_server serve -> chaos_proxy -> open-loop loadgen over real TCP"
 # The full degraded-network pipeline as three separate processes: the loadgen dials
 # the PROXY port, every byte crosses the injected jitter, and the run must still
@@ -154,17 +177,20 @@ echo "== AddressSanitizer: runtime + loadgen + chaos + transport suites (${BUILD
 # determinism (SameSeedReplaysIdenticalDelaySchedule) is asserted under ASan too.
 # transport_conformance_test runs the same lifecycle battery over all three backends;
 # for uring that is the gate that a kernel-owned completion (recv or straggler send)
-# never lands in freed buffers after a sever or shutdown.
+# never lands in freed buffers after a sever or shutdown. overload_test rides along:
+# a shed reply is a TX buffer for a request that never reached the handler, and the
+# gated-handler test holds a shed in flight across a flow recycle — the exact window
+# where a refused event's buffer could be freed twice or leak.
 cmake -B "${BUILD_DIR}-asan" -S . -DZYGOS_BUILD_BENCH=OFF -DZYGOS_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
 cmake --build "${BUILD_DIR}-asan" -j "${JOBS}" --target runtime_test loadgen_test \
-  chaos_test transport_conformance_test
+  chaos_test transport_conformance_test overload_test
 # Leak checking stays ON; only the by-design thread-pool leak is suppressed
 # (scripts/lsan.supp) — a leaked connection or socket wrapper still fails.
 LSAN_OPTIONS="suppressions=$(pwd)/scripts/lsan.supp" \
   ctest --test-dir "${BUILD_DIR}-asan" \
-  -R 'runtime_test|loadgen_test|chaos_test|transport_conformance_test' \
+  -R 'runtime_test|loadgen_test|chaos_test|transport_conformance_test|overload_test' \
   --output-on-failure -j "${JOBS}"
 
 echo "CI OK"

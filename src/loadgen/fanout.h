@@ -69,6 +69,24 @@ class FanoutAccounting {
     }
   }
 
+  // One sub answered with an overload refusal at time t: the sub resolved (the
+  // server replied, nothing was lost), but the logical request was not served.
+  // Precedence at finalize: lost > shed > completed — a lost sub already means the
+  // measurement is unrecoverable, while a shed one still resolved cleanly.
+  void SubShed(uint64_t slot, Nanos completion) {
+    auto it = open_.find(slot);
+    if (it == open_.end()) {
+      return;
+    }
+    Logical& logical = it->second;
+    logical.shed = true;
+    logical.max_completion =
+        completion > logical.max_completion ? completion : logical.max_completion;
+    if (--logical.remaining == 0) {
+      Finalize(it);
+    }
+  }
+
   // Force-loses every still-open logical request (each exactly once).
   void FinalizeOutstanding() {
     for (auto& [slot, logical] : open_) {
@@ -83,6 +101,7 @@ class FanoutAccounting {
   uint64_t completed() const { return completed_; }
   uint64_t measured() const { return measured_; }
   uint64_t lost() const { return lost_; }
+  uint64_t shed() const { return shed_; }
   const LatencyHistogram& latency() const { return latency_; }
 
  private:
@@ -91,12 +110,17 @@ class FanoutAccounting {
     Nanos max_completion = 0;
     int remaining = 0;
     bool failed = false;
+    bool shed = false;
   };
 
   void Finalize(std::unordered_map<uint64_t, Logical>::iterator it) {
     const Logical& logical = it->second;
     if (logical.failed) {
       lost_++;
+    } else if (logical.shed) {
+      // Resolved but refused: excluded from the latency histogram (the max would mix
+      // served and refused subs), counted in its own ledger column.
+      shed_++;
     } else {
       completed_++;
       if (logical.scheduled >= measure_start_) {
@@ -115,6 +139,7 @@ class FanoutAccounting {
   uint64_t completed_ = 0;
   uint64_t measured_ = 0;
   uint64_t lost_ = 0;
+  uint64_t shed_ = 0;
   LatencyHistogram latency_;
 };
 

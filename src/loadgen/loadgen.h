@@ -110,19 +110,29 @@ class MeasuredCompletion {
 
   CompletionHandler Handler() {
     return [this](uint64_t flow_id, uint64_t request_id, std::string_view response,
-                  Nanos arrival) {
+                  Nanos arrival, bool shed) {
       (void)flow_id;
       (void)request_id;
       (void)response;
-      if (arrival >= measure_start_.load(std::memory_order_acquire)) {
-        collector_.Record(arrival);
-        measured_.fetch_add(1, std::memory_order_relaxed);
+      if (arrival < measure_start_.load(std::memory_order_acquire)) {
+        return;
       }
+      if (shed) {
+        // Overload refusal: the request retired but was not served — its "latency"
+        // is the server saying no, which must not pollute the served-percentile
+        // curve. Counted separately for goodput accounting.
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      collector_.Record(arrival);
+      measured_.fetch_add(1, std::memory_order_relaxed);
     };
   }
 
   // Completions inside the measurement window so far.
   uint64_t measured_count() const { return measured_.load(std::memory_order_relaxed); }
+  // Shed replies inside the measurement window (excluded from the histogram).
+  uint64_t shed_count() const { return shed_.load(std::memory_order_relaxed); }
 
   // Merged histogram of measured latencies (safe while traffic runs).
   LatencyHistogram Snapshot() const { return collector_.Snapshot(); }
@@ -131,6 +141,7 @@ class MeasuredCompletion {
   LatencyCollector collector_;
   std::atomic<Nanos> measure_start_{0};
   std::atomic<uint64_t> measured_{0};
+  std::atomic<uint64_t> shed_{0};
 };
 
 // Hybrid wall-clock wait used by every generator: sleep for the bulk of the gap,

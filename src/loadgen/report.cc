@@ -57,13 +57,13 @@ void PrintLiveCsvHeader(FILE* out) {
   std::fprintf(out,
                "config,offered_rps,achieved_rps,p50_us,p99_us,p999_us,mean_us,max_us,"
                "measured,sent,dropped,send_lag_max_us,steals,doorbells,"
-               "syscalls_per_req,transport\n");
+               "syscalls_per_req,transport,sheds\n");
 }
 
 void PrintLiveCsvRow(FILE* out, const LivePoint& p) {
   std::fprintf(out,
                "%s,%.0f,%.0f,%.1f,%.1f,%.1f,%.1f,%.1f,%llu,%llu,%llu,%.1f,%llu,%llu,"
-               "%.3f,%s\n",
+               "%.3f,%s,%llu\n",
                p.config.c_str(), p.offered_rps, p.achieved_rps, p.p50_us, p.p99_us,
                p.p999_us, p.mean_us, p.max_us,
                static_cast<unsigned long long>(p.measured),
@@ -71,7 +71,7 @@ void PrintLiveCsvRow(FILE* out, const LivePoint& p) {
                static_cast<unsigned long long>(p.dropped), p.send_lag_max_us,
                static_cast<unsigned long long>(p.steals),
                static_cast<unsigned long long>(p.doorbells_sent), p.syscalls_per_req,
-               p.transport.c_str());
+               p.transport.c_str(), static_cast<unsigned long long>(p.sheds));
 }
 
 // A cell's p99 is an order statistic over the top ~1% of its completions — a few

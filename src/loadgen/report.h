@@ -57,6 +57,9 @@ struct LivePoint {
   // see bench/README.md "syscalls_per_request"). 0 for loopback. The headline the
   // uring backend exists to lower: epoll pays ~2+/req, batched uring well under 1.
   double syscalls_per_req = 0;
+  // Overload refusals the server issued during the cell (WorkerStats sheds_* sum).
+  // 0 unless the cell ran with overload control enabled.
+  uint64_t sheds = 0;
 };
 
 // Experiment-wide parameters echoed into the CSV preamble and the JSON params block.
@@ -78,7 +81,8 @@ struct LiveRunInfo {
 // `config` stays the FIRST column (harnesses grep `^zygos,`); new columns are only
 // ever appended at the end.
 //   config,offered_rps,achieved_rps,p50_us,p99_us,p999_us,mean_us,max_us,
-//   measured,sent,dropped,send_lag_max_us,steals,doorbells,syscalls_per_req,transport
+//   measured,sent,dropped,send_lag_max_us,steals,doorbells,syscalls_per_req,transport,
+//   sheds
 void PrintLiveCsvHeader(FILE* out);
 void PrintLiveCsvRow(FILE* out, const LivePoint& point);
 

@@ -100,12 +100,15 @@ struct ThreadTotals {
   uint64_t completed = 0;
   uint64_t measured = 0;
   uint64_t lost = 0;
+  uint64_t shed = 0;           // overload refusals (kFrameFlagShed replies)
+  uint64_t measured_shed = 0;  // refusals of requests scheduled inside the window
   uint64_t mismatches = 0;
   uint64_t reconnects = 0;
   uint64_t logical_sent = 0;
   uint64_t logical_completed = 0;
   uint64_t logical_measured = 0;
   uint64_t logical_lost = 0;
+  uint64_t logical_shed = 0;
   Nanos max_send_lag = 0;
   Nanos finished_at = 0;
   bool clean = true;
@@ -153,6 +156,17 @@ void DrainReadable(GenConn& conn, std::string& buffer, Nanos measure_start,
       }
       InFlight sub = conn.in_flight.front();
       conn.in_flight.pop_front();
+      if (msg.shed) {
+        // Overload refusal: the sub resolved (FIFO advances, nothing lost) but was
+        // not served — it gets its own ledger column and stays out of the latency
+        // histograms. completed + shed + lost == sent, always.
+        totals.shed++;
+        if (sub.scheduled >= measure_start) {
+          totals.measured_shed++;
+        }
+        fanout.SubShed(sub.slot, now);
+        continue;
+      }
       totals.completed++;
       if (sub.scheduled >= measure_start) {
         totals.sub_latency.Record(now - sub.scheduled);
@@ -340,6 +354,7 @@ void GeneratorThread(const TcpLoadgenOptions& options, int thread_index, int thr
   totals.logical_completed = fanout.completed();
   totals.logical_measured = fanout.measured();
   totals.logical_lost = fanout.lost();
+  totals.logical_shed = fanout.shed();
   totals.latency = fanout.latency();
   totals.finished_at = NowNanos();
 }
@@ -390,12 +405,15 @@ TcpLoadgenResult RunTcpLoadgen(const TcpLoadgenOptions& options) {
     result.completed += thread_totals.completed;
     result.measured += thread_totals.measured;
     result.lost += thread_totals.lost;
+    result.shed += thread_totals.shed;
+    result.measured_shed += thread_totals.measured_shed;
     result.mismatches += thread_totals.mismatches;
     result.reconnects += thread_totals.reconnects;
     result.logical_sent += thread_totals.logical_sent;
     result.logical_completed += thread_totals.logical_completed;
     result.logical_measured += thread_totals.logical_measured;
     result.logical_lost += thread_totals.logical_lost;
+    result.logical_shed += thread_totals.logical_shed;
     result.max_send_lag = std::max(result.max_send_lag, thread_totals.max_send_lag);
     result.measure_end = std::max(result.measure_end, thread_totals.finished_at);
     result.latency.Merge(thread_totals.latency);

@@ -83,6 +83,11 @@ struct TcpLoadgenResult {
   // a connection severed after an ordering violation, or scheduled onto a connection
   // that had already died (those are never counted in `sent`).
   uint64_t lost = 0;
+  // Overload refusals (responses carrying kFrameFlagShed): the server answered, but
+  // with "no". Disjoint from `completed` and excluded from every latency histogram,
+  // so on a clean run completed + shed + lost == sent (the overload-ledger test).
+  uint64_t shed = 0;
+  uint64_t measured_shed = 0;  // refusals of requests scheduled inside the window
   // Ordering violations (response id != FIFO head). Each one severs its connection —
   // its send-time matching is unrecoverable — and counts the in-flight tail in
   // `lost`.
@@ -99,6 +104,9 @@ struct TcpLoadgenResult {
   uint64_t logical_completed = 0;
   uint64_t logical_measured = 0;  // completed AND scheduled inside the window
   uint64_t logical_lost = 0;      // >= 1 sub lost (counted once per logical request)
+  // >= 1 sub shed and none lost (counted once): the logical request resolved but was
+  // not fully served. logical_completed + logical_shed + logical_lost == logical_sent.
+  uint64_t logical_shed = 0;
   Nanos max_send_lag = 0;   // worst (actual send - scheduled send) across threads
   Nanos measure_start = 0;
   Nanos measure_end = 0;    // when the last generator thread finished draining

@@ -43,6 +43,13 @@ IoBuf EncodeFrame(uint64_t request_id, std::string_view payload) {
   return frame;
 }
 
+IoBuf EncodeShedFrame(uint64_t request_id) {
+  IoBuf frame = AllocBuffer(kFrameHeaderSize);
+  StampHeader(frame.data(), kFrameFlagShed, request_id);
+  frame.set_size(kFrameHeaderSize);
+  return frame;
+}
+
 IoBuf ResponseBuilder::Finish(uint64_t request_id) {
   if (!buf_) {
     // Finish() already consumed the buffer (e.g. a handler called it directly):
@@ -87,6 +94,10 @@ bool FrameParser::Feed(const IoBuf& buf, std::string_view bytes) {
       }
       std::memcpy(&pending_len_, header_, 4);
       std::memcpy(&pending_id_, header_ + 4, 8);
+      // The top bit of the length word is the shed status flag, not length: mask it
+      // off BEFORE the oversized check so a shed frame never reads as poison.
+      pending_shed_ = (pending_len_ & kFrameFlagShed) != 0;
+      pending_len_ &= kFrameLenMask;
       if (pending_len_ > kMaxPayload) {
         poisoned_ = true;
         return false;
@@ -97,7 +108,7 @@ bool FrameParser::Feed(const IoBuf& buf, std::string_view bytes) {
       // segment buffer, no copy, no allocation.
       if (n >= pending_len_) {
         views_.push_back(MessageView{pending_id_, std::string_view(p, pending_len_),
-                                     buf});
+                                     buf, pending_shed_});
         p += pending_len_;
         n -= pending_len_;
         have_header_ = false;
@@ -116,7 +127,8 @@ bool FrameParser::Feed(const IoBuf& buf, std::string_view bytes) {
     if (pending_filled_ == pending_len_) {
       pending_.set_size(pending_len_);
       std::string_view payload = pending_.view();
-      views_.push_back(MessageView{pending_id_, payload, std::move(pending_)});
+      views_.push_back(
+          MessageView{pending_id_, payload, std::move(pending_), pending_shed_});
       pending_ = IoBuf();
       have_header_ = false;
       header_filled_ = 0;
@@ -143,7 +155,7 @@ std::vector<Message> FrameParser::TakeMessages() {
   std::vector<Message> out;
   out.reserve(views_.size());
   for (MessageView& view : views_) {
-    out.push_back(Message{view.request_id, std::string(view.payload)});
+    out.push_back(Message{view.request_id, std::string(view.payload), view.shed});
   }
   views_.clear();
   return out;

@@ -39,11 +39,21 @@ namespace zygos {
 // Wire header size: [u32 payload_len][u64 request_id].
 inline constexpr size_t kFrameHeaderSize = 4 + 8;
 
+// Status flag carried in the top bit of the length word: the server SHED this request
+// under overload control (deadline blown / fairness cap / admission refusal) instead
+// of executing it. The bit is free because kMaxPayload (16 MiB) needs only 25 bits;
+// parsers mask it off before the oversized-length check, so a flagged frame and a
+// poisoned one can never be confused. A shed response carries the echoed request_id
+// and an empty payload — clients can distinguish shed from loss and from success.
+inline constexpr uint32_t kFrameFlagShed = 0x8000'0000u;
+inline constexpr uint32_t kFrameLenMask = ~kFrameFlagShed;
+
 // Owning message (client-side convenience and tests); the server data plane uses
 // MessageView instead.
 struct Message {
   uint64_t request_id = 0;
   std::string payload;
+  bool shed = false;  // kFrameFlagShed was set on the wire
 };
 
 // One parsed request without ownership of a private copy: `payload` points into
@@ -52,6 +62,7 @@ struct MessageView {
   uint64_t request_id = 0;
   std::string_view payload;
   IoBuf buf;
+  bool shed = false;  // kFrameFlagShed was set on the wire
 };
 
 // Appends the wire encoding of `msg` to `out` (string-based client path).
@@ -63,6 +74,11 @@ void EncodeMessage(uint64_t request_id, std::string_view payload, std::string& o
 // Encodes one frame into a single pooled buffer: header and payload, ready to
 // transmit. The server-side (and in-process client) fast path.
 IoBuf EncodeFrame(uint64_t request_id, std::string_view payload);
+
+// Encodes the shed status reply for `request_id`: an empty-payload frame with
+// kFrameFlagShed set. Deliberately the cheapest possible frame — sheds exist to
+// spend as little of an overloaded server's capacity as possible.
+IoBuf EncodeShedFrame(uint64_t request_id);
 
 // Builds one response frame in place: the handler appends payload bytes directly
 // into the (pooled) TX buffer, Finish() stamps the header. No intermediate string,
@@ -147,6 +163,7 @@ class FrameParser {
   bool have_header_ = false;
   uint64_t pending_id_ = 0;
   uint32_t pending_len_ = 0;
+  bool pending_shed_ = false;
   IoBuf pending_;  // straddled-frame payload storage (pooled)
   size_t pending_filled_ = 0;
 

@@ -1,0 +1,72 @@
+#include "src/overload/admission.h"
+
+#include <algorithm>
+
+namespace zygos {
+
+Nanos ResolveDeadlineBudget(const OverloadOptions& options) {
+  if (options.deadline_budget > 0) {
+    return options.deadline_budget;
+  }
+  return options.slo / 2;
+}
+
+double ResolveFlowBurst(const OverloadOptions& options) {
+  if (options.flow_rate_rps <= 0.0) {
+    return 0.0;
+  }
+  if (options.flow_burst > 0.0) {
+    return options.flow_burst;
+  }
+  return std::max(16.0, options.flow_rate_rps * 0.010);
+}
+
+Nanos ResolveAdaptiveTarget(const OverloadOptions& options) {
+  if (options.adaptive_target > 0) {
+    return options.adaptive_target;
+  }
+  return ResolveDeadlineBudget(options) / 2;
+}
+
+double PredictedShedFraction(double load_multiplier) {
+  if (load_multiplier <= 1.0) {
+    return 0.0;
+  }
+  return 1.0 - 1.0 / load_multiplier;
+}
+
+bool AdmissionController::AdmitIngress() {
+  if (admit_fraction_ >= 1.0) {
+    return true;
+  }
+  credits_ += admit_fraction_;
+  if (credits_ < 1.0) {
+    return false;
+  }
+  credits_ -= 1.0;
+  return true;
+}
+
+void AdmissionController::ObserveQueueing(Nanos delay) {
+  if (target_ <= 0) {
+    return;
+  }
+  if (!seeded_) {
+    ewma_delay_ = delay;
+    seeded_ = true;
+  } else {
+    // 7/8 old + 1/8 new, in integer nanos.
+    ewma_delay_ = ewma_delay_ - ewma_delay_ / 8 + delay / 8;
+  }
+  if (++observations_ < kAdjustPeriod) {
+    return;
+  }
+  observations_ = 0;
+  if (ewma_delay_ > target_) {
+    admit_fraction_ = std::max(kMinFraction, admit_fraction_ * kDecrease);
+  } else {
+    admit_fraction_ = std::min(1.0, admit_fraction_ + kIncrease);
+  }
+}
+
+}  // namespace zygos

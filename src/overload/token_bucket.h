@@ -1,0 +1,66 @@
+// Per-flow rate limiter for the fairness leg of overload control.
+//
+// Classic token bucket: capacity `burst` tokens, refilled continuously at
+// `rate_per_sec`. A request takes one token; an empty bucket means the flow has
+// exceeded its fair share and the request is shed (ShedKind::kFairness) instead of
+// occupying server queue space that better-behaved flows paid for. Rate 0 disables
+// the bucket (every TryTake admits) — the default, so fairness capping is opt-in.
+//
+// Contract: single-caller (the flow's home-core netstack, which is the only producer
+// into the flow's PCB). Reset() rebinds the bucket when its connection slot is
+// recycled to a new flow — a reincarnated slot must never inherit its predecessor's
+// debt. Time is caller-supplied nanoseconds (monotonic); calls with a non-increasing
+// clock simply refill nothing.
+#ifndef ZYGOS_OVERLOAD_TOKEN_BUCKET_H_
+#define ZYGOS_OVERLOAD_TOKEN_BUCKET_H_
+
+#include <cstdint>
+
+#include "src/common/time_units.h"
+
+namespace zygos {
+
+class TokenBucket {
+ public:
+  // Rebinds the bucket: full burst of tokens, refill clock starting at `now`.
+  // rate_per_sec == 0 disables limiting (TryTake always succeeds).
+  void Reset(double rate_per_sec, double burst, Nanos now) {
+    rate_per_sec_ = rate_per_sec;
+    burst_ = burst;
+    tokens_ = burst;
+    last_refill_ = now;
+  }
+
+  // Takes one token if available; false means the flow is over its cap right now.
+  bool TryTake(Nanos now) {
+    if (rate_per_sec_ <= 0.0) {
+      return true;
+    }
+    if (now > last_refill_) {
+      double elapsed_sec =
+          static_cast<double>(now - last_refill_) / static_cast<double>(kSecond);
+      tokens_ += elapsed_sec * rate_per_sec_;
+      if (tokens_ > burst_) {
+        tokens_ = burst_;
+      }
+      last_refill_ = now;
+    }
+    if (tokens_ < 1.0) {
+      return false;
+    }
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_per_sec_ = 0.0;  // 0 = unlimited
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  Nanos last_refill_ = 0;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_OVERLOAD_TOKEN_BUCKET_H_

@@ -53,10 +53,13 @@ class LatencyCollector {
 
   CompletionHandler Handler() {
     return [this](uint64_t flow_id, uint64_t request_id, std::string_view response,
-                  Nanos arrival) {
+                  Nanos arrival, bool shed) {
       (void)flow_id;
       (void)request_id;
       (void)response;
+      if (shed) {
+        return;  // refusal, not a served request: keep it out of the percentiles
+      }
       Record(arrival);
     };
   }

@@ -95,9 +95,19 @@ Runtime::Runtime(RuntimeOptions options, std::unique_ptr<Transport> transport,
                  transport_->num_queues(), options_.num_workers);
     std::abort();
   }
+  if (options_.overload.enabled) {
+    deadline_budget_ = ResolveDeadlineBudget(options_.overload);
+    flow_rate_rps_ = options_.overload.flow_rate_rps;
+    flow_burst_ = ResolveFlowBurst(options_.overload);
+  }
   Rng seeder(0x2e67a5u);
   for (int c = 0; c < options_.num_workers; ++c) {
     lifecycle_.push_back(std::make_unique<CoreLifecycle>());
+    admission_.push_back(std::make_unique<CoreAdmission>());
+    if (options_.overload.enabled && options_.overload.adaptive) {
+      admission_.back()->controller.set_target(
+          ResolveAdaptiveTarget(options_.overload));
+    }
     remote_queues_.push_back(std::make_unique<MpmcQueue<RemoteSyscall>>(
         options_.ring_capacity));
     doorbells_.push_back(std::make_unique<Doorbell>());
@@ -200,6 +210,10 @@ WorkerStats Runtime::TotalStats() const {
     total.flows_closed += stats->flows_closed;
     total.flows_recycled += stats->flows_recycled;
     total.events_refused += stats->events_refused;
+    total.sheds_deadline += stats->sheds_deadline;
+    total.sheds_fairness += stats->sheds_fairness;
+    total.sheds_admission += stats->sheds_admission;
+    total.rx_unstamped += stats->rx_unstamped;
   }
   return total;
 }
@@ -335,9 +349,18 @@ uint64_t Runtime::NetstackRx(int core) {
   }
   stats.rx_batches++;
   stats.rx_segments += n;
+  const OverloadOptions& overload = options_.overload;
+  AdmissionController& admission = admission_[static_cast<size_t>(core)]->controller;
   static thread_local std::vector<MessageView> scratch;  // per-worker, never nested
   for (size_t i = 0; i < n; ++i) {
     Segment& segment = segments[i];
+    if (segment.rx_nanos == 0) {
+      // Transport contract violation (every backend must stamp transport arrival):
+      // backfill with our own clock so overload control keeps working, and count it —
+      // the conformance suite gates this counter to zero per backend.
+      segment.rx_nanos = NowNanos();
+      stats.rx_unstamped++;
+    }
     Connection* conn = ConnectionFor(segment.flow_id, core);
     if (conn == nullptr) {
       // Unserviceable flow id (beyond the connection table): sever it at the
@@ -358,7 +381,26 @@ uint64_t Runtime::NetstackRx(int core) {
       size_t accepted = scratch.size();
       for (MessageView& view : scratch) {
         uint64_t request_id = view.request_id;
-        conn->pcb.PushEvent(PcbEvent{request_id, segment.arrival, 0, std::move(view)});
+        // Ingress overload verdicts (home core only, like everything layer-1). A
+        // refused request still becomes a PcbEvent — its shed *reply* must flow
+        // through the PCB so per-flow response FIFO holds — but the payload ref is
+        // dropped right here: a shed never reads it, and pinning RX memory behind a
+        // refusal would defeat the point of refusing.
+        ShedKind kind = ShedKind::kNone;
+        if (overload.enabled) {
+          if (flow_rate_rps_ > 0.0 && !conn->bucket.TryTake(segment.rx_nanos)) {
+            kind = ShedKind::kFairness;
+            stats.sheds_fairness++;
+          } else if (overload.adaptive && !admission.AdmitIngress()) {
+            kind = ShedKind::kAdmission;
+            stats.sheds_admission++;
+          }
+          if (kind != ShedKind::kNone) {
+            view = MessageView();
+          }
+        }
+        conn->pcb.PushEvent(PcbEvent{request_id, segment.arrival, 0, std::move(view),
+                                     segment.rx_nanos, kind});
       }
       accepted_.fetch_add(accepted, std::memory_order_release);
       if (conn->pcb.HasPendingEvents()) {
@@ -421,6 +463,9 @@ Runtime::Connection* Runtime::BindFlow(uint64_t flow_id, int core) {
   } else {
     slot.conn = std::make_unique<Connection>(flow_id, core);
   }
+  // Fresh fairness budget for the (possibly reincarnated) flow: a recycled slot
+  // must not inherit its predecessor's token debt. No-op rate when overload is off.
+  slot.conn->bucket.Reset(flow_rate_rps_, flow_burst_, NowNanos());
   stats_[static_cast<size_t>(core)]->flows_opened++;
   uint64_t open = open_flows_.fetch_add(1, std::memory_order_relaxed) + 1;
   uint64_t peak = peak_open_flows_.load(std::memory_order_relaxed);
@@ -514,6 +559,8 @@ uint64_t Runtime::ExecuteConnection(int core, Pcb* pcb, bool stolen) {
     events.push_back(std::move(*event));
   }
   in_user_mode_[static_cast<size_t>(core)]->value.store(true, std::memory_order_release);
+  const OverloadOptions& overload = options_.overload;
+  AdmissionController& admission = admission_[static_cast<size_t>(core)]->controller;
   static thread_local std::vector<TxSegment> responses;
   responses.clear();
   responses.reserve(events.size());
@@ -522,19 +569,44 @@ uint64_t Runtime::ExecuteConnection(int core, Pcb* pcb, bool stolen) {
     response.flow_id = pcb->flow_id();
     response.request_id = event.request_id;
     response.arrival = event.arrival;
-    // The handler reads the request straight out of pooled RX memory and writes the
-    // response payload straight into the pooled TX frame; Finish stamps the header.
-    ResponseBuilder builder(event.msg.payload.size());
-    handler_(pcb->flow_id(), event.msg.payload, builder);
-    response.frame = builder.Finish(event.request_id);
-    // Drop the request bytes now (possibly a remote free back to the home core's
-    // pool): the RX buffer must not stay pinned behind TX latency.
-    event.msg = MessageView();
-    responses.push_back(std::move(response));
-    stats.app_events++;
-    if (stolen) {
-      stats.stolen_events++;
+    // Overload control at dispatch. Ingress verdicts (fairness/admission) arrive on
+    // the event; the deadline check happens here, with a fresh clock read per event —
+    // within one pipelined batch an earlier handler's service time must push later
+    // requests past their deadline, or the gated-handler determinism tests (and real
+    // stalls) would slip through on a stale batch timestamp.
+    bool shed = event.shed_kind != ShedKind::kNone;
+    if (overload.enabled && !shed) {
+      Nanos rx = event.rx_nanos != 0 ? event.rx_nanos : event.arrival;
+      Nanos waited = NowNanos() - rx;
+      if (deadline_budget_ > 0 && waited > deadline_budget_) {
+        shed = true;
+        stats.sheds_deadline++;
+      } else if (overload.adaptive) {
+        admission.ObserveQueueing(waited);
+      }
     }
+    if (shed) {
+      // Refusal reply: a header-only frame carrying kFrameFlagShed, through the
+      // normal TX path so it stays in per-flow FIFO order behind earlier responses.
+      // The handler never runs; the payload ref (already empty for ingress sheds)
+      // drops with the event.
+      response.frame = EncodeShedFrame(event.request_id);
+      event.msg = MessageView();
+    } else {
+      // The handler reads the request straight out of pooled RX memory and writes the
+      // response payload straight into the pooled TX frame; Finish stamps the header.
+      ResponseBuilder builder(event.msg.payload.size());
+      handler_(pcb->flow_id(), event.msg.payload, builder);
+      response.frame = builder.Finish(event.request_id);
+      // Drop the request bytes now (possibly a remote free back to the home core's
+      // pool): the RX buffer must not stay pinned behind TX latency.
+      event.msg = MessageView();
+      stats.app_events++;
+      if (stolen) {
+        stats.stolen_events++;
+      }
+    }
+    responses.push_back(std::move(response));
   }
   in_user_mode_[static_cast<size_t>(core)]->value.store(false, std::memory_order_release);
 

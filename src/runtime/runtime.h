@@ -66,6 +66,8 @@
 #include "src/core/shuffle_layer.h"
 #include "src/net/message.h"
 #include "src/net/pcb.h"
+#include "src/overload/admission.h"
+#include "src/overload/token_bucket.h"
 #include "src/runtime/transport.h"
 
 namespace zygos {
@@ -115,6 +117,10 @@ struct RuntimeOptions {
   //                               (the paper's "ZygOS (no interrupts)" line).
   bool enable_stealing = true;
   bool enable_doorbells = true;
+  // Overload control (src/overload/admission.h): deadline shedding, per-flow
+  // fairness caps, adaptive admission. Disabled by default — the data path is
+  // bit-identical to the pre-overload runtime unless a harness opts in.
+  OverloadOptions overload;
 };
 
 // Connection-table capacity implied by `options` — the single source of truth for
@@ -149,6 +155,14 @@ struct alignas(kCacheLineSize) WorkerStats {
   uint64_t flows_closed = 0;      // kFlowClosed control events processed
   uint64_t flows_recycled = 0;    // slots fully torn down and returned to the freelist
   uint64_t events_refused = 0;    // accepted events drained unexecuted at teardown
+  // Overload control (zero unless RuntimeOptions::overload.enabled):
+  uint64_t sheds_deadline = 0;    // shed at dispatch: queueing delay ate the budget
+  uint64_t sheds_fairness = 0;    // shed at ingress: per-flow token bucket refused
+  uint64_t sheds_admission = 0;   // shed at ingress: adaptive controller refused
+  // Segments that arrived with rx_nanos == 0 (transport failed to stamp; the runtime
+  // backfills with its own clock). The conformance suite gates this to zero for
+  // every backend.
+  uint64_t rx_unstamped = 0;
 };
 
 class Runtime {
@@ -244,6 +258,10 @@ class Runtime {
     explicit Connection(uint64_t flow_id, int home_core) : pcb(flow_id, home_core) {}
     Pcb pcb;
     FrameParser parser;  // touched only by the home core (layer-1 isolation)
+    // Fairness cap (overload control): reset by BindFlow on every bind, so a
+    // recycled slot never inherits its predecessor's token debt. Touched only by the
+    // home core, like the parser.
+    TokenBucket bucket;
     // kFlowClosed seen; awaiting scheduler quiescence (TryRetire) to recycle. While
     // set, further segments/closes for the flow are refused/ignored.
     bool closing = false;
@@ -263,6 +281,16 @@ class Runtime {
   struct alignas(kCacheLineSize) CoreLifecycle {
     std::vector<uint64_t> closing;
     std::vector<std::unique_ptr<Connection>> free_conns;
+  };
+
+  // Per-core adaptive admission controller, cache-line isolated like WorkerStats.
+  // Strictly single-threaded: core c's controller is touched only by worker c —
+  // AdmitIngress from its netstack, ObserveQueueing from its execution loop. Under
+  // stealing a thief feeds *its own* controller with the stolen event's delay; the
+  // feedback is approximate per core but overload is a whole-server condition, so
+  // every controller converges on the same signal.
+  struct alignas(kCacheLineSize) CoreAdmission {
+    AdmissionController controller;
   };
 
   class WorkerView;
@@ -313,6 +341,12 @@ class Runtime {
   // never grown past the table. Slot addresses are stable without synchronization.
   std::vector<Slot> connections_;
   std::vector<std::unique_ptr<CoreLifecycle>> lifecycle_;
+  std::vector<std::unique_ptr<CoreAdmission>> admission_;
+  // Overload knobs resolved once at construction (zeros replaced by derived
+  // defaults, src/overload/admission.h); all zero when overload is disabled.
+  Nanos deadline_budget_ = 0;
+  double flow_rate_rps_ = 0.0;
+  double flow_burst_ = 0.0;
   std::vector<std::unique_ptr<MpmcQueue<RemoteSyscall>>> remote_queues_;
   std::vector<std::unique_ptr<Doorbell>> doorbells_;
   std::vector<std::unique_ptr<WorkerStats>> stats_;

@@ -33,6 +33,7 @@
 #define ZYGOS_RUNTIME_TRANSPORT_H_
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <span>
 #include <string_view>
@@ -54,6 +55,13 @@ struct Segment {
   uint64_t flow_id = 0;
   IoBuf buf;
   Nanos arrival = 0;  // receive timestamp (loopback: client inject time)
+  // Wall-clock time the bytes reached THIS transport (loopback: Inject; epoll: the
+  // recv that produced the segment; uring: CQE reap). Distinct from `arrival`, which
+  // an open-loop harness backdates to the scheduled send time for CO-safe latency:
+  // overload control measures server-side queueing as NowNanos() - rx_nanos, which
+  // must never include generator lag. Every backend stamps it; the runtime counts
+  // zero-stamped segments in WorkerStats::rx_unstamped (conformance-gated to 0).
+  Nanos rx_nanos = 0;
 };
 
 // One response leaving the server: the unit of TransmitBatch. `frame` is the complete
@@ -73,12 +81,27 @@ struct TxSegment {
     return wire.size() >= kFrameHeaderSize ? wire.substr(kFrameHeaderSize)
                                            : std::string_view();
   }
+
+  // Whether the frame carries the kFrameFlagShed status (src/net/message.h): decoded
+  // from the wire header so the flag cannot drift from what the client will parse.
+  bool shed() const {
+    std::string_view wire = frame.view();
+    if (wire.size() < sizeof(uint32_t)) {
+      return false;
+    }
+    uint32_t len_word = 0;
+    std::memcpy(&len_word, wire.data(), sizeof len_word);
+    return (len_word & kFrameFlagShed) != 0;
+  }
 };
 
 // Completion hook: response left the "NIC". Runs on the connection's home core, inside
-// TransmitBatch. `response` views the pooled frame — copy it to keep it.
-using CompletionHandler = std::function<void(uint64_t flow_id, uint64_t request_id,
-                                             std::string_view response, Nanos arrival)>;
+// TransmitBatch. `response` views the pooled frame — copy it to keep it. `shed` marks
+// an overload-control refusal reply (empty payload, kFrameFlagShed on the wire) —
+// collectors must not book it as a served request.
+using CompletionHandler =
+    std::function<void(uint64_t flow_id, uint64_t request_id,
+                       std::string_view response, Nanos arrival, bool shed)>;
 
 // Connection-lifecycle notification, delivered by PollBatch on the flow's home queue.
 enum class ControlEventKind : uint8_t {
@@ -170,7 +193,7 @@ class Transport {
   // Fires the completion callback for one transmitted response.
   void NotifyComplete(const TxSegment& tx) const {
     if (on_complete_) {
-      on_complete_(tx.flow_id, tx.request_id, tx.payload(), tx.arrival);
+      on_complete_(tx.flow_id, tx.request_id, tx.payload(), tx.arrival, tx.shed());
     }
   }
 

@@ -44,7 +44,7 @@ TEST(KvOverRuntimeTest, ServesGetsAndSetsThroughTheScheduler) {
   std::mutex mutex;
   std::map<uint64_t, std::string> responses;
   CompletionHandler on_complete = [&](uint64_t, uint64_t request_id,
-                                      std::string_view response, Nanos) {
+                                      std::string_view response, Nanos, bool) {
     std::lock_guard<std::mutex> guard(mutex);
     responses[request_id] = std::string(response);
   };

@@ -163,11 +163,11 @@ TEST(MeasuredCompletionTest, WarmupWindowDiscardsEarlyCompletions) {
   completion.set_measure_start(1'000'000);
   CompletionHandler handler = completion.Handler();
   // Scheduled before the window: discarded.
-  handler(/*flow=*/0, /*request=*/0, "r", /*arrival=*/999'999);
+  handler(/*flow=*/0, /*request=*/0, "r", /*arrival=*/999'999, /*shed=*/false);
   EXPECT_EQ(completion.measured_count(), 0u);
   EXPECT_EQ(completion.Snapshot().Count(), 0u);
   // Scheduled inside the window: recorded.
-  handler(0, 1, "r", NowNanos() - 5 * kMicrosecond);
+  handler(0, 1, "r", NowNanos() - 5 * kMicrosecond, /*shed=*/false);
   EXPECT_EQ(completion.measured_count(), 1u);
   EXPECT_EQ(completion.Snapshot().Count(), 1u);
 }
@@ -321,6 +321,35 @@ TEST(FanoutAccountingTest, AnySubLossMarksTheLogicalRequestLostExactlyOnce) {
   EXPECT_EQ(fanout.opened(), 3u);
   fanout.SubCompleted(open_b, 800);  // late resolution after finalize: inert
   EXPECT_EQ(fanout.lost() + fanout.completed(), fanout.opened());
+}
+
+TEST(FanoutAccountingTest, ShedSubsResolveIntoTheirOwnLedgerColumn) {
+  FanoutAccounting fanout(/*fanout_n=*/2, /*measure_start=*/0);
+  // All subs shed: the logical request resolved (nothing lost) but was not served.
+  uint64_t refused = fanout.Open(10);
+  fanout.SubShed(refused, 200);
+  EXPECT_EQ(fanout.shed(), 0u) << "finalized before its last sub";
+  fanout.SubShed(refused, 300);
+  EXPECT_EQ(fanout.shed(), 1u);
+  // Mixed shed + completed: still shed (the request was not FULLY served), and the
+  // latency histogram must not mix served and refused maxima.
+  uint64_t partial = fanout.Open(20);
+  fanout.SubCompleted(partial, 400);
+  fanout.SubShed(partial, 500);
+  EXPECT_EQ(fanout.shed(), 2u);
+  // Lost trumps shed: an unrecoverable measurement is lost, never double-counted.
+  uint64_t dead = fanout.Open(30);
+  fanout.SubShed(dead, 600);
+  fanout.SubFailed(dead);
+  EXPECT_EQ(fanout.lost(), 1u);
+  EXPECT_EQ(fanout.shed(), 2u);
+  // Fully served control, and the three-way ledger balances exactly.
+  uint64_t served = fanout.Open(40);
+  fanout.SubCompleted(served, 700);
+  fanout.SubCompleted(served, 800);
+  EXPECT_EQ(fanout.completed(), 1u);
+  EXPECT_EQ(fanout.latency().Count(), 1u) << "only fully served requests record";
+  EXPECT_EQ(fanout.completed() + fanout.shed() + fanout.lost(), fanout.opened());
 }
 
 // Fan-out over the live runtime with per-flow service times: flow slot f sleeps

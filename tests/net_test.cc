@@ -72,6 +72,40 @@ TEST(MessageTest, OversizedFramePoisonsParser) {
   EXPECT_FALSE(parser.Feed("x", 1));
 }
 
+TEST(MessageTest, ShedFrameRoundTripsWithStatusAndEmptyPayload) {
+  // The overload-control wire status: EncodeShedFrame emits a header-only frame
+  // with kFrameFlagShed in the length word; parsers must surface the flag, the
+  // echoed request id, and an empty payload — distinguishable from both success
+  // and loss.
+  IoBuf frame = EncodeShedFrame(77);
+  ASSERT_EQ(frame.size(), kFrameHeaderSize) << "sheds must be header-only frames";
+  FrameParser parser;
+  ASSERT_TRUE(parser.Feed(frame.data(), frame.size()));
+  auto out = parser.TakeMessages();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].request_id, 77u);
+  EXPECT_TRUE(out[0].payload.empty());
+  EXPECT_TRUE(out[0].shed);
+  // A normal frame parsed by the same parser must NOT inherit the flag.
+  std::string wire;
+  EncodeMessage({78, "ok"}, wire);
+  ASSERT_TRUE(parser.Feed(wire.data(), wire.size()));
+  out = parser.TakeMessages();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].shed);
+}
+
+TEST(MessageTest, ShedFlagDoesNotWeakenPoisonCheck) {
+  // The flag lives in the top bit of the length word; the oversized-length check
+  // runs on the MASKED length, so an all-ones length word (flag set, masked length
+  // 0x7FFFFFFF >> kMaxPayload) still poisons the parser instead of parsing as a
+  // giant "shed" frame.
+  std::string wire(16, '\xFF');
+  FrameParser parser;
+  EXPECT_FALSE(parser.Feed(wire.data(), wire.size()));
+  EXPECT_TRUE(parser.Poisoned());
+}
+
 TEST(MessageTest, PipelinedStreamPreservesOrder) {
   // Up to 4-deep pipelining per connection (the memcached workload of §6.2).
   std::string wire;

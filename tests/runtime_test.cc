@@ -50,8 +50,9 @@ class CompletionLog {
  public:
   CompletionHandler Handler() {
     return [this](uint64_t flow_id, uint64_t request_id, std::string_view response,
-                  Nanos arrival) {
+                  Nanos arrival, bool shed) {
       (void)arrival;
+      (void)shed;
       std::lock_guard<std::mutex> guard(mutex_);
       per_flow_[flow_id].push_back(request_id);
       responses_[request_id] = std::string(response);  // the view dies with the frame

@@ -60,8 +60,9 @@ class CompletionLog {
  public:
   CompletionHandler Handler() {
     return [this](uint64_t flow_id, uint64_t request_id, std::string_view response,
-                  Nanos arrival) {
+                  Nanos arrival, bool shed) {
       (void)arrival;
+      (void)shed;
       std::lock_guard<std::mutex> guard(mutex_);
       per_flow_[flow_id].push_back(request_id);
       responses_[request_id] = std::string(response);
@@ -489,6 +490,36 @@ TEST_P(TransportConformance, StalledPeerIsDroppedAfterDeadline) {
   EXPECT_EQ(sock->CapacityRefusals(), 0u);
   EXPECT_GE(runtime->TotalStats().flows_closed, 1u)
       << "the stall drop must tear the connection down";
+}
+
+TEST_P(TransportConformance, EveryRxSegmentCarriesATransportArrivalStamp) {
+  // Segment::rx_nanos is the clock overload control sheds against (queueing delay =
+  // dispatch - rx_nanos), so every backend must stamp it at transport arrival. The
+  // runtime backfills a zero stamp with its own clock and counts it in rx_unstamped;
+  // this gate pins that counter to zero per backend.
+  RuntimeOptions options = Options(/*workers=*/2, /*flows=*/8);
+  CompletionLog log;
+  SocketTransportBase* sock = nullptr;
+  LoopbackTransport* loop = nullptr;
+  auto runtime = MakeRuntime(GetParam(), options, TcpOptionsFor(options),
+                             log.Handler(), &sock, &loop);
+  runtime->Start();
+  constexpr uint64_t kRequests = 40;
+  if (IsSocketBackend()) {
+    TestTcpClient client(sock->port());
+    ASSERT_TRUE(client.ok());
+    EXPECT_TRUE(RunEchoExchange(client, kRequests, /*window=*/4, "s"));
+  } else {
+    for (uint64_t i = 0; i < kRequests; ++i) {
+      ASSERT_TRUE(runtime->Inject(i % 4, i, "s"));
+    }
+    ASSERT_TRUE(WaitFor([&] { return log.total() == kRequests; }));
+  }
+  runtime->Shutdown();
+  WorkerStats total = runtime->TotalStats();
+  EXPECT_GT(total.rx_segments, 0u);
+  EXPECT_EQ(total.rx_unstamped, 0u)
+      << BackendName(GetParam()) << " delivered segments with rx_nanos == 0";
 }
 
 INSTANTIATE_TEST_SUITE_P(
