@@ -40,7 +40,7 @@ stamp_json() {
 }
 
 for bin in fig8_steal_rate fig6_latency_throughput micro_dataplane fig6_live_runtime \
-           churn_live_runtime fanout_chaos overload_live_runtime; do
+           churn_live_runtime fanout_chaos overload_live_runtime fig10_live_runtime; do
   if [[ ! -x "${BUILD_DIR}/bench/${bin}" ]]; then
     echo "bench_trajectory: ${BUILD_DIR}/bench/${bin} not built (run cmake --build first)" >&2
     exit 1
@@ -277,5 +277,48 @@ done
 cp "${overload_json}" "${OUT_DIR}/BENCH_0008.json"
 overload_ratio="$(sed -nE 's/^  "value": ([0-9.]+),$/\1/p' "${overload_json}" | head -1)"
 echo "   overload_goodput_ratio_at_2x = ${overload_ratio} x peak  -> ${overload_json}"
+
+# --- fig10_live: Silo/TPC-C as the live workload (zygos vs no-steal vs partitioned) ----
+# The binary loads a Silo/TPC-C database behind the runtime, sweeps the three
+# scheduling configs over the open-loop TPC-C loadgen and writes the BENCH-contract
+# JSON itself; this script stamps the commit and gates on the three acceptance
+# booleans: zygos p99 monotone in load, stealing <= no-steal at the peak cell, and an
+# exactly balanced transaction ledger (commit+abort+shed+lost == sent, 0 malformed).
+# Absolute tps are host-dependent; the booleans are not. --service-pad-us=300 blocks
+# each transaction for 300 us before the OCC work, the same trick as fig6_live's
+# sleep-mode service: on CI hosts with fewer hardware threads than workers a pure
+# CPU-burn workload makes all scheduling policies identical (one core timeshares
+# everything), while a blocking pad keeps them distinguishable. Load fractions stop
+# at 0.8 of the calibrated peak for the same sub-saturation reason as fig6_live.
+# 5000ms/cell (not fig6_live's 3000): TPC-C service times are heavier-tailed than
+# the fixed 300 us sleep, so the p99 estimator needs more tail samples — a 3000ms
+# cell at the 0.4-peak rate rests its p99 on ~27 samples and the monotonicity gate
+# sat within 1% of the 0.8x noise band on a 1-CPU host; 5000ms cells double that.
+FIG10_DURATION_MS="${BENCH_FIG10_DURATION_MS:-5000}"
+echo "== fig10_live_runtime (live TPC-C sweep, duration=${FIG10_DURATION_MS}ms/cell)"
+fig10_json="${OUT_DIR}/BENCH_fig10_live.json"
+"${BUILD_DIR}/bench/fig10_live_runtime" --transport=tcp \
+  --configs=zygos,no-steal,partitioned --workers=2 --connections=16 --threads=2 \
+  --warehouses=1 --scale=tiny --service-pad-us=300 \
+  --load-fractions=0.2,0.4,0.6,0.8 --cell-repeats=3 \
+  --duration-ms="${FIG10_DURATION_MS}" --warmup-ms=400 --seed=9 \
+  --json="${fig10_json}"
+stamp_json "${fig10_json}"
+if ! grep -q '"zygos_p99_monotone_in_load": true' "${fig10_json}"; then
+  echo "bench_trajectory: live TPC-C zygos p99 is not monotone in load — noisy host or regression; rerun or investigate" >&2
+  exit 1
+fi
+if ! grep -q '"steal_leq_no_steal_at_peak": true' "${fig10_json}"; then
+  echo "bench_trajectory: stealing did not beat no-steal at the peak TPC-C cell — regression in the steal path?" >&2
+  exit 1
+fi
+if ! grep -q '"ledger_balanced": true' "${fig10_json}"; then
+  echo "bench_trajectory: TPC-C ledger did not balance (commit+abort+shed+lost != sent, or malformed > 0)" >&2
+  exit 1
+fi
+# PR-numbered snapshot: the second-workload acceptance record.
+cp "${fig10_json}" "${OUT_DIR}/BENCH_0009.json"
+fig10_p99="$(sed -nE 's/^  "value": ([0-9.]+),$/\1/p' "${fig10_json}" | head -1)"
+echo "   fig10_live_zygos_p99_us_at_peak_load = ${fig10_p99} us  -> ${fig10_json}"
 
 echo "bench_trajectory OK (commit ${COMMIT})"

@@ -100,6 +100,28 @@ for gate in p99_amplification_monotone_in_fanout steal_leq_no_steal_under_jitter
     echo "ci: fanout acceptance boolean ${gate} is not true" >&2; exit 1; }
 done
 
+echo "== smoke: bench/fig10_live_runtime (one low-load TPC-C cell, loopback)"
+# One sub-saturated zygos cell over the live TPC-C service: the ledger must balance
+# exactly (commit+abort+shed+lost == sent, zero malformed) even in a 400 ms window.
+# The monotone/steal booleans are vacuously true with a single rate and config; the
+# ledger boolean is the real gate here.
+fig10_json="${BUILD_DIR}/fig10_live_smoke.json"
+rm -f "${fig10_json}"
+fig10_out="$("${BUILD_DIR}/bench/fig10_live_runtime" --transport=loopback \
+  --configs=zygos --rates=1200 --duration-ms=400 --warmup-ms=100 --workers=2 \
+  --warehouses=1 --scale=tiny --seed=7 --json="${fig10_json}")"
+printf '%s\n' "${fig10_out}"
+printf '%s\n' "${fig10_out}" | grep -q '^zygos,' || {
+    echo "ci: fig10_live_runtime emitted no zygos CSV row" >&2; exit 1; }
+if command -v python3 > /dev/null; then
+  python3 -m json.tool "${fig10_json}" > /dev/null || {
+    echo "ci: ${fig10_json} is malformed JSON" >&2; exit 1; }
+fi
+for gate in zygos_p99_monotone_in_load steal_leq_no_steal_at_peak ledger_balanced; do
+  grep -q "\"${gate}\": true" "${fig10_json}" || {
+    echo "ci: fig10 acceptance boolean ${gate} is not true" >&2; exit 1; }
+done
+
 echo "== smoke: bench/overload_live_runtime (one 2x-overload cell, real TCP)"
 # Short-window overload smoke: calibrate, then a 0.8x cell (must shed nothing) and a
 # 2x cell (zygos must hold goodput while no-shed collapses). The binary exits
@@ -109,7 +131,12 @@ overload_json="${BUILD_DIR}/overload_smoke.json"
 rm -f "${overload_json}"
 overload_out="$("${BUILD_DIR}/bench/overload_live_runtime" --workers=2 \
   --connections=8 --threads=2 --service-us=1000 --multipliers=0.8,2 \
-  --duration-ms=600 --warmup-ms=150 --seed=7 --json="${overload_json}")"
+  --duration-ms=600 --warmup-ms=150 --seed=7 --json="${overload_json}")" || {
+    # Print what the binary got through before the failing boolean killed it —
+    # `set -e` on the bare substitution would otherwise swallow every CSV row.
+    printf '%s\n' "${overload_out}"
+    echo "ci: overload_live_runtime exited non-zero (an acceptance boolean failed)" >&2
+    exit 1; }
 printf '%s\n' "${overload_out}"
 printf '%s\n' "${overload_out}" | grep -q '^zygos,2\.00,' || {
     echo "ci: overload_live_runtime emitted no 2x zygos CSV row" >&2; exit 1; }
@@ -163,6 +190,21 @@ else
   echo "ci: skipping uring smoke (io_uring unavailable on this host)"
 fi
 
+echo "== smoke: silo_tpcc serve -> TPC-C open-loop loadgen -> SIGTERM over real TCP"
+# The second real workload end to end as two processes: a TPC-C server on a fresh
+# port, a seeded wire-protocol loadgen dialing it (exits non-zero on a dirty run or a
+# leaked request), then a clean SIGTERM shutdown whose final ledger must balance.
+"${BUILD_DIR}/examples/silo_tpcc" --mode=serve --port=7414 --workers=2 \
+  --warehouses=1 --scale=tiny &
+tpcc_pid=$!
+trap 'kill "${tpcc_pid}" 2>/dev/null || true' EXIT
+sleep 1
+"${BUILD_DIR}/examples/silo_tpcc" --mode=loadgen --port=7414 --rate=2000 \
+  --duration-ms=600 --warmup-ms=200 --connections=4 --threads=2 --seed=7
+kill -TERM "${tpcc_pid}"
+wait "${tpcc_pid}"
+trap - EXIT
+
 echo "== warnings-as-errors configure of the transport layer (${BUILD_DIR}-werror)"
 cmake -B "${BUILD_DIR}-werror" -S . -DZYGOS_WERROR=ON \
   -DZYGOS_BUILD_BENCH=OFF -DZYGOS_BUILD_EXAMPLES=OFF -DZYGOS_BUILD_TESTS=OFF
@@ -180,17 +222,20 @@ echo "== AddressSanitizer: runtime + loadgen + chaos + transport suites (${BUILD
 # never lands in freed buffers after a sever or shutdown. overload_test rides along:
 # a shed reply is a TX buffer for a request that never reached the handler, and the
 # gated-handler test holds a shed in flight across a flow recycle — the exact window
-# where a refused event's buffer could be freed twice or leak.
+# where a refused event's buffer could be freed twice or leak. tpcc_test + net_test
+# ride along for the TPC-C wire service: the consistency battery drives concurrent
+# OCC commits through pooled executors (read-set pointers into recycled records), and
+# the decode fuzz sweep must prove DecodeTpccRequest never reads out of bounds.
 cmake -B "${BUILD_DIR}-asan" -S . -DZYGOS_BUILD_BENCH=OFF -DZYGOS_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
 cmake --build "${BUILD_DIR}-asan" -j "${JOBS}" --target runtime_test loadgen_test \
-  chaos_test transport_conformance_test overload_test
+  chaos_test transport_conformance_test overload_test tpcc_test net_test
 # Leak checking stays ON; only the by-design thread-pool leak is suppressed
 # (scripts/lsan.supp) — a leaked connection or socket wrapper still fails.
 LSAN_OPTIONS="suppressions=$(pwd)/scripts/lsan.supp" \
   ctest --test-dir "${BUILD_DIR}-asan" \
-  -R 'runtime_test|loadgen_test|chaos_test|transport_conformance_test|overload_test' \
+  -R 'runtime_test|loadgen_test|chaos_test|transport_conformance_test|overload_test|tpcc_test|net_test' \
   --output-on-failure -j "${JOBS}"
 
 echo "CI OK"

@@ -35,7 +35,7 @@ const char* TpccTxnTypeName(TpccTxnType type) {
   return "?";
 }
 
-TpccTxnType TpccWorkload::SampleType(TpccRandom& random) const {
+TpccTxnType SampleTpccType(TpccRandom& random) {
   // Standard mix: 45 / 43 / 4 / 4 / 4 (clause 5.2.3 minimums, Silo's configuration).
   int32_t roll = random.Uniform(1, 100);
   if (roll <= 45) {
@@ -51,6 +51,81 @@ TpccTxnType TpccWorkload::SampleType(TpccRandom& random) const {
     return TpccTxnType::kDelivery;
   }
   return TpccTxnType::kStockLevel;
+}
+
+// --- Input sampling --------------------------------------------------------------------
+// The draw order inside each sampler is load-bearing: it reproduces the pre-split
+// code exactly, so every seeded test schedule and driver run is unchanged.
+
+NewOrderParams SampleNewOrder(TpccRandom& random, const LoaderOptions& scale) {
+  NewOrderParams params;
+  params.w = random.Uniform(1, scale.num_warehouses);
+  params.d = random.Uniform(1, kTpccDistrictsPerWarehouse);
+  params.c = random.NuRand(1023, 1, scale.customers_per_district);
+  params.ol_cnt = random.Uniform(5, kTpccMaxOrderLines);
+  const bool rollback = random.Uniform(1, 100) == 1;  // clause 2.4.1.4: 1% rollbacks
+
+  for (int32_t line = 1; line <= params.ol_cnt; ++line) {
+    NewOrderLineInput input;
+    input.i_id = random.NuRand(8191, 1, scale.items);
+    if (rollback && line == params.ol_cnt) {
+      input.i_id = scale.items + 1;  // unused item number forces the rollback
+    }
+    input.supply_w = params.w;
+    if (scale.num_warehouses > 1 && random.Uniform(1, 100) == 1) {
+      do {
+        input.supply_w = random.Uniform(1, scale.num_warehouses);
+      } while (input.supply_w == params.w);
+    }
+    input.quantity = random.Uniform(1, 10);
+    params.lines[static_cast<size_t>(line - 1)] = input;
+  }
+  return params;
+}
+
+PaymentParams SamplePayment(TpccRandom& random, const LoaderOptions& scale) {
+  PaymentParams params;
+  params.w = random.Uniform(1, scale.num_warehouses);
+  params.d = random.Uniform(1, kTpccDistrictsPerWarehouse);
+  // Clause 2.5.1.2: 85% home customer, 15% remote (when more than one warehouse).
+  params.c_w = params.w;
+  params.c_d = params.d;
+  if (scale.num_warehouses > 1 && random.Uniform(1, 100) <= 15) {
+    do {
+      params.c_w = random.Uniform(1, scale.num_warehouses);
+    } while (params.c_w == params.w);
+    params.c_d = random.Uniform(1, kTpccDistrictsPerWarehouse);
+  }
+  params.by_name = random.Uniform(1, 100) <= 60;
+  params.last = random.RandomLastName();
+  params.c_id = random.NuRand(1023, 1, scale.customers_per_district);
+  params.amount_cents = random.Uniform(100, 500000);
+  return params;
+}
+
+OrderStatusParams SampleOrderStatus(TpccRandom& random, const LoaderOptions& scale) {
+  OrderStatusParams params;
+  params.w = random.Uniform(1, scale.num_warehouses);
+  params.d = random.Uniform(1, kTpccDistrictsPerWarehouse);
+  params.by_name = random.Uniform(1, 100) <= 60;
+  params.last = random.RandomLastName();
+  params.c_id = random.NuRand(1023, 1, scale.customers_per_district);
+  return params;
+}
+
+DeliveryParams SampleDelivery(TpccRandom& random, const LoaderOptions& scale) {
+  DeliveryParams params;
+  params.w = random.Uniform(1, scale.num_warehouses);
+  params.carrier = random.Uniform(1, 10);
+  return params;
+}
+
+StockLevelParams SampleStockLevel(TpccRandom& random, const LoaderOptions& scale) {
+  StockLevelParams params;
+  params.w = random.Uniform(1, scale.num_warehouses);
+  params.d = random.Uniform(1, kTpccDistrictsPerWarehouse);
+  params.threshold = random.Uniform(10, 20);
+  return params;
 }
 
 TxnStatus TpccWorkload::Run(TpccTxnType type, TxnExecutor& executor, TpccRandom& random) {
@@ -93,36 +168,18 @@ int32_t TpccWorkload::CustomerByLastName(Transaction& txn, int32_t w, int32_t d,
   return ids[(ids.size() - 1) / 2];
 }
 
-TxnStatus TpccWorkload::NewOrder(TxnExecutor& executor, TpccRandom& random) {
-  const int32_t w = random.Uniform(1, scale_.num_warehouses);
-  const int32_t d = random.Uniform(1, kTpccDistrictsPerWarehouse);
-  const int32_t c = random.NuRand(1023, 1, scale_.customers_per_district);
-  const int32_t ol_cnt = random.Uniform(5, 15);
-  const bool rollback = random.Uniform(1, 100) == 1;  // clause 2.4.1.4: 1% rollbacks
-
-  struct LineInput {
-    int32_t i_id;
-    int32_t supply_w;
-    int32_t quantity;
-  };
-  std::vector<LineInput> lines;
-  lines.reserve(static_cast<size_t>(ol_cnt));
+TxnStatus TpccWorkload::NewOrder(TxnExecutor& executor, const NewOrderParams& params) {
+  const int32_t w = params.w;
+  const int32_t d = params.d;
+  const int32_t c = params.c;
+  // Defensive clamp: `lines` is a fixed array and ol_cnt may come off the wire. A
+  // clamped count still executes safely (decode validates the spec range upstream).
+  const int32_t ol_cnt = std::clamp(params.ol_cnt, 0, kTpccMaxOrderLines);
   bool all_local = true;
-  for (int32_t line = 1; line <= ol_cnt; ++line) {
-    LineInput input;
-    input.i_id = random.NuRand(8191, 1, scale_.items);
-    if (rollback && line == ol_cnt) {
-      input.i_id = scale_.items + 1;  // unused item number forces the rollback
-    }
-    input.supply_w = w;
-    if (scale_.num_warehouses > 1 && random.Uniform(1, 100) == 1) {
-      do {
-        input.supply_w = random.Uniform(1, scale_.num_warehouses);
-      } while (input.supply_w == w);
+  for (int32_t line = 0; line < ol_cnt; ++line) {
+    if (params.lines[static_cast<size_t>(line)].supply_w != w) {
       all_local = false;
     }
-    input.quantity = random.Uniform(1, 10);
-    lines.push_back(input);
   }
 
   return executor.Run([&](Transaction& txn) {
@@ -162,8 +219,8 @@ TxnStatus TpccWorkload::NewOrder(TxnExecutor& executor, TpccRandom& random) {
                EncodeRow(NewOrderRow{w, d, o_id}));
 
     int64_t total_cents = 0;
-    for (size_t index = 0; index < lines.size(); ++index) {
-      const LineInput& input = lines[index];
+    for (int32_t index = 0; index < ol_cnt; ++index) {
+      const NewOrderLineInput& input = params.lines[static_cast<size_t>(index)];
       auto item_raw = txn.Read(tables_.item, ItemKey(input.i_id));
       if (!item_raw.has_value()) {
         return false;  // the 1% intentional rollback path
@@ -191,7 +248,7 @@ TxnStatus TpccWorkload::NewOrder(TxnExecutor& executor, TpccRandom& random) {
       ol.ol_w_id = w;
       ol.ol_d_id = d;
       ol.ol_o_id = o_id;
-      ol.ol_number = static_cast<int32_t>(index) + 1;
+      ol.ol_number = index + 1;
       ol.ol_i_id = input.i_id;
       ol.ol_supply_w_id = input.supply_w;
       ol.ol_delivery_d = 0;
@@ -211,22 +268,12 @@ TxnStatus TpccWorkload::NewOrder(TxnExecutor& executor, TpccRandom& random) {
   });
 }
 
-TxnStatus TpccWorkload::Payment(TxnExecutor& executor, TpccRandom& random) {
-  const int32_t w = random.Uniform(1, scale_.num_warehouses);
-  const int32_t d = random.Uniform(1, kTpccDistrictsPerWarehouse);
-  // Clause 2.5.1.2: 85% home customer, 15% remote (when more than one warehouse).
-  int32_t c_w = w;
-  int32_t c_d = d;
-  if (scale_.num_warehouses > 1 && random.Uniform(1, 100) <= 15) {
-    do {
-      c_w = random.Uniform(1, scale_.num_warehouses);
-    } while (c_w == w);
-    c_d = random.Uniform(1, kTpccDistrictsPerWarehouse);
-  }
-  const bool by_name = random.Uniform(1, 100) <= 60;
-  const std::string last = random.RandomLastName();
-  const int32_t c_id_input = random.NuRand(1023, 1, scale_.customers_per_district);
-  const int64_t amount_cents = random.Uniform(100, 500000);
+TxnStatus TpccWorkload::Payment(TxnExecutor& executor, const PaymentParams& params) {
+  const int32_t w = params.w;
+  const int32_t d = params.d;
+  const int32_t c_w = params.c_w;
+  const int32_t c_d = params.c_d;
+  const int64_t amount_cents = params.amount_cents;
   const uint64_t h_seq = history_seq_.fetch_add(1, std::memory_order_relaxed);
 
   return executor.Run([&](Transaction& txn) {
@@ -246,11 +293,11 @@ TxnStatus TpccWorkload::Payment(TxnExecutor& executor, TpccRandom& random) {
     district.d_ytd_cents += amount_cents;
     txn.Write(tables_.district, DistrictKey(w, d), EncodeRow(district));
 
-    int32_t c_id = c_id_input;
-    if (by_name) {
-      c_id = CustomerByLastName(txn, c_w, c_d, last);
+    int32_t c_id = params.c_id;
+    if (params.by_name) {
+      c_id = CustomerByLastName(txn, c_w, c_d, params.last);
       if (c_id == 0) {
-        c_id = c_id_input;  // no such name at this (test) scale; fall back to by-id
+        c_id = params.c_id;  // no such name at this (test) scale; fall back to by-id
       }
     }
     auto customer_raw = txn.Read(tables_.customer, CustomerKey(c_w, c_d, c_id));
@@ -284,19 +331,17 @@ TxnStatus TpccWorkload::Payment(TxnExecutor& executor, TpccRandom& random) {
   });
 }
 
-TxnStatus TpccWorkload::OrderStatus(TxnExecutor& executor, TpccRandom& random) {
-  const int32_t w = random.Uniform(1, scale_.num_warehouses);
-  const int32_t d = random.Uniform(1, kTpccDistrictsPerWarehouse);
-  const bool by_name = random.Uniform(1, 100) <= 60;
-  const std::string last = random.RandomLastName();
-  const int32_t c_id_input = random.NuRand(1023, 1, scale_.customers_per_district);
+TxnStatus TpccWorkload::OrderStatus(TxnExecutor& executor,
+                                    const OrderStatusParams& params) {
+  const int32_t w = params.w;
+  const int32_t d = params.d;
 
   return executor.Run([&](Transaction& txn) {
-    int32_t c_id = c_id_input;
-    if (by_name) {
-      c_id = CustomerByLastName(txn, w, d, last);
+    int32_t c_id = params.c_id;
+    if (params.by_name) {
+      c_id = CustomerByLastName(txn, w, d, params.last);
       if (c_id == 0) {
-        c_id = c_id_input;
+        c_id = params.c_id;
       }
     }
     auto customer_raw = txn.Read(tables_.customer, CustomerKey(w, d, c_id));
@@ -341,9 +386,9 @@ TxnStatus TpccWorkload::OrderStatus(TxnExecutor& executor, TpccRandom& random) {
   });
 }
 
-TxnStatus TpccWorkload::Delivery(TxnExecutor& executor, TpccRandom& random) {
-  const int32_t w = random.Uniform(1, scale_.num_warehouses);
-  const int32_t carrier = random.Uniform(1, 10);
+TxnStatus TpccWorkload::Delivery(TxnExecutor& executor, const DeliveryParams& params) {
+  const int32_t w = params.w;
+  const int32_t carrier = params.carrier;
 
   return executor.Run([&](Transaction& txn) {
     for (int32_t d = 1; d <= kTpccDistrictsPerWarehouse; ++d) {
@@ -402,10 +447,11 @@ TxnStatus TpccWorkload::Delivery(TxnExecutor& executor, TpccRandom& random) {
   });
 }
 
-TxnStatus TpccWorkload::StockLevel(TxnExecutor& executor, TpccRandom& random) {
-  const int32_t w = random.Uniform(1, scale_.num_warehouses);
-  const int32_t d = random.Uniform(1, kTpccDistrictsPerWarehouse);
-  const int32_t threshold = random.Uniform(10, 20);
+TxnStatus TpccWorkload::StockLevel(TxnExecutor& executor,
+                                   const StockLevelParams& params) {
+  const int32_t w = params.w;
+  const int32_t d = params.d;
+  const int32_t threshold = params.threshold;
 
   return executor.Run([&](Transaction& txn) {
     auto district_raw = txn.Read(tables_.district, DistrictKey(w, d));

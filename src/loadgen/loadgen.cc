@@ -23,11 +23,13 @@ void WaitUntilNanos(Nanos deadline) {
 GeneratorResult OpenLoopGenerator::RunFrom(Nanos start, LoadSink& sink) {
   GeneratorResult result;
   result.window_end = start + options_.duration;
-  const std::string payload(options_.payload_size, 'x');
+  std::string payload(options_.payload_size, 'x');
   ArrivalProcess arrivals(options_.arrivals, options_.rate_rps, options_.seed);
   // Separate stream for flow choice: the schedule (send times) must not shift when
-  // the flow population changes, and vice versa.
+  // the flow population changes, and vice versa. Likewise the payload stream: its
+  // draw count per request is the factory's business, never the schedule's.
   Rng flow_rng(options_.seed ^ 0x6c0adb0a11dbeefULL);
+  Rng payload_rng(options_.seed ^ 0x7cb9fe1dULL);
   const auto num_flows = static_cast<uint64_t>(options_.num_flows);
 
   Nanos next = start;
@@ -39,6 +41,10 @@ GeneratorResult OpenLoopGenerator::RunFrom(Nanos start, LoadSink& sink) {
     }
     WaitUntilNanos(next);
     uint64_t flow_id = flow_rng.NextBounded(num_flows);
+    if (options_.make_payload) {
+      payload.clear();
+      options_.make_payload(payload_rng, payload);
+    }
     if (sink.Send(request_id, flow_id, next, payload)) {
       result.sent++;
     } else {

@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "src/common/histogram.h"
@@ -74,6 +75,11 @@ struct GeneratorOptions {
   int num_flows = 16;          // requests are spread uniformly over flow ids [0, n)
   size_t payload_size = 32;
   uint64_t seed = 1;
+  // Optional per-request payload factory (e.g. src/loadgen/tpcc_gen.h); when unset,
+  // every request carries `payload_size` fixed bytes. Drawn from a dedicated payload
+  // Rng derived from `seed`, so installing a factory — or changing how many values it
+  // draws — never shifts the send schedule or the flow choices (the CO guard).
+  std::function<void(Rng& rng, std::string& out)> make_payload;
 };
 
 struct GeneratorResult {

@@ -1,7 +1,11 @@
 // TPC-C tests: loader population counts and spec invariants, per-transaction effects,
 // the consistency conditions of TPC-C clause 3.3 after single- and multi-threaded
-// mixed runs, and the input-generation helpers (NURand, last names, mix fractions).
+// mixed runs, the input-generation helpers (NURand, last names, mix fractions), and
+// the live wire-service battery: the same consistency conditions after a seeded
+// multi-worker run through the runtime (src/services/tpcc_service.h), TID-regression
+// checks across bursts, and the malformed-request poison discipline.
 #include <algorithm>
+#include <map>
 #include <set>
 #include <string>
 #include <thread>
@@ -9,13 +13,20 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.h"
 #include "src/db/database.h"
+#include "src/db/record.h"
+#include "src/db/tid.h"
 #include "src/db/tpcc_driver.h"
 #include "src/db/tpcc_loader.h"
 #include "src/db/tpcc_random.h"
 #include "src/db/tpcc_schema.h"
 #include "src/db/tpcc_txns.h"
 #include "src/db/txn.h"
+#include "src/loadgen/tpcc_gen.h"
+#include "src/net/message.h"
+#include "src/runtime/runtime.h"
+#include "src/services/tpcc_service.h"
 
 namespace zygos {
 namespace {
@@ -121,6 +132,78 @@ class TpccFixture : public ::testing::Test {
     });
     txn.Abort();
     return count;
+  }
+
+  // TPC-C clause 3.3 consistency conditions 1-3, checked across every warehouse:
+  // w_ytd = Σ d_ytd (exact, integer cents); d_next_o_id - 1 = max(o_id) in ORDER;
+  // NEW-ORDER rows form a contiguous o_id range. Shared by the driver-level and the
+  // live-service concurrency tests.
+  void CheckConsistencyConditions() {
+    for (int w = 1; w <= options_.num_warehouses; ++w) {
+      auto warehouse = ReadRow<WarehouseRow>(tables_.warehouse, WarehouseKey(w));
+      int64_t district_ytd = 0;
+      for (int d = 1; d <= kTpccDistrictsPerWarehouse; ++d) {
+        auto district = ReadRow<DistrictRow>(tables_.district, DistrictKey(w, d));
+        district_ytd += district.d_ytd_cents;
+
+        // Condition 2: d_next_o_id - 1 = max(o_id) in ORDER for the district.
+        int32_t max_order = 0;
+        Transaction txn(db_);
+        txn.Scan(tables_.order, OrderKey(w, d, 0), OrderKey(w, d, INT32_MAX), true, 1,
+                 [&max_order](const std::string& key, const std::string&) {
+                   size_t n = key.size();
+                   max_order =
+                       static_cast<int32_t>((static_cast<uint8_t>(key[n - 4]) << 24) |
+                                            (static_cast<uint8_t>(key[n - 3]) << 16) |
+                                            (static_cast<uint8_t>(key[n - 2]) << 8) |
+                                            static_cast<uint8_t>(key[n - 1]));
+                   return false;
+                 });
+        txn.Abort();
+        EXPECT_EQ(max_order, district.d_next_o_id - 1)
+            << "warehouse " << w << " district " << d;
+
+        // Condition 3: NEW-ORDER rows are a contiguous o_id range.
+        std::vector<int32_t> pending;
+        Transaction scan_txn(db_);
+        scan_txn.Scan(tables_.new_order, NewOrderKey(w, d, 0),
+                      NewOrderKey(w, d, INT32_MAX), false, 0,
+                      [&pending](const std::string& key, const std::string&) {
+                        size_t n = key.size();
+                        pending.push_back(static_cast<int32_t>(
+                            (static_cast<uint8_t>(key[n - 4]) << 24) |
+                            (static_cast<uint8_t>(key[n - 3]) << 16) |
+                            (static_cast<uint8_t>(key[n - 2]) << 8) |
+                            static_cast<uint8_t>(key[n - 1])));
+                        return true;
+                      });
+        scan_txn.Abort();
+        if (!pending.empty()) {
+          EXPECT_EQ(pending.back() - pending.front() + 1,
+                    static_cast<int32_t>(pending.size()))
+              << "warehouse " << w << " district " << d;
+        }
+      }
+      // Condition 1: w_ytd = Σ d_ytd (exact, integer cents).
+      EXPECT_EQ(warehouse.w_ytd_cents, district_ytd) << "warehouse " << w;
+    }
+  }
+
+  // Every order in the most recent few per district has exactly o_ol_cnt order lines.
+  void CheckOrderLineCounts() {
+    for (int w = 1; w <= options_.num_warehouses; ++w) {
+      for (int d = 1; d <= kTpccDistrictsPerWarehouse; ++d) {
+        auto district = ReadRow<DistrictRow>(tables_.district, DistrictKey(w, d));
+        for (int32_t o = district.d_next_o_id - 1;
+             o > std::max(0, district.d_next_o_id - 4); --o) {
+          auto order = ReadRow<OrderRow>(tables_.order, OrderKey(w, d, o));
+          uint64_t lines = CountRange(tables_.order_line, OrderLineKey(w, d, o, 0),
+                                      OrderLineKey(w, d, o, INT32_MAX));
+          EXPECT_EQ(lines, static_cast<uint64_t>(order.o_ol_cnt))
+              << "warehouse " << w << " district " << d << " order " << o;
+        }
+      }
+    }
   }
 
   Database db_;
@@ -334,72 +417,15 @@ TEST_F(TpccFixture, ConsistencyConditionsAfterConcurrentMix) {
   TpccDriver driver(db_, *workload_);
   auto result = driver.RunConcurrent(/*threads=*/3, /*count=*/900, /*seed=*/29);
   EXPECT_GT(result.committed, 0u);
-
-  for (int w = 1; w <= options_.num_warehouses; ++w) {
-    // Condition 1: w_ytd = Σ d_ytd (exact, integer cents).
-    auto warehouse = ReadRow<WarehouseRow>(tables_.warehouse, WarehouseKey(w));
-    int64_t district_ytd = 0;
-    for (int d = 1; d <= kTpccDistrictsPerWarehouse; ++d) {
-      auto district = ReadRow<DistrictRow>(tables_.district, DistrictKey(w, d));
-      district_ytd += district.d_ytd_cents;
-
-      // Condition 2: d_next_o_id - 1 = max(o_id) in ORDER for the district.
-      int32_t max_order = 0;
-      Transaction txn(db_);
-      txn.Scan(tables_.order, OrderKey(w, d, 0), OrderKey(w, d, INT32_MAX), true, 1,
-               [&max_order](const std::string& key, const std::string&) {
-                 size_t n = key.size();
-                 max_order =
-                     static_cast<int32_t>((static_cast<uint8_t>(key[n - 4]) << 24) |
-                                          (static_cast<uint8_t>(key[n - 3]) << 16) |
-                                          (static_cast<uint8_t>(key[n - 2]) << 8) |
-                                          static_cast<uint8_t>(key[n - 1]));
-                 return false;
-               });
-      txn.Abort();
-      EXPECT_EQ(max_order, district.d_next_o_id - 1);
-
-      // Condition 3: NEW-ORDER rows are a contiguous o_id range.
-      std::vector<int32_t> pending;
-      Transaction scan_txn(db_);
-      scan_txn.Scan(tables_.new_order, NewOrderKey(w, d, 0),
-                    NewOrderKey(w, d, INT32_MAX), false, 0,
-                    [&pending](const std::string& key, const std::string&) {
-                      size_t n = key.size();
-                      pending.push_back(static_cast<int32_t>(
-                          (static_cast<uint8_t>(key[n - 4]) << 24) |
-                          (static_cast<uint8_t>(key[n - 3]) << 16) |
-                          (static_cast<uint8_t>(key[n - 2]) << 8) |
-                          static_cast<uint8_t>(key[n - 1])));
-                      return true;
-                    });
-      scan_txn.Abort();
-      if (!pending.empty()) {
-        EXPECT_EQ(pending.back() - pending.front() + 1,
-                  static_cast<int32_t>(pending.size()));
-      }
-    }
-    EXPECT_EQ(warehouse.w_ytd_cents, district_ytd);
-  }
+  CheckConsistencyConditions();
 }
 
 TEST_F(TpccFixture, OrderLinesMatchOlCntAfterConcurrentRun) {
   Load(LoaderOptions::Tiny(1));
   TpccDriver driver(db_, *workload_);
   driver.RunConcurrent(/*threads=*/2, /*count=*/400, /*seed=*/31);
-
   // Condition: every order has exactly o_ol_cnt order lines (check a sample).
-  for (int d = 1; d <= kTpccDistrictsPerWarehouse; ++d) {
-    auto district = ReadRow<DistrictRow>(tables_.district, DistrictKey(1, d));
-    for (int32_t o = district.d_next_o_id - 1;
-         o > std::max(0, district.d_next_o_id - 4); --o) {
-      auto order = ReadRow<OrderRow>(tables_.order, OrderKey(1, d, o));
-      uint64_t lines = CountRange(tables_.order_line, OrderLineKey(1, d, o, 0),
-                                  OrderLineKey(1, d, o, INT32_MAX));
-      EXPECT_EQ(lines, static_cast<uint64_t>(order.o_ol_cnt))
-          << "district " << d << " order " << o;
-    }
-  }
+  CheckOrderLineCounts();
 }
 
 TEST_F(TpccFixture, DriverMeasureProducesPerTypeSamples) {
@@ -419,6 +445,148 @@ TEST_F(TpccFixture, DriverMeasureProducesPerTypeSamples) {
   EXPECT_FALSE(result.ForType(TpccTxnType::kPayment).empty());
   auto distribution = TpccMixDistribution(result);
   EXPECT_GT(distribution.MeanNanos(), 0.0);
+}
+
+// --- Live wire service ------------------------------------------------------------------
+//
+// The same consistency battery, but the transactions arrive as wire requests through
+// the runtime's workers instead of through TpccDriver threads: seeded generator →
+// EncodeTpccRequest → loopback ingress → DecodeTpccRequest → OCC execution, the full
+// Fig. 10 request path minus the TCP socket.
+
+class TpccLiveServiceFixture : public TpccFixture {
+ protected:
+  // Drives `count` seeded wire requests through a loopback runtime serving `service`
+  // and blocks until all of them completed. Ring refusals are retried (the battery
+  // asserts an exact ledger, so nothing may be dropped at ingress).
+  void RunLiveMix(TpccService& service, int workers, int count, uint64_t seed) {
+    RuntimeOptions runtime_options;
+    runtime_options.num_workers = workers;
+    Runtime runtime(runtime_options, service.Handler(),
+                    [](uint64_t, uint64_t, std::string_view, Nanos, bool) {});
+    runtime.Start();
+    auto factory = MakeTpccPayloadFactory(options_);
+    Rng payload_rng(seed);
+    Rng flow_rng(seed ^ 0xf70e5ULL);
+    std::string payload;
+    for (int i = 0; i < count; ++i) {
+      payload.clear();
+      factory(payload_rng, payload);
+      uint64_t flow =
+          flow_rng.NextBounded(static_cast<uint64_t>(runtime_options.num_flows));
+      while (!runtime.Inject(flow, static_cast<uint64_t>(i), payload)) {
+        std::this_thread::yield();  // ring momentarily full: workers are draining it
+      }
+    }
+    while (runtime.Completed() < runtime.Injected()) {
+      std::this_thread::yield();
+    }
+    runtime.Shutdown();
+  }
+
+  // Version snapshot of every record in `table` (quiesced traffic: no live writers).
+  std::map<std::string, uint64_t> SnapshotTids(TableId table) {
+    std::map<std::string, uint64_t> tids;
+    db_.table(table).Scan(
+        std::string(1, '\0'), std::string(64, '\xff'), false,
+        [&tids](const std::string& key, Record* record) {
+          tids[key] = TidWord::Version(record->StableRead().tid);
+          return true;
+        });
+    return tids;
+  }
+};
+
+TEST_F(TpccLiveServiceFixture, LiveMixKeepsLedgerExactAndConsistencyConditionsHold) {
+  Load(LoaderOptions::Tiny(2));
+  TpccService service(db_, tables_, options_);
+  constexpr int kRequests = 3000;
+  RunLiveMix(service, /*workers=*/4, kRequests, /*seed=*/41);
+
+  // Service-side ledger: every injected request was answered exactly once, none were
+  // malformed (the generator only emits spec-range requests), and both terminal
+  // outcomes appeared (commits dominate; NewOrder's 1% rollback supplies aborts).
+  EXPECT_EQ(service.commits() + service.user_aborts() + service.malformed(),
+            static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(service.malformed(), 0u);
+  EXPECT_GT(service.commits(), static_cast<uint64_t>(kRequests) / 2);
+  uint64_t per_type_total = 0;
+  for (size_t t = 0; t < kTpccTxnTypes; ++t) {
+    uint64_t commits = service.commits_of(static_cast<TpccTxnType>(t));
+    EXPECT_GT(commits, 0u) << "txn type " << t << " never committed in " << kRequests
+                           << " requests";
+    per_type_total += commits;
+  }
+  EXPECT_EQ(per_type_total, service.commits());
+
+  // Database-side: clause 3.3 conditions 1-3 plus order-line counts survive the
+  // multi-worker (and work-stealing) run exactly as they do the driver-thread run.
+  CheckConsistencyConditions();
+  CheckOrderLineCounts();
+}
+
+TEST_F(TpccLiveServiceFixture, TidsNeverRegressWithinARecordAcrossLiveBursts) {
+  Load(LoaderOptions::Tiny(1));
+  TpccService service(db_, tables_, options_);
+  RunLiveMix(service, /*workers=*/3, /*count=*/800, /*seed=*/43);
+
+  // Snapshot the stable tables (rows that are updated in place, never deleted).
+  const std::array<TableId, 4> stable_tables = {tables_.warehouse, tables_.district,
+                                                tables_.customer, tables_.stock};
+  std::array<std::map<std::string, uint64_t>, 4> before;
+  for (size_t t = 0; t < stable_tables.size(); ++t) {
+    before[t] = SnapshotTids(stable_tables[t]);
+    ASSERT_FALSE(before[t].empty());
+  }
+
+  RunLiveMix(service, /*workers=*/3, /*count=*/800, /*seed=*/47);
+
+  // Silo TIDs only move forward: a version observed after burst B must be >= the
+  // version the same record had after burst A, for every record.
+  uint64_t advanced = 0;
+  for (size_t t = 0; t < stable_tables.size(); ++t) {
+    auto after = SnapshotTids(stable_tables[t]);
+    ASSERT_EQ(after.size(), before[t].size()) << "stable table " << t << " lost rows";
+    for (const auto& [key, tid_before] : before[t]) {
+      auto it = after.find(key);
+      ASSERT_NE(it, after.end()) << "stable table " << t << " lost a key";
+      EXPECT_GE(it->second, tid_before) << "TID regressed in table " << t;
+      advanced += it->second > tid_before ? 1 : 0;
+    }
+  }
+  // The second burst really wrote: district/warehouse rows must have moved.
+  EXPECT_GT(advanced, 0u);
+}
+
+TEST_F(TpccLiveServiceFixture, MalformedRequestsAreAnsweredWithoutExecuting) {
+  Load(LoaderOptions::Tiny(1));
+  TpccService service(db_, tables_, options_);
+
+  const std::vector<std::string> poison = {
+      std::string(),                       // empty payload
+      std::string(1, '\x09'),              // unknown op
+      std::string("\x00\x01", 2),          // truncated NewOrder header
+      std::string(3000, '\xff'),           // oversized garbage
+      std::string("\x03\x01\x00\x00\x00\x00", 6),  // Delivery with carrier 0
+  };
+  for (const std::string& bytes : poison) {
+    uint64_t commits_before = service.commits();
+    uint64_t aborts_before = service.user_aborts();
+    ResponseBuilder builder;
+    EXPECT_EQ(service.HandleView(bytes, builder), TpccWireStatus::kMalformed);
+    // The 4-byte response decodes and carries the malformed status on the wire.
+    auto response = DecodeTpccResponse(
+        std::string_view(builder.payload_data(), builder.payload_size()));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, TpccWireStatus::kMalformed);
+    // Nothing executed: no commit, no user abort, only the malformed counter moved.
+    EXPECT_EQ(service.commits(), commits_before);
+    EXPECT_EQ(service.user_aborts(), aborts_before);
+  }
+  EXPECT_EQ(service.malformed(), poison.size());
+
+  // The database is untouched: pristine loader invariants still hold.
+  CheckConsistencyConditions();
 }
 
 }  // namespace
