@@ -17,15 +17,23 @@
 // the synthetic spin service (src/loadgen/spin_service.h); on hosts with fewer
 // hardware threads than workers use `--service-mode=sleep` (see that header).
 //
-// `--transport` takes a comma-separated list drawn from loopback|tcp|uring; every
-// requested transport sweeps the SAME ascending rate list (calibrated once, on the
-// first transport), so uring-vs-epoll comparisons happen at matched load. Socket
-// transports additionally report syscalls_per_req (Transport::IoSyscalls over
-// completed requests). A host without io_uring drops the uring leg with a printed
-// `# skip:` note (exit 0 when nothing remains); `--probe-uring` just reports
-// availability (exit 0/1) so harnesses can decide before committing to a sweep.
+// `--transport` takes a comma-separated list drawn from loopback|tcp|uring plus the
+// io_uring feature-ladder rungs uring+ms|uring+ms+sqp|uring+ms+sqp+zc ("uring" is the
+// rung-0 baseline: multishot/SQPOLL/SEND_ZC all off, i.e. the re-arm singleshot +
+// plain-send path); every requested transport sweeps the SAME ascending rate list
+// (calibrated once, on the first transport), so uring-vs-epoll and rung-vs-rung
+// comparisons happen at matched load. `--uring-ladder` is shorthand for
+// `--transport=tcp,uring,uring+ms,uring+ms+sqp,uring+ms+sqp+zc`. Socket transports
+// additionally report syscalls_per_req (Transport::IoSyscalls over completed
+// requests) — the ladder's headline, stepping from epoll's ~2/req through batched
+// uring's ~0.7 toward ~0 with SQPOLL. A host without io_uring drops the uring legs
+// with a printed `# skip:` note (exit 0 when nothing remains), and a rung whose
+// feature the kernel denies is likewise skipped, not silently degraded;
+// `--probe-uring` reports availability and the per-feature support set (exit 0/1) so
+// harnesses can decide before committing to a sweep.
 //
-// Usage: fig6_live_runtime [--transport=loopback|tcp|uring[,...]] [--workers=N]
+// Usage: fig6_live_runtime [--transport=loopback|tcp|uring|uring+ms|...[,...]]
+//   [--uring-ladder] [--workers=N]
 //   [--connections=N] [--threads=N] [--arrivals=poisson|fixed] [--dist=NAME]
 //   [--service-us=F] [--service-mode=spin|sleep] [--configs=a,b,...]
 //   [--rates=r1,r2,...] [--load-fractions=f1,f2,...] [--calibrate-rate=R]
@@ -47,6 +55,7 @@
 
 #include "src/common/distribution.h"
 #include "src/common/flags.h"
+#include "src/hw/perf_counters.h"
 #include "src/common/time_units.h"
 #include "src/loadgen/arrival.h"
 #include "src/loadgen/loadgen.h"
@@ -62,7 +71,9 @@ namespace zygos {
 namespace {
 
 constexpr const char* kUsage =
-    "usage: fig6_live_runtime [--transport=loopback|tcp|uring[,...]] [--workers=N]\n"
+    "usage: fig6_live_runtime [--transport=loopback|tcp|uring|uring+ms|uring+ms+sqp|"
+    "uring+ms+sqp+zc[,...]]\n"
+    "  [--uring-ladder] [--workers=N]\n"
     "  [--connections=N] [--threads=N] [--arrivals=poisson|fixed] [--dist=NAME]\n"
     "  [--service-us=F] [--service-mode=spin|sleep] [--configs=zygos,no-steal,...]\n"
     "  [--rates=r1,r2,...] [--load-fractions=f1,f2,...] [--calibrate-rate=R]\n"
@@ -92,8 +103,52 @@ std::optional<Config> ParseConfig(const std::string& name) {
   return std::nullopt;
 }
 
+// io_uring feature-ladder rung encoded in a transport name. Rung 0 ("uring") turns
+// every ladder feature OFF — the re-arm singleshot + plain-send baseline — so the
+// historical "uring" curve (and the uring-vs-epoll predicates keyed on it) keep
+// measuring the same thing; later rungs add features cumulatively.
+struct UringRung {
+  bool multishot = false;
+  bool sqpoll = false;
+  bool send_zc = false;
+};
+
+std::optional<UringRung> ParseUringRung(const std::string& name) {
+  if (name == "uring") {
+    return UringRung{false, false, false};
+  }
+  if (name == "uring+ms") {
+    return UringRung{true, false, false};
+  }
+  if (name == "uring+ms+sqp") {
+    return UringRung{true, true, false};
+  }
+  if (name == "uring+ms+sqp+zc") {
+    return UringRung{true, true, true};
+  }
+  return std::nullopt;
+}
+
+// Empty when the kernel grants everything the rung requests; otherwise the name of
+// the first denied feature (for the `# skip:` note). A rung a kernel cannot serve is
+// dropped from the sweep rather than silently degraded — a ladder column must
+// measure the feature it is named after.
+std::string RungDenied(const UringRung& rung) {
+  const UringProbe& probe = ProbeUring();
+  if (rung.multishot && !(probe.buf_ring && probe.multishot)) {
+    return "multishot recv / provided-buffer ring";
+  }
+  if (rung.sqpoll && !probe.sqpoll) {
+    return "SQPOLL";
+  }
+  if (rung.send_zc && !probe.send_zc) {
+    return "SEND_ZC";
+  }
+  return "";
+}
+
 struct Experiment {
-  std::string transport;  // "loopback" | "tcp" | "uring" (one cell's backend)
+  std::string transport;  // "loopback" | "tcp" | "uring[+rungs]" (one cell's backend)
   int workers = 2;
   int connections = 8;
   int threads = 2;
@@ -106,6 +161,22 @@ struct Experiment {
   uint64_t seed = 1;
   bool skew = true;
 };
+
+// Per-request hardware-counter rates from the cell's summed worker counters. The
+// denominator is every completion of the run (warmup included) — like
+// syscalls_per_req, a steady-state cost ratio, not a window measurement.
+void FillPerfRates(LivePoint& point, const WorkerStats& stats, uint64_t completed) {
+  if (stats.perf_workers == 0 || completed == 0) {
+    return;  // perf_event_open denied (or an idle cell): rates stay "not measured"
+  }
+  point.perf_valid = true;
+  point.cycles_per_req =
+      static_cast<double>(stats.perf_cycles) / static_cast<double>(completed);
+  point.instructions_per_req =
+      static_cast<double>(stats.perf_instructions) / static_cast<double>(completed);
+  point.cache_misses_per_req =
+      static_cast<double>(stats.perf_cache_misses) / static_cast<double>(completed);
+}
 
 // Runs one (config, rate) cell on the live runtime and returns the measured point.
 LivePoint RunCell(const Experiment& exp, const Config& config, double rate) {
@@ -123,12 +194,17 @@ LivePoint RunCell(const Experiment& exp, const Config& config, double rate) {
   point.transport = exp.transport;
   point.offered_rps = rate;
 
-  if (exp.transport == "tcp" || exp.transport == "uring") {
+  std::optional<UringRung> rung = ParseUringRung(exp.transport);
+  if (exp.transport == "tcp" || rung) {
     // Transport geometry derives from the runtime options (single source of truth
     // for the flow cap — see TcpOptionsFor).
     std::unique_ptr<SocketTransportBase> transport;
-    if (exp.transport == "uring") {
-      transport = std::make_unique<UringTransport>(TcpOptionsFor(options));
+    if (rung) {
+      UringTransportOptions uring(TcpOptionsFor(options));
+      uring.multishot = rung->multishot;
+      uring.sqpoll = rung->sqpoll;
+      uring.send_zc = rung->send_zc;
+      transport = std::make_unique<UringTransport>(uring);
     } else {
       transport = std::make_unique<TcpTransport>(TcpOptionsFor(options));
     }
@@ -179,6 +255,7 @@ LivePoint RunCell(const Experiment& exp, const Config& config, double rate) {
         completed > 0 ? static_cast<double>(sock->IoSyscalls()) /
                             static_cast<double>(completed)
                       : 0.0;
+    FillPerfRates(point, stats, completed);
     if (!result.clean) {
       std::fprintf(stderr,
                    "fig6_live_runtime: [%s @ %.0f rps] unclean TCP run "
@@ -240,6 +317,7 @@ LivePoint RunCell(const Experiment& exp, const Config& config, double rate) {
   point.doorbells_sent = stats.doorbells_sent;
   point.remote_syscalls = stats.remote_syscalls;
   point.sheds = stats.sheds_deadline + stats.sheds_fairness + stats.sheds_admission;
+  FillPerfRates(point, stats, runtime.Completed());
   return point;
 }
 
@@ -286,14 +364,22 @@ int Main(int argc, char** argv) {
   exp.skew = flags.GetBool("skew", true);
   const std::string json_path = flags.GetString("json", "");
   const bool probe_uring = flags.GetBool("probe-uring", false);
+  const bool uring_ladder = flags.GetBool("uring-ladder", false);
   if (!flags.CheckUnknown(kUsage)) {
     return 2;
   }
 
   if (probe_uring) {
     // Capability probe for harnesses (scripts/ci.sh): no sweep, just the verdict.
+    // The first line's "available"/"unavailable" verdict is the stable grep target;
+    // the second line carries the per-feature support set so harnesses can gate
+    // individual ladder rungs (`grep 'sqpoll=1'`).
     if (UringTransport::Available()) {
+      const UringProbe& probe = ProbeUring();
       std::printf("io_uring: available\n");
+      std::printf("io_uring: features multishot=%d sqpoll=%d send_zc=%d\n",
+                  (probe.buf_ring && probe.multishot) ? 1 : 0, probe.sqpoll ? 1 : 0,
+                  probe.send_zc ? 1 : 0);
       return 0;
     }
     std::printf("io_uring: unavailable: %s\n",
@@ -301,18 +387,31 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  if (uring_ladder) {
+    // The full matched-load ladder: epoll reference, then each uring rung.
+    exp.transport = "tcp,uring,uring+ms,uring+ms+sqp,uring+ms+sqp+zc";
+  }
   std::vector<std::string> transports;
   for (const std::string& name : SplitCsv(exp.transport)) {
-    if (name != "loopback" && name != "tcp" && name != "uring") {
+    std::optional<UringRung> rung = ParseUringRung(name);
+    if (name != "loopback" && name != "tcp" && !rung) {
       std::fprintf(stderr, "fig6_live_runtime: unknown --transport=%s\n%s\n",
                    name.c_str(), kUsage);
       return 2;
     }
-    if (name == "uring" && !UringTransport::Available()) {
+    if (rung) {
       // Graceful capability fallback: drop the leg, keep the sweep honest about it.
-      std::printf("# skip: transport=uring (io_uring unavailable: %s)\n",
-                  UringTransport::UnavailableReason().c_str());
-      continue;
+      if (!UringTransport::Available()) {
+        std::printf("# skip: transport=%s (io_uring unavailable: %s)\n", name.c_str(),
+                    UringTransport::UnavailableReason().c_str());
+        continue;
+      }
+      std::string denied = RungDenied(*rung);
+      if (!denied.empty()) {
+        std::printf("# skip: transport=%s (kernel denies %s)\n", name.c_str(),
+                    denied.c_str());
+        continue;
+      }
     }
     if (std::find(transports.begin(), transports.end(), name) == transports.end()) {
       transports.push_back(name);
@@ -446,6 +545,13 @@ int Main(int argc, char** argv) {
   info.duration_ms = static_cast<double>(exp.duration) / 1e6;
   info.warmup_ms = static_cast<double>(exp.warmup) / 1e6;
   info.seed = exp.seed;
+  info.perf_available = PerfCountersAvailable();
+  info.perf_reason = info.perf_available ? "" : PerfCountersUnavailableReason();
+  if (!info.perf_available) {
+    std::printf("# note: perf counters unavailable (%s) — cycles/insns/miss "
+                "columns report 0\n",
+                info.perf_reason.c_str());
+  }
 
   PrintLiveCsvHeader(stdout);
   std::vector<LivePoint> points;
@@ -492,6 +598,32 @@ int Main(int argc, char** argv) {
               epoll_syscalls, uring_syscalls,
               UringP99LeqEpollAtPeak(points) ? "yes" : "no",
               UringSyscallsBelowEpoll(points) ? "yes" : "no");
+  // Ladder headline only when at least one feature rung actually swept: the
+  // rung-by-rung syscall staircase plus its two JSON acceptance booleans.
+  bool any_rung = false;
+  std::string ladder_cells;
+  for (const char* name : {"uring", "uring+ms", "uring+ms+sqp", "uring+ms+sqp+zc"}) {
+    double syscalls = -1;
+    for (const LivePoint& point : points) {
+      if (point.config == "zygos" && point.transport == name) {
+        syscalls = point.syscalls_per_req;  // rates ascend: last row = peak load
+      }
+    }
+    if (syscalls < 0) {
+      continue;
+    }
+    any_rung = any_rung || std::string(name) != "uring";
+    char cell[64];
+    std::snprintf(cell, sizeof cell, " %s=%.3f", name, syscalls);
+    ladder_cells += cell;
+  }
+  if (any_rung) {
+    std::printf("# headline: uring ladder syscalls/req@peak%s "
+                "strictly_decreasing=%s full_ladder_leq_0.1=%s\n",
+                ladder_cells.c_str(),
+                UringLadderSyscallsStrictlyDecreasing(points) ? "yes" : "no",
+                UringFullLadderSyscallsLeq0p1(points) ? "yes" : "no");
+  }
 
   if (!json_path.empty() && !WriteLiveJsonReport(json_path, info, points)) {
     return 1;

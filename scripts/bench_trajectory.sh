@@ -144,23 +144,26 @@ printf '%s\n' "${dp_json}" > "${OUT_DIR}/BENCH_micro_dataplane.json"
 printf '%s\n' "${dp_json}" > "${OUT_DIR}/BENCH_0003.json"
 echo "   dataplane_pooled_echo_ns_per_op = ${pooled_ns} ns (string ${string_ns} ns, ${speedup}x, ${pooled_allocs} allocs/op) -> ${OUT_DIR}/BENCH_micro_dataplane.json"
 
-# --- fig6_live: the LIVE runtime under open-loop load, on all three transports --------
+# --- fig6_live: the LIVE runtime under open-loop load, all transports + uring ladder --
 # The binary itself writes the BENCH-contract JSON (src/loadgen/report.h), including
-# the four acceptance booleans; this script stamps the commit and gates on them.
+# the acceptance booleans; this script stamps the commit and gates on them.
 # Wall-clock latencies are host-dependent; the *relative* curves (monotone-in-load
 # p99, stealing <= no-steal at the peak load, uring <= epoll at matched load, uring
-# syscalls/request below epoll's) are the tracked invariants. tcp leads the transport
-# list so the calibrated rate list comes from a socket backend and every transport
-# then sweeps the same absolute rates (matched-load uring-vs-epoll cells). The sleep-
-# mode service keeps the scheduling policies distinguishable on CI hosts with fewer
-# hardware threads than workers (see src/loadgen/spin_service.h). A host without
-# io_uring drops that leg (the binary prints `# skip:`) and the uring booleans hold
-# vacuously.
+# syscalls/request below epoll's, and the io_uring feature ladder's rung-by-rung
+# syscall staircase) are the tracked invariants. tcp leads the transport list so the
+# calibrated rate list comes from a socket backend and every transport then sweeps
+# the same absolute rates (matched-load uring-vs-epoll and rung-vs-rung cells). The
+# sleep-mode service keeps the scheduling policies distinguishable on CI hosts with
+# fewer hardware threads than workers (see src/loadgen/spin_service.h). A host
+# without io_uring drops those legs (the binary prints `# skip:` per rung, likewise
+# for rungs whose feature the kernel denies) and every uring boolean holds
+# vacuously. params.perf_counters carries per-request cycles/instructions/
+# cache-misses when perf_event_open works, with available=false + reason otherwise.
 # 3000ms/point: at the lowest swept rate (~1000 rps) a cell needs ~3k completions
 # for the p99 to rest on ~30 samples — 1500ms cells made the monotonicity gate a
 # coin flip on oversubscribed single-CPU hosts.
 LIVE_DURATION_MS="${BENCH_LIVE_DURATION_MS:-3000}"
-echo "== fig6_live_runtime (live data plane, tcp+uring+loopback, duration=${LIVE_DURATION_MS}ms/point)"
+echo "== fig6_live_runtime (live data plane, tcp+uring ladder+loopback, duration=${LIVE_DURATION_MS}ms/point)"
 live_json="${OUT_DIR}/BENCH_fig6_live.json"
 # 0.2..0.8 of the calibrated peak (not the default 0.95 top point): calibration is a
 # single overload cell whose peak estimate swings ~15% run to run, and the rate list
@@ -171,7 +174,11 @@ live_json="${OUT_DIR}/BENCH_fig6_live.json"
 # where the loadgen and the server share cores, a single scheduler stall books tens
 # of ms into one cell's p99 (CO-safe accounting must count it); the median row
 # discards the one-off without biasing the curve.
-"${BUILD_DIR}/bench/fig6_live_runtime" --transport=tcp,uring,loopback \
+# Transport list = epoll reference, the four io_uring ladder rungs ("uring" is the
+# rung-0 baseline with multishot/SQPOLL/SEND_ZC off — the same backend the historic
+# uring curve measured), and loopback.
+"${BUILD_DIR}/bench/fig6_live_runtime" \
+  --transport=tcp,uring,uring+ms,uring+ms+sqp,uring+ms+sqp+zc,loopback \
   --dist=exponential --service-us=300 --service-mode=sleep --workers=2 \
   --connections=16 --load-fractions=0.2,0.4,0.6,0.8 --cell-repeats=3 \
   --duration-ms="${LIVE_DURATION_MS}" --warmup-ms=400 --seed=3 \
@@ -193,10 +200,20 @@ if ! grep -q '"uring_syscalls_below_epoll": true' "${live_json}"; then
   echo "bench_trajectory: uring syscalls/request not below epoll — the batched submission path regressed?" >&2
   exit 1
 fi
-# PR-numbered snapshots: the live-harness acceptance record (0004) and the uring
-# transport's syscalls-per-request trajectory record (0007).
+if ! grep -q '"uring_ladder_syscalls_strictly_decreasing": true' "${live_json}"; then
+  echo "bench_trajectory: uring ladder syscalls/request did not fall rung by rung (uring -> +ms -> +sqp) — a feature rung stopped engaging?" >&2
+  exit 1
+fi
+if ! grep -q '"uring_full_ladder_syscalls_leq_0p1": true' "${live_json}"; then
+  echo "bench_trajectory: full uring ladder (+ms+sqp+zc) above 0.1 syscalls/request — the zero-syscall steady state regressed?" >&2
+  exit 1
+fi
+# PR-numbered snapshots: the live-harness acceptance record (0004), the uring
+# transport's syscalls-per-request trajectory record (0007), and the feature-ladder
+# zero-syscall steady-state record (0010).
 cp "${live_json}" "${OUT_DIR}/BENCH_0004.json"
 cp "${live_json}" "${OUT_DIR}/BENCH_0007.json"
+cp "${live_json}" "${OUT_DIR}/BENCH_0010.json"
 live_p99="$(sed -nE 's/^  "value": ([0-9.]+),$/\1/p' "${live_json}" | head -1)"
 echo "   live_zygos_p99_us_at_peak_load = ${live_p99} us  -> ${live_json}"
 

@@ -126,12 +126,15 @@ echo "== smoke: bench/overload_live_runtime (one 2x-overload cell, real TCP)"
 # Short-window overload smoke: calibrate, then a 0.8x cell (must shed nothing) and a
 # 2x cell (zygos must hold goodput while no-shed collapses). The binary exits
 # non-zero if any acceptance boolean fails, so `set -e` is the gate; the JSON is
-# validated on top.
+# validated on top. 1200 ms cells, not shorter: the SLO is derived from the 0.8x
+# baseline p99, which host noise can inflate 2-3x on an oversubscribed box — the
+# no-shed backlog delay (~0.5x elapsed time at 2x offered) must still clearly
+# exceed that inflated SLO inside the window or no_shed_collapses goes flaky.
 overload_json="${BUILD_DIR}/overload_smoke.json"
 rm -f "${overload_json}"
 overload_out="$("${BUILD_DIR}/bench/overload_live_runtime" --workers=2 \
   --connections=8 --threads=2 --service-us=1000 --multipliers=0.8,2 \
-  --duration-ms=600 --warmup-ms=150 --seed=7 --json="${overload_json}")" || {
+  --duration-ms=1200 --warmup-ms=150 --seed=7 --json="${overload_json}")" || {
     # Print what the binary got through before the failing boolean killed it —
     # `set -e` on the bare substitution would otherwise swallow every CSV row.
     printf '%s\n' "${overload_out}"
@@ -190,6 +193,38 @@ else
   echo "ci: skipping uring smoke (io_uring unavailable on this host)"
 fi
 
+echo "== smoke: uring feature ladder (per-feature, probe-gated)"
+# One in-process demo smoke per granted io_uring feature, each with ONLY that
+# feature requested, so a rung-specific regression cannot hide behind the other
+# rungs. The probe's second output line carries the per-feature support set
+# ("io_uring: features multishot=D sqpoll=D send_zc=D"); a denied feature skips
+# green. The smoke asserts the server's own feature-engagement line echoes exactly
+# the requested set — a silently-degraded rung fails here, not in a benchmark.
+probe_features="$("${BUILD_DIR}/bench/fig6_live_runtime" --probe-uring | sed -n 2p || true)"
+run_uring_feature_smoke() {
+  local label="$1" ms="$2" sqp="$3" zc="$4"
+  if [[ "${probe_features}" == *"${label}=1"* ]]; then
+    smoke_out="$("${BUILD_DIR}/examples/kv_server" --mode=demo --transport=uring \
+      --uring-multishot="${ms}" --uring-sqpoll="${sqp}" --uring-zc="${zc}" \
+      --workers=2 --keys=2000 --requests=3000 --connections=4 --threads=2)"
+    printf '%s\n' "${smoke_out}" | grep "io syscalls"
+    if ! printf '%s\n' "${smoke_out}" | \
+        grep -q "uring features multishot=${ms} sqpoll=${sqp} send_zc=${zc}"; then
+      echo "ci: uring ${label} smoke did not engage the requested feature set" >&2
+      exit 1
+    fi
+  else
+    echo "ci: skipping uring ${label} smoke (kernel denies ${label})"
+  fi
+}
+if [[ -n "${probe_features}" ]]; then
+  run_uring_feature_smoke multishot 1 0 0
+  run_uring_feature_smoke sqpoll 0 1 0
+  run_uring_feature_smoke send_zc 0 0 1
+else
+  echo "ci: skipping uring feature smokes (io_uring unavailable on this host)"
+fi
+
 echo "== smoke: silo_tpcc serve -> TPC-C open-loop loadgen -> SIGTERM over real TCP"
 # The second real workload end to end as two processes: a TPC-C server on a fresh
 # port, a seeded wire-protocol loadgen dialing it (exits non-zero on a dirty run or a
@@ -217,8 +252,10 @@ echo "== AddressSanitizer: runtime + loadgen + chaos + transport suites (${BUILD
 # touches recycled memory. chaos_test rides along: the proxy's kill/stall paths
 # destroy connections with chunks still parked in the timing wheel, and its replay
 # determinism (SameSeedReplaysIdenticalDelaySchedule) is asserted under ASan too.
-# transport_conformance_test runs the same lifecycle battery over all three backends;
-# for uring that is the gate that a kernel-owned completion (recv or straggler send)
+# transport_conformance_test runs the same lifecycle battery over all backends —
+# including the full uring feature matrix (multishot x sqpoll x send-zc, kernel-
+# supported combos only); for uring that is the gate that a kernel-owned completion
+# (multishot recv into a buffer-ring slot, SEND_ZC notification, straggler send)
 # never lands in freed buffers after a sever or shutdown. overload_test rides along:
 # a shed reply is a TX buffer for a request that never reached the handler, and the
 # gated-handler test holds a shed in flight across a flow recycle — the exact window
@@ -233,9 +270,13 @@ cmake --build "${BUILD_DIR}-asan" -j "${JOBS}" --target runtime_test loadgen_tes
   chaos_test transport_conformance_test overload_test tpcc_test net_test
 # Leak checking stays ON; only the by-design thread-pool leak is suppressed
 # (scripts/lsan.supp) — a leaked connection or socket wrapper still fails.
+# --repeat until-pass:2: ASan slows the whole pipeline severalfold, which puts
+# the suites' real-time assertions (deadline-shed budgets, stall deadlines) one
+# ambient scheduler stall away from a false positive on an oversubscribed host.
+# One retry absorbs a single stall; a deterministic regression fails both runs.
 LSAN_OPTIONS="suppressions=$(pwd)/scripts/lsan.supp" \
   ctest --test-dir "${BUILD_DIR}-asan" \
   -R 'runtime_test|loadgen_test|chaos_test|transport_conformance_test|overload_test|tpcc_test|net_test' \
-  --output-on-failure -j "${JOBS}"
+  --output-on-failure -j "${JOBS}" --repeat until-pass:2
 
 echo "CI OK"

@@ -20,6 +20,10 @@ path_of() {
     no_turbo) echo /sys/devices/system/cpu/intel_pstate/no_turbo ;;
     boost) echo /sys/devices/system/cpu/cpufreq/boost ;;
     smt) echo /sys/devices/system/cpu/smt/control ;;
+    irq:*) echo "/proc/irq/${1#irq:}/smp_affinity" ;;
+    wq_cpumask) echo /sys/devices/virtual/workqueue/cpumask ;;
+    timer_migration) echo /proc/sys/kernel/timer_migration ;;
+    sched_rt_runtime_us) echo /proc/sys/kernel/sched_rt_runtime_us ;;
     *) echo "" ;;
   esac
 }

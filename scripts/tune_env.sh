@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Best-effort host tuning for low-variance benchmark runs (the knobs ZygOS-class
-# measurements care about: frequency governor, turbo, and SMT). Every knob is
-# optional: on an unprivileged or containerized host each one degrades to a printed
-# no-op instead of failing, so harnesses can always `scripts/tune_env.sh || true`.
+# measurements care about: frequency governor, turbo, SMT, and core isolation —
+# IRQ affinity, unbound-workqueue placement, timer migration, and the SCHED_FIFO
+# bandwidth cap). Every knob is optional: on an unprivileged or containerized host
+# each one degrades to a printed no-op instead of failing, so harnesses can always
+# `scripts/tune_env.sh || true`.
 #
 # Applied tunings are recorded one-per-line in a state file (default
 # /tmp/zygos_tune_env.state, override with TUNE_STATE=...) holding `knob=old>new`
@@ -22,26 +24,29 @@ skipped=0
 
 # try_write <path> <value> <label>: apply one sysfs knob if it exists and we may
 # write it; record `label=old>new` on success, print a no-op note otherwise.
+# Returns non-zero on a no-op so bulk callers (the per-IRQ loop) can bail early on
+# an unprivileged host instead of printing hundreds of identical notes.
 try_write() {
   local path="$1" value="$2" label="$3" old
   if [[ ! -f "${path}" ]]; then
     echo "tune_env: no-op ${label} (${path} absent on this host)"
     skipped=$((skipped + 1))
-    return
+    return 1
   fi
   old="$(cat "${path}" 2>/dev/null || echo '?')"
   if [[ "${old}" == "${value}" ]]; then
     echo "tune_env: ${label} already ${value}"
-    return
+    return 0
   fi
   if echo "${value}" > "${path}" 2>/dev/null; then
     echo "${label}=${old}>${value}" >> "${STATE}"
     echo "tune_env: ${label}: ${old} -> ${value}"
     applied=$((applied + 1))
-  else
-    echo "tune_env: no-op ${label} (unprivileged; would set ${path}=${value})"
-    skipped=$((skipped + 1))
+    return 0
   fi
+  echo "tune_env: no-op ${label} (unprivileged; would set ${path}=${value})"
+  skipped=$((skipped + 1))
+  return 1
 }
 
 # Frequency governor: performance on every policy (DVFS ramp-up is pure latency
@@ -58,6 +63,40 @@ try_write /sys/devices/system/cpu/cpufreq/boost 0 boost
 
 # SMT off: sibling-thread interference is the classic tail-latency confounder.
 try_write /sys/devices/system/cpu/smt/control off smt
+
+# Core isolation (userspace approximation — true isolcpus is a boot parameter):
+# confine kernel housekeeping to CPU0 so the benchmark cores above it stay quiet.
+ncpus="$(nproc 2>/dev/null || echo 1)"
+if [[ "${ncpus}" -gt 1 ]]; then
+  # Hardware IRQs -> CPU0, one state entry per IRQ so restore_env.sh replays the
+  # exact old masks. Managed/per-cpu IRQs refuse the write; after a few refusals
+  # (unprivileged host) the loop bails instead of narrating every IRQ.
+  irq_noop=0
+  for irq_dir in /proc/irq/[0-9]*; do
+    [[ -e "${irq_dir}/smp_affinity" ]] || continue
+    if ! try_write "${irq_dir}/smp_affinity" 1 "irq:$(basename "${irq_dir}")"; then
+      irq_noop=$((irq_noop + 1))
+      if [[ "${irq_noop}" -ge 4 ]]; then
+        echo "tune_env: no-op remaining IRQ affinity (unprivileged or managed IRQs)"
+        break
+      fi
+    fi
+  done
+  # Unbound-workqueue housekeeping -> CPU0 as well.
+  try_write /sys/devices/virtual/workqueue/cpumask 1 wq_cpumask
+else
+  echo "tune_env: no-op IRQ affinity / workqueue isolation (single-CPU host)"
+  skipped=$((skipped + 1))
+fi
+
+# Timers fire on the core that armed them — no opportunistic migration onto an
+# otherwise-idle benchmark core mid-measurement.
+try_write /proc/sys/kernel/timer_migration 0 timer_migration
+
+# SCHED_FIFO unthrottled: the default RT bandwidth cap stalls RT threads 50 ms
+# every second — a guaranteed 50 ms tail artifact for any pinned SCHED_FIFO
+# benchmark run (and for irq/* kthreads on isolated cores).
+try_write /proc/sys/kernel/sched_rt_runtime_us -1 sched_rt_runtime_us
 
 if [[ "${applied}" -eq 0 ]]; then
   echo "tune_env: nothing applied (${skipped} knobs unavailable/unprivileged) — benchmarks run on the untuned host"

@@ -1,0 +1,161 @@
+#include "src/hw/perf_counters.h"
+
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+namespace zygos {
+
+namespace {
+
+// The three events every x86/arm PMU exposes; PERF_COUNT_HW_CACHE_MISSES is the
+// generic LLC-miss alias, which is what "did zero-copy help" wants to see move.
+constexpr uint64_t kEventConfigs[3] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES,
+};
+
+int PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                  unsigned long flags) {
+  return static_cast<int>(
+      ::syscall(__NR_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+// Opens one self-monitoring counter for `config`, preferring user+kernel scope and
+// falling back to user-only when the host denies kernel visibility. Returns the fd
+// (or -1) and reports which scope was granted through `kernel_included`.
+int OpenCounter(uint64_t config, bool* kernel_included) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof attr;
+  attr.config = config;
+  // TIME_ENABLED/TIME_RUNNING let ReadSample scale away PMU multiplexing, so an
+  // oversubscribed counter reads as an honest estimate instead of a silent undercount.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  attr.inherit = 0;  // this thread only — workers each own a set
+  attr.exclude_hv = 1;
+
+  int fd = PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, /*group_fd=*/-1, 0);
+  if (fd >= 0) {
+    *kernel_included = true;
+    return fd;
+  }
+  if (errno == EACCES || errno == EPERM) {
+    attr.exclude_kernel = 1;
+    fd = PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, /*group_fd=*/-1, 0);
+    if (fd >= 0) {
+      *kernel_included = false;
+      return fd;
+    }
+  }
+  return -1;
+}
+
+struct ProbeResult {
+  bool available = false;
+  std::string reason;
+};
+
+const ProbeResult& Probe() {
+  static ProbeResult result = [] {
+    ProbeResult r;
+    bool kernel_included = false;
+    int fd = OpenCounter(PERF_COUNT_HW_INSTRUCTIONS, &kernel_included);
+    if (fd >= 0) {
+      ::close(fd);
+      r.available = true;
+      return r;
+    }
+    switch (errno) {
+      case EACCES:
+      case EPERM:
+        r.reason = "perf_event_open denied (kernel.perf_event_paranoid or seccomp)";
+        break;
+      case ENOSYS:
+        r.reason = "kernel lacks perf_event_open";
+        break;
+      case ENOENT:
+      case ENODEV:
+      case EOPNOTSUPP:
+        r.reason = "hardware PMU events unsupported on this host (virtualized?)";
+        break;
+      default:
+        r.reason = std::string("perf_event_open failed: ") + std::strerror(errno);
+        break;
+    }
+    return r;
+  }();
+  return result;
+}
+
+}  // namespace
+
+bool PerfCountersAvailable() { return Probe().available; }
+
+const std::string& PerfCountersUnavailableReason() { return Probe().reason; }
+
+PerfCounterSet::~PerfCounterSet() { Close(); }
+
+bool PerfCounterSet::Open() {
+  if (open_) {
+    return true;
+  }
+  if (!PerfCountersAvailable()) {
+    return false;
+  }
+  bool kernel_included = true;
+  for (int i = 0; i < 3; ++i) {
+    bool this_kernel = false;
+    fds_[i] = OpenCounter(kEventConfigs[i], &this_kernel);
+    if (fds_[i] < 0) {
+      Close();  // all-or-nothing (see header)
+      return false;
+    }
+    kernel_included = kernel_included && this_kernel;
+  }
+  open_ = true;
+  kernel_included_ = kernel_included;
+  return true;
+}
+
+PerfSample PerfCounterSet::ReadSample() const {
+  PerfSample sample;
+  if (!open_) {
+    return sample;
+  }
+  uint64_t* const fields[3] = {&sample.cycles, &sample.instructions,
+                               &sample.cache_misses};
+  for (int i = 0; i < 3; ++i) {
+    // read_format layout: value, time_enabled, time_running.
+    uint64_t raw[3] = {0, 0, 0};
+    if (::read(fds_[i], raw, sizeof raw) != static_cast<ssize_t>(sizeof raw)) {
+      return PerfSample{};  // a torn set must not report partial ratios
+    }
+    double scale =
+        raw[2] > 0 ? static_cast<double>(raw[1]) / static_cast<double>(raw[2]) : 1.0;
+    *fields[i] = static_cast<uint64_t>(static_cast<double>(raw[0]) * scale);
+  }
+  sample.valid = true;
+  sample.kernel_included = kernel_included_;
+  return sample;
+}
+
+void PerfCounterSet::Close() {
+  for (int& fd : fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  open_ = false;
+  kernel_included_ = false;
+}
+
+}  // namespace zygos

@@ -1,0 +1,76 @@
+// Per-thread hardware performance counters over raw perf_event_open(2) — no libpfm,
+// no perf(1) dependency. A worker opens its set at thread start and reads the deltas
+// at exit; the runtime mirrors them into WorkerStats so benchmarks can report
+// cycles / instructions / cache-misses *per request* next to syscalls_per_request
+// (the two costs the io_uring feature ladder trades against each other).
+//
+// Capability model: perf_event_open is frequently denied — perf_event_paranoid >= 3
+// (hardened distros), seccomp filters (containers), or a PMU-less VM. All of that is
+// a clean skip, not an error: PerfCountersAvailable() probes ONCE per process and
+// callers that see false simply report "perf counters unavailable" with the reason.
+// Open() is additionally best-effort per thread (counters can run out), and a failed
+// Open leaves every subsequent ReadSample() invalid rather than half-populated.
+//
+// Counting scope: each counter is opened counting BOTH user and kernel cycles when
+// the host allows it (syscall cost is the point of the measurement) and falls back
+// to user-only on EACCES/EPERM — PerfSample::kernel_included says which. Counters
+// use read_format TIME_ENABLED/TIME_RUNNING and scale for multiplexing, so samples
+// stay honest even when the PMU is oversubscribed.
+//
+// Contract: a PerfCounterSet belongs to the thread that called Open() (the events
+// are bound to the calling thread); not thread-safe, not movable across threads.
+#ifndef ZYGOS_HW_PERF_COUNTERS_H_
+#define ZYGOS_HW_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace zygos {
+
+// One thread's counter deltas since Open(). `valid` is false when the set never
+// opened (probe denied, PMU exhausted) — consumers must treat the zeros as "not
+// measured", never as "measured zero".
+struct PerfSample {
+  bool valid = false;
+  bool kernel_included = false;  // false = user-only fallback (see header comment)
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_misses = 0;
+};
+
+// Once-per-process probe: tries to open (and immediately closes) one hardware
+// counter on the calling thread. Threads race benignly (both sides write the same
+// answer). Unavailable() holds a one-line reason suitable for a skip message.
+bool PerfCountersAvailable();
+const std::string& PerfCountersUnavailableReason();
+
+// cycles + instructions + LLC misses for the calling thread.
+class PerfCounterSet {
+ public:
+  PerfCounterSet() = default;
+  ~PerfCounterSet();
+
+  PerfCounterSet(const PerfCounterSet&) = delete;
+  PerfCounterSet& operator=(const PerfCounterSet&) = delete;
+
+  // Opens the three counters on the calling thread, counting from now. Returns false
+  // (with every fd closed) if the probe failed or any counter cannot open — a set is
+  // all-or-nothing so the reported ratios always come from the same run window.
+  bool Open();
+
+  // Reads the current deltas; invalid (all zero) when the set is not open.
+  PerfSample ReadSample() const;
+
+  void Close();
+
+  bool IsOpen() const { return open_; }
+
+ private:
+  int fds_[3] = {-1, -1, -1};
+  bool open_ = false;
+  bool kernel_included_ = false;
+};
+
+}  // namespace zygos
+
+#endif  // ZYGOS_HW_PERF_COUNTERS_H_

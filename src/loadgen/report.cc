@@ -57,13 +57,14 @@ void PrintLiveCsvHeader(FILE* out) {
   std::fprintf(out,
                "config,offered_rps,achieved_rps,p50_us,p99_us,p999_us,mean_us,max_us,"
                "measured,sent,dropped,send_lag_max_us,steals,doorbells,"
-               "syscalls_per_req,transport,sheds\n");
+               "syscalls_per_req,transport,sheds,cycles_per_req,insns_per_req,"
+               "cache_misses_per_req\n");
 }
 
 void PrintLiveCsvRow(FILE* out, const LivePoint& p) {
   std::fprintf(out,
                "%s,%.0f,%.0f,%.1f,%.1f,%.1f,%.1f,%.1f,%llu,%llu,%llu,%.1f,%llu,%llu,"
-               "%.3f,%s,%llu\n",
+               "%.3f,%s,%llu,%.0f,%.0f,%.1f\n",
                p.config.c_str(), p.offered_rps, p.achieved_rps, p.p50_us, p.p99_us,
                p.p999_us, p.mean_us, p.max_us,
                static_cast<unsigned long long>(p.measured),
@@ -71,7 +72,8 @@ void PrintLiveCsvRow(FILE* out, const LivePoint& p) {
                static_cast<unsigned long long>(p.dropped), p.send_lag_max_us,
                static_cast<unsigned long long>(p.steals),
                static_cast<unsigned long long>(p.doorbells_sent), p.syscalls_per_req,
-               p.transport.c_str(), static_cast<unsigned long long>(p.sheds));
+               p.transport.c_str(), static_cast<unsigned long long>(p.sheds),
+               p.cycles_per_req, p.instructions_per_req, p.cache_misses_per_req);
 }
 
 // A cell's p99 is an order statistic over the top ~1% of its completions — a few
@@ -89,6 +91,15 @@ constexpr double kP99NoiseTolerance = 0.8;
 
 bool ZygosP99MonotoneInLoad(const std::vector<LivePoint>& points) {
   for (const std::string& transport : TransportsOf(points)) {
+    // SQPOLL rungs are exempt: the kernel poller thread claims a core of its
+    // own, so on a host without one to spare every cell's tail is dominated by
+    // poller-vs-worker scheduling, not by queueing — the p99-vs-load *shape* is
+    // no longer the signal there (the rung's contract is the exact syscall
+    // counters, gated by the ladder predicates below). The epoll-parity gate is
+    // keyed on rung-0 "uring", which stays covered here.
+    if (transport.find("sqp") != std::string::npos) {
+      continue;
+    }
     std::vector<const LivePoint*> zygos = PointsOf(points, "zygos", transport);
     // Each point must stay within noise of the running maximum (not just its
     // neighbor): pairwise slack would let a curve drift steadily DOWNWARD across
@@ -146,6 +157,35 @@ bool UringSyscallsBelowEpoll(const std::vector<LivePoint>& points) {
   return uring[common - 1]->syscalls_per_req < epoll[common - 1]->syscalls_per_req;
 }
 
+bool UringLadderSyscallsStrictlyDecreasing(const std::vector<LivePoint>& points) {
+  // Chain rungs only — the +zc rung cuts copies, not enters, so it is excluded.
+  // syscalls_per_req is counter-exact (no sampling noise), hence the strict <.
+  static const char* const kChain[] = {"uring", "uring+ms", "uring+ms+sqp"};
+  double prev = 0;
+  bool have_prev = false;
+  for (const char* rung : kChain) {
+    std::vector<const LivePoint*> curve = PointsOf(points, "zygos", rung);
+    if (curve.empty()) {
+      continue;
+    }
+    double syscalls = curve.back()->syscalls_per_req;
+    if (have_prev && syscalls >= prev) {
+      return false;
+    }
+    prev = syscalls;
+    have_prev = true;
+  }
+  return true;
+}
+
+bool UringFullLadderSyscallsLeq0p1(const std::vector<LivePoint>& points) {
+  std::vector<const LivePoint*> full = PointsOf(points, "zygos", "uring+ms+sqp+zc");
+  if (full.empty()) {
+    return true;
+  }
+  return full.back()->syscalls_per_req <= 0.1;
+}
+
 bool WriteLiveJsonReport(const std::string& path, const LiveRunInfo& info,
                          const std::vector<LivePoint>& points) {
   std::vector<const LivePoint*> zygos = PointsOf(points, "zygos");
@@ -184,6 +224,21 @@ bool WriteLiveJsonReport(const std::string& path, const LiveRunInfo& info,
                UringP99LeqEpollAtPeak(points) ? "true" : "false");
   std::fprintf(out, "    \"uring_syscalls_below_epoll\": %s,\n",
                UringSyscallsBelowEpoll(points) ? "true" : "false");
+  std::fprintf(out, "    \"uring_ladder_syscalls_strictly_decreasing\": %s,\n",
+               UringLadderSyscallsStrictlyDecreasing(points) ? "true" : "false");
+  std::fprintf(out, "    \"uring_full_ladder_syscalls_leq_0p1\": %s,\n",
+               UringFullLadderSyscallsLeq0p1(points) ? "true" : "false");
+  // Hardware-counter cost at the headline cell (full-ZygOS peak load). A locked-down
+  // host reports available=false with the probe's reason and all-zero rates.
+  std::fprintf(out,
+               "    \"perf_counters\": {\"available\": %s, \"reason\": \"%s\", "
+               "\"measured\": %s,\n"
+               "      \"cycles_per_req\": %.0f, \"instructions_per_req\": %.0f, "
+               "\"cache_misses_per_req\": %.1f},\n",
+               info.perf_available ? "true" : "false", info.perf_reason.c_str(),
+               zygos.back()->perf_valid ? "true" : "false",
+               zygos.back()->cycles_per_req, zygos.back()->instructions_per_req,
+               zygos.back()->cache_misses_per_req);
 
   // One curve block per (config, transport) pair present, in first-appearance order.
   // Single-transport runs keep the historical config-only keys; multi-transport runs
@@ -200,12 +255,14 @@ bool WriteLiveJsonReport(const std::string& path, const LiveRunInfo& info,
   for (size_t c = 0; c < curves_keys.size(); ++c) {
     std::vector<const LivePoint*> curve =
         PointsOf(points, curves_keys[c].first, curves_keys[c].second);
-    // JSON keys use underscores; the CSV keeps the hyphenated config names.
+    // JSON keys use underscores; the CSV keeps the hyphenated config names and the
+    // '+'-joined uring ladder rungs ("uring+ms" -> "..._uring_ms").
     std::string key = curves_keys[c].first;
     if (transports.size() > 1) {
       key += "-" + curves_keys[c].second;
     }
     std::replace(key.begin(), key.end(), '-', '_');
+    std::replace(key.begin(), key.end(), '+', '_');
     std::fprintf(out, "      \"%s\": {\"offered_rps\": ", key.c_str());
     PrintJsonArray(out, curve, &LivePoint::offered_rps);
     std::fprintf(out, ", \"achieved_rps\": ");

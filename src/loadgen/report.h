@@ -9,12 +9,26 @@
 //   zygos_p99_monotone_in_load : ZygOS p99 never drops below 0.8x its running max
 //                                as offered load rises (one-sided estimator-noise
 //                                tolerance — a cell's p99 rests on a few dozen tail
-//                                samples and flips 10-20% between identical cells)
+//                                samples and flips 10-20% between identical cells).
+//                                SQPOLL ladder rungs (transport name contains
+//                                "sqp") are exempt: without a spare core for the
+//                                kernel poller the tail is scheduling-dominated
+//                                and the shape carries no signal — those rungs
+//                                are gated on their exact syscall counters
+//                                instead
 //   steal_leq_no_steal_at_peak : ZygOS p99 <= no-steal p99 at the highest common load
 //   uring_p99_leq_epoll_at_peak : uring p99 <= epoll p99 at the highest matched load
 //                                (same 0.8x noise tolerance)
 //   uring_syscalls_below_epoll  : uring syscalls/request strictly below epoll's
 //                                (counter-exact, no tolerance)
+//   uring_ladder_syscalls_strictly_decreasing : syscalls/request at peak load falls
+//                                strictly at each feature rung of the io_uring ladder
+//                                that was swept ("uring" baseline -> "uring+ms" ->
+//                                "uring+ms+sqp"; counter-exact). The +zc rung is not
+//                                part of the chain — SEND_ZC removes copies, not
+//                                io_uring_enter calls.
+//   uring_full_ladder_syscalls_leq_0p1 : the full ladder ("uring+ms+sqp+zc") reaches
+//                                <= 0.1 syscalls/request at peak load
 // so shell harnesses can grep instead of re-deriving them. `commit` is written empty
 // ("") and stamped by scripts/bench_trajectory.sh.
 //
@@ -33,7 +47,8 @@ namespace zygos {
 
 // One measured sweep cell. `config` is the runtime ablation ("zygos", "no-steal",
 // "no-ipi"); load cells of one config must be appended in ascending offered_rps order.
-// `transport` is the backend that served the cell ("loopback" | "tcp" | "uring") —
+// `transport` is the backend that served the cell ("loopback" | "tcp" | "uring", or
+// an io_uring ladder rung like "uring+ms+sqp" — see the ladder predicates below) —
 // sweeps may run the same configs over several transports at matched rates.
 struct LivePoint {
   std::string config;
@@ -60,6 +75,13 @@ struct LivePoint {
   // Overload refusals the server issued during the cell (WorkerStats sheds_* sum).
   // 0 unless the cell ran with overload control enabled.
   uint64_t sheds = 0;
+  // Hardware-counter cost per completed request (WorkerStats perf_* sums over the
+  // cell's whole run, src/hw/perf_counters.h). perf_valid=false (rates 0) when
+  // perf_event_open is denied on the host — "not measured", never "measured zero".
+  bool perf_valid = false;
+  double cycles_per_req = 0;
+  double instructions_per_req = 0;
+  double cache_misses_per_req = 0;
 };
 
 // Experiment-wide parameters echoed into the CSV preamble and the JSON params block.
@@ -75,6 +97,11 @@ struct LiveRunInfo {
   double duration_ms = 0;
   double warmup_ms = 0;
   uint64_t seed = 0;
+  // perf_event_open capability on this host (src/hw/perf_counters.h): echoed into
+  // the JSON params.perf_counters block so a trajectory reader can tell a locked-
+  // down host from a zero-cost run.
+  bool perf_available = false;
+  std::string perf_reason;  // empty when available
 };
 
 // CSV contract (stdout): header row then one row per point, `#` lines are prose.
@@ -82,7 +109,7 @@ struct LiveRunInfo {
 // ever appended at the end.
 //   config,offered_rps,achieved_rps,p50_us,p99_us,p999_us,mean_us,max_us,
 //   measured,sent,dropped,send_lag_max_us,steals,doorbells,syscalls_per_req,transport,
-//   sheds
+//   sheds,cycles_per_req,insns_per_req,cache_misses_per_req
 void PrintLiveCsvHeader(FILE* out);
 void PrintLiveCsvRow(FILE* out, const LivePoint& point);
 
@@ -100,6 +127,13 @@ bool StealLeqNoStealAtPeak(const std::vector<LivePoint>& points);
 // Vacuously true when either transport's curve is absent.
 bool UringP99LeqEpollAtPeak(const std::vector<LivePoint>& points);
 bool UringSyscallsBelowEpoll(const std::vector<LivePoint>& points);
+// io_uring feature-ladder acceptance, full-ZygOS config, peak (= last) load point.
+// Rung names are transport strings: "uring" (all rungs off — the re-arm/singleshot
+// baseline), "uring+ms" (+multishot recv over a provided-buffer ring), "uring+ms+sqp"
+// (+SQPOLL), "uring+ms+sqp+zc" (+SEND_ZC). Both are vacuously true when the relevant
+// rungs are absent from the sweep (fewer than two chain rungs / no full-ladder rung).
+bool UringLadderSyscallsStrictlyDecreasing(const std::vector<LivePoint>& points);
+bool UringFullLadderSyscallsLeq0p1(const std::vector<LivePoint>& points);
 
 // Writes the BENCH-contract JSON report. Returns false (and prints to stderr) on I/O
 // failure. `points` must hold at least one "zygos" row.

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "src/core/idle_policy.h"
+#include "src/hw/perf_counters.h"
 #include "src/runtime/loopback_transport.h"
 
 namespace zygos {
@@ -214,6 +215,10 @@ WorkerStats Runtime::TotalStats() const {
     total.sheds_fairness += stats->sheds_fairness;
     total.sheds_admission += stats->sheds_admission;
     total.rx_unstamped += stats->rx_unstamped;
+    total.perf_cycles += stats->perf_cycles;
+    total.perf_instructions += stats->perf_instructions;
+    total.perf_cache_misses += stats->perf_cache_misses;
+    total.perf_workers += stats->perf_workers;
   }
   return total;
 }
@@ -235,6 +240,10 @@ void Runtime::WorkerLoop(int core) {
     stats.pool_misses = snapshot.misses();
     stats.pool_remote_frees = snapshot.remote_frees;
   };
+  // Best-effort hardware counters for this worker's whole lifetime (open-to-exit);
+  // a denied perf_event_open leaves the perf_* stats zero with perf_workers == 0.
+  PerfCounterSet perf;
+  perf.Open();
 
   while (true) {
     if (doorbells_[static_cast<size_t>(core)]->Drain() != 0) {
@@ -286,6 +295,13 @@ void Runtime::WorkerLoop(int core) {
     }
     if (stop_.load(std::memory_order_acquire)) {
       mirror_pool_stats();  // final exact values for post-Shutdown readers
+      PerfSample sample = perf.ReadSample();
+      if (sample.valid) {
+        stats.perf_cycles = sample.cycles;
+        stats.perf_instructions = sample.instructions;
+        stats.perf_cache_misses = sample.cache_misses;
+        stats.perf_workers = 1;
+      }
       return;
     }
     if (options_.yield_when_idle) {

@@ -163,6 +163,14 @@ struct alignas(kCacheLineSize) WorkerStats {
   // backfills with its own clock). The conformance suite gates this to zero for
   // every backend.
   uint64_t rx_unstamped = 0;
+  // Hardware counters (src/hw/perf_counters.h), written once at worker exit —
+  // whole-thread-lifetime deltas, stable after Shutdown. All zero with
+  // perf_workers == 0 when perf_event_open is denied (hardened or virtualized
+  // hosts): "not measured", never "measured zero".
+  uint64_t perf_cycles = 0;
+  uint64_t perf_instructions = 0;
+  uint64_t perf_cache_misses = 0;
+  uint64_t perf_workers = 0;  // workers whose counter set actually opened
 };
 
 class Runtime {

@@ -20,6 +20,10 @@ constexpr unsigned kSqEntries = 256;
 // per-queue connection fan-in of every bench here, and running out is not an error —
 // recvs beyond the arena fall back to pooled IORING_OP_RECV.
 constexpr int kArenaSlots = 128;
+// Provided-buffer ring entries per queue (multishot RX; must be a power of two).
+// Sized above the arena because ONE hot flow can consume many slots per pass — a
+// dry ring costs a -ENOBUFS terminal completion and a single-shot round trip.
+constexpr uint32_t kBufRingEntries = 256;
 // AcquireSlot probes this many free slots (oldest first) for one whose bytes no
 // Segment/parser view still aliases; past that, fall back to a pooled recv rather
 // than scan the whole arena on the hot path.
@@ -52,8 +56,9 @@ unsigned RoundPow2(unsigned v) {
 
 }  // namespace
 
-UringTransport::UringTransport(TcpTransportOptions options)
-    : SocketTransportBase(std::move(options), "uring transport") {
+UringTransport::UringTransport(UringTransportOptions options)
+    : SocketTransportBase(TcpTransportOptions(options), "uring transport"),
+      uring_options_(std::move(options)) {
   queues_.reserve(static_cast<size_t>(options_.num_queues));
   for (int q = 0; q < options_.num_queues; ++q) {
     queues_.push_back(std::make_unique<PerQueue>());
@@ -69,15 +74,37 @@ void UringTransport::Start() {
                  probe.reason.c_str());
     std::abort();
   }
+  // Requested rungs AND-ed with the functional probe: a denied rung degrades to the
+  // rung-0 path rather than failing Start.
+  ms_enabled_ = uring_options_.multishot && probe.buf_ring && probe.multishot;
+  sqpoll_enabled_ = uring_options_.sqpoll && probe.sqpoll;
+  zc_enabled_ = uring_options_.send_zc && probe.send_zc;
   // CQ must absorb every in-flight op at once: an armed recv per connection plus a
   // full TX batch. Undersizing only costs overflow flushes, but size it right.
   unsigned cq_entries = RoundPow2(static_cast<unsigned>(std::min<uint64_t>(
       std::max<uint64_t>(1024, options_.max_flows + kSqEntries), 65536)));
   for (auto& pq : queues_) {
     std::string error;
-    if (!pq->ring.Init(kSqEntries, cq_entries, &error)) {
-      std::fprintf(stderr, "zygos: uring transport: %s\n", error.c_str());
-      std::abort();
+    UringRingOptions ring_opts;
+    ring_opts.sqpoll = sqpoll_enabled_;
+    ring_opts.sq_thread_idle_ms = uring_options_.sq_thread_idle_ms;
+    if (!pq->ring.Init(kSqEntries, cq_entries, ring_opts, &error)) {
+      if (sqpoll_enabled_) {
+        // The probe's trial ring succeeded but this one didn't (rlimits, cgroup
+        // thread caps): drop the rung, keep the transport.
+        std::fprintf(stderr,
+                     "zygos: uring transport: SQPOLL degraded at Init: %s\n",
+                     error.c_str());
+        sqpoll_enabled_ = false;
+        ring_opts.sqpoll = false;
+        if (!pq->ring.Init(kSqEntries, cq_entries, ring_opts, &error)) {
+          std::fprintf(stderr, "zygos: uring transport: %s\n", error.c_str());
+          std::abort();
+        }
+      } else {
+        std::fprintf(stderr, "zygos: uring transport: %s\n", error.c_str());
+        std::abort();
+      }
     }
     // Registered RX arena: permanent pooled slabs, pinned once. Registration failing
     // (RLIMIT_MEMLOCK, old kernel) degrades to pooled recvs — never an error.
@@ -97,6 +124,30 @@ void UringTransport::Start() {
       pq->arena.clear();
       pq->free_slots.clear();
     }
+    // Multishot RX backing: permanent slabs behind the kernel's buffer ring, all
+    // slots offered up front. Failure (memlock, sandbox) drops the rung per-queue.
+    if (ms_enabled_) {
+      std::string berr;
+      if (pq->ring.SetupBufRing(kBufRingEntries, /*bgid=*/0, &berr)) {
+        pq->bring_bufs.reserve(kBufRingEntries);
+        for (uint32_t i = 0; i < kBufRingEntries; ++i) {
+          pq->bring_bufs.push_back(AllocBuffer(options_.max_segment_bytes));
+          IoBuf& buf = pq->bring_bufs.back();
+          pq->ring.BufRingAdd(
+              buf.data(),
+              static_cast<unsigned>(
+                  std::min(buf.capacity(), options_.max_segment_bytes)),
+              static_cast<uint16_t>(i));
+        }
+        pq->ring.BufRingPublish();
+        pq->ms_ok = true;
+      } else {
+        std::fprintf(stderr,
+                     "zygos: uring transport: multishot degraded at Init: %s\n",
+                     berr.c_str());
+        pq->ms_ok = false;
+      }
+    }
   }
   StartListener();
   started_ = true;
@@ -110,7 +161,8 @@ void UringTransport::Stop() {
       continue;
     }
     // Reap every in-flight recv before freeing its target memory: mark all
-    // connections closing, cancel the armed recvs, and drain until the kernel has
+    // connections closing, cancel the armed recvs (single-shot AND standing
+    // multishot — both answer with a terminal CQE), and drain until the kernel has
     // handed every CQE back. FinalizeClose (via the drain) closes fds and erases.
     std::vector<uint64_t> flows;
     flows.reserve(pq.conns.size());
@@ -135,24 +187,34 @@ void UringTransport::Stop() {
     }
     pq.ring.Submit();
     int spins = 0;
-    while ((!pq.conns.empty() || !pq.zombie_sends.empty()) && spins++ < 400) {
+    while ((!pq.conns.empty() || !pq.zombie_sends.empty() ||
+            !pq.zc_parked.empty()) &&
+           spins++ < 400) {
       pq.ring.SubmitAndWait(1, 5 * kMillisecond);
       pq.ring.FlushOverflow();
       DrainCq(pq, nullptr);
     }
     // A CQE that never arrived (kernel-side hang; should not happen) means the
     // kernel may still write into that connection's buffers: leak them rather than
-    // hand corruptible memory back to the pool.
+    // hand corruptible memory back to the pool. Same for SEND_ZC pages whose NOTIF
+    // never landed.
     for (auto& [flow, conn] : pq.conns) {
       (void)flow;
       conn.release();
     }
     pq.conns.clear();
+    if (!pq.zc_parked.empty()) {
+      auto* leaked = new std::unordered_map<uint64_t, ZcParked>;
+      leaked->swap(pq.zc_parked);
+    }
     pq.pending.clear();
     pq.pending_count.store(0, std::memory_order_relaxed);
-    pq.ring.Destroy();
+    pq.ring.Destroy();  // tears down the buffer ring registration too
     pq.arena.clear();
     pq.free_slots.clear();
+    pq.bring_bufs.clear();
+    pq.bring_out.clear();
+    pq.ms_ok = false;
     pq.zombie_sends.clear();
   }
   started_ = false;
@@ -173,6 +235,9 @@ io_uring_sqe* UringTransport::GetSqe(PerQueue& pq) {
       Fatal("io_uring_enter(submit)");
     }
     sqe = pq.ring.GetSqe();
+    if (sqe == nullptr && pq.ring.sqpoll()) {
+      ::usleep(10);  // the kernel poller frees SQ slots; give it the CPU
+    }
   }
   return sqe;
 }
@@ -192,11 +257,45 @@ int UringTransport::AcquireSlot(PerQueue& pq) {
   return -1;
 }
 
-void UringTransport::ArmRecv(PerQueue& pq, UConn* conn) {
+void UringTransport::RecycleBufRing(PerQueue& pq) {
+  if (!pq.ring.HasBufRing() || pq.bring_out.empty()) {
+    return;
+  }
+  size_t kept = 0;
+  bool pushed = false;
+  for (uint16_t bid : pq.bring_out) {
+    IoBuf& buf = pq.bring_bufs[bid];
+    if (buf.unique()) {
+      pq.ring.BufRingAdd(buf.data(),
+                         static_cast<unsigned>(std::min(
+                             buf.capacity(), options_.max_segment_bytes)),
+                         bid);
+      pushed = true;
+    } else {
+      pq.bring_out[kept++] = bid;  // still aliased by a live Segment/parser view
+    }
+  }
+  pq.bring_out.resize(kept);
+  if (pushed) {
+    pq.ring.BufRingPublish();
+  }
+}
+
+void UringTransport::ArmRecv(PerQueue& pq, UConn* conn, bool allow_multishot) {
   if (conn->rx_inflight || conn->closing) {
     return;
   }
   const uint64_t ud = MakeUd(kUdRecv, conn->flow_id);
+  if (allow_multishot && pq.ms_ok) {
+    // Standing SQE: completions keep flowing until a terminal CQE (FIN, error,
+    // -ENOBUFS, cancel); the steady state never pays another arm for this flow.
+    io_uring_sqe* sqe = GetSqe(pq);
+    PrepRecvMultishot(sqe, conn->fd, pq.ring.BufRingBgid(), ud);
+    conn->ms_armed = true;
+    conn->rx_inflight = true;
+    conn->rx_slot = -1;
+    return;
+  }
   int slot = pq.fixed_ok ? AcquireSlot(pq) : -1;
   io_uring_sqe* sqe = GetSqe(pq);
   if (slot >= 0) {
@@ -216,6 +315,7 @@ void UringTransport::ArmRecv(PerQueue& pq, UConn* conn) {
     PrepRecv(sqe, conn->fd, conn->rx_buf.data(), len, ud);
     conn->rx_slot = -1;
   }
+  conn->ms_armed = false;
   conn->rx_inflight = true;
 }
 
@@ -248,9 +348,10 @@ void UringTransport::CloseConn(PerQueue& pq, UConn* conn, bool purge_pending) {
   conn->closing = true;
   conn->purge_on_close = purge_pending;
   if (conn->rx_inflight) {
-    // A recv still references this connection's buffer: cancel it and finalize only
-    // when its CQE is reaped (HandleRecvCqe), so the kernel can never complete into
-    // a closed connection's memory.
+    // A recv still references this connection's buffers — single-shot or standing
+    // multishot alike: cancel it and finalize only when its terminal CQE is reaped
+    // (HandleRecvCqe), so the kernel can never complete into a closed connection's
+    // memory.
     io_uring_sqe* sqe = GetSqe(pq);
     PrepCancel(sqe, MakeUd(kUdRecv, conn->flow_id),
                MakeUd(kUdCancel, conn->flow_id));
@@ -259,13 +360,46 @@ void UringTransport::CloseConn(PerQueue& pq, UConn* conn, bool purge_pending) {
   FinalizeClose(pq, conn);
 }
 
-void UringTransport::HandleRecvCqe(PerQueue& pq, uint64_t flow_id, int res) {
+void UringTransport::HandleRecvCqe(PerQueue& pq, uint64_t flow_id, int res,
+                                   uint32_t flags) {
   auto it = pq.conns.find(flow_id);
   if (it == pq.conns.end()) {
     return;  // unreachable by construction: closes are deferred past in-flight recvs
   }
   UConn* conn = it->second.get();
+  const bool was_ms = conn->ms_armed;
+  const bool more = was_ms && (flags & IORING_CQE_F_MORE) != 0;
+
+  if (was_ms && res > 0 && (flags & IORING_CQE_F_BUFFER) != 0) {
+    // Multishot data: the kernel picked a buffer-ring slot; alias it refcounted
+    // into the FIFO and owe the slot back once the runtime drops its last view.
+    const auto bid = static_cast<uint16_t>(flags >> IORING_CQE_BUFFER_SHIFT);
+    IoBuf buf = pq.bring_bufs[bid];  // refcounted alias, zero copy
+    buf.set_size(static_cast<size_t>(res));
+    pq.bring_out.push_back(bid);
+    pq.ms_recvs++;
+    PushPending(pq,
+                PendingItem{/*is_close=*/false, flow_id, std::move(buf), NowNanos()});
+    if (more) {
+      return;  // the standing SQE is still armed
+    }
+    // Data + terminal in one CQE (kernel detached the multishot): re-arm.
+    conn->ms_armed = false;
+    conn->rx_inflight = false;
+    if (conn->closing) {
+      FinalizeClose(pq, conn);
+      return;
+    }
+    ArmRecv(pq, conn);
+    return;
+  }
+  if (more) {
+    return;  // defensive: non-terminal multishot CQE that delivered nothing
+  }
+
+  // Terminal CQE (multishot detached) or single-shot completion: the SQE is gone.
   conn->rx_inflight = false;
+  conn->ms_armed = false;
   const int slot = conn->rx_slot;
   conn->rx_slot = -1;
   IoBuf pooled = std::move(conn->rx_buf);
@@ -298,6 +432,23 @@ void UringTransport::HandleRecvCqe(PerQueue& pq, uint64_t flow_id, int res) {
     ArmRecv(pq, conn);
     return;
   }
+  if (was_ms && res == -ENOBUFS) {
+    // Buffer ring ran dry: return every consumed slot we can, take ONE single-shot
+    // recv to stay armed, and retry multishot on the next completion — degraded
+    // throughput under backpressure, never a stall or a spin.
+    RecycleBufRing(pq);
+    conn->rx_buf = std::move(pooled);
+    ArmRecv(pq, conn, /*allow_multishot=*/false);
+    return;
+  }
+  if (was_ms && (res == -EINVAL || res == -EOPNOTSUPP)) {
+    // Kernel rejected multishot at completion time (probe lied / exotic socket):
+    // degrade the whole queue to the rung-0 arm-per-completion path.
+    pq.ms_ok = false;
+    conn->rx_buf = std::move(pooled);
+    ArmRecv(pq, conn);
+    return;
+  }
   if (slot >= 0 && (res == -EINVAL || res == -EOPNOTSUPP)) {
     // This kernel rejects READ_FIXED on sockets: degrade the whole queue to pooled
     // recvs (correctness unchanged, the pinned-pages optimization lost).
@@ -312,13 +463,24 @@ void UringTransport::HandleRecvCqe(PerQueue& pq, uint64_t flow_id, int res) {
   FinalizeClose(pq, conn);
 }
 
+void UringTransport::PrepTxSqe(PerQueue& pq, UConn* conn, const char* data,
+                               unsigned len, uint64_t token) {
+  io_uring_sqe* sqe = GetSqe(pq);
+  if (zc_enabled_ && conn->zc_ok) {
+    PrepSendZc(sqe, conn->fd, data, len, MakeUd(kUdSend, token));
+    pq.zc_sends++;
+  } else {
+    PrepSend(sqe, conn->fd, data, len, MakeUd(kUdSend, token));
+  }
+}
+
 void UringTransport::HandleCqe(PerQueue& pq, uint64_t user_data, int res,
-                               TxContext* tx) {
+                               uint32_t flags, TxContext* tx) {
   const uint64_t op = user_data >> kOpShift;
   const uint64_t payload = user_data & kPayloadMask;
   switch (op) {
     case kUdRecv:
-      HandleRecvCqe(pq, payload, res);
+      HandleRecvCqe(pq, payload, res, flags);
       return;
     case kUdCancel:
       return;  // cancel outcomes are implied by the target op's own CQE
@@ -327,10 +489,32 @@ void UringTransport::HandleCqe(PerQueue& pq, uint64_t user_data, int res,
     default:
       return;
   }
+  if ((flags & IORING_CQE_F_NOTIF) != 0) {
+    // Second CQE of a SEND_ZC op: the kernel released the pages. Accounting
+    // happened on the completion CQE; here we only drain the parked frame ref.
+    auto parked = pq.zc_parked.find(payload);
+    if (parked != pq.zc_parked.end() && --parked->second.notifs <= 0) {
+      pq.zc_parked.erase(parked);
+    }
+    pq.zombie_sends.erase(payload);
+    return;
+  }
+  const bool notif_pending = (flags & IORING_CQE_F_MORE) != 0;
   if (tx == nullptr || payload < tx->token_base ||
       payload - tx->token_base >= tx->batch.size()) {
-    // Straggler from an abandoned batch: release the parked frame ref, if any.
-    pq.zombie_sends.erase(payload);
+    // Straggler from an abandoned batch. If a NOTIF is still owed, keep the frame
+    // ref parked until it lands; otherwise release it now.
+    auto z = pq.zombie_sends.find(payload);
+    if (z != pq.zombie_sends.end()) {
+      if (notif_pending) {
+        auto [parked, inserted] = pq.zc_parked.try_emplace(payload);
+        if (inserted) {
+          parked->second.frame = z->second;
+        }
+        parked->second.notifs++;
+      }
+      pq.zombie_sends.erase(z);
+    }
     return;
   }
   const size_t i = static_cast<size_t>(payload - tx->token_base);
@@ -340,6 +524,16 @@ void UringTransport::HandleCqe(PerQueue& pq, uint64_t user_data, int res,
   }
   const TxSegment& seg = tx->batch[i];
   std::string_view frame = seg.frame.view();
+  if (notif_pending) {
+    // SEND_ZC completion whose pages the kernel still holds: park a frame ref per
+    // owed NOTIF (a resubmitted short zc send owes several on the same token).
+    auto [parked, inserted] = pq.zc_parked.try_emplace(payload);
+    if (inserted) {
+      parked->second.frame = seg.frame;
+    }
+    parked->second.notifs++;
+  }
+  bool zc_fallback = false;
   if (res > 0) {
     st.sent += static_cast<size_t>(res);
     if (st.sent >= frame.size()) {
@@ -347,13 +541,17 @@ void UringTransport::HandleCqe(PerQueue& pq, uint64_t user_data, int res,
       tx->outstanding--;
       return;
     }
+  } else if (res == -EOPNOTSUPP && zc_enabled_) {
+    // This socket/path can't zero-copy: clear zc_ok and resubmit as plain SEND
+    // below (same token).
+    zc_fallback = true;
   } else if (res != -EAGAIN && res != -EINTR) {
     st.done = true;
     st.failed = true;
     tx->outstanding--;
     return;
   }
-  // Short send or EAGAIN/EINTR: resubmit the remainder (same token).
+  // Short send or EAGAIN/EINTR/zc-fallback: resubmit the remainder (same token).
   auto it = pq.conns.find(seg.flow_id);
   if (it == pq.conns.end() || it->second->closing) {
     st.done = true;
@@ -361,17 +559,20 @@ void UringTransport::HandleCqe(PerQueue& pq, uint64_t user_data, int res,
     tx->outstanding--;
     return;
   }
-  io_uring_sqe* sqe = GetSqe(pq);
-  PrepSend(sqe, it->second->fd, frame.data() + st.sent,
-           static_cast<unsigned>(frame.size() - st.sent), MakeUd(kUdSend, payload));
+  if (zc_fallback) {
+    it->second->zc_ok = false;
+  }
+  PrepTxSqe(pq, it->second.get(), frame.data() + st.sent,
+            static_cast<unsigned>(frame.size() - st.sent), payload);
 }
 
 void UringTransport::DrainCq(PerQueue& pq, TxContext* tx) {
   while (io_uring_cqe* cqe = pq.ring.PeekCqe()) {
     const uint64_t user_data = cqe->user_data;
     const int res = cqe->res;
+    const uint32_t flags = cqe->flags;
     pq.ring.AdvanceCqe();
-    HandleCqe(pq, user_data, res, tx);
+    HandleCqe(pq, user_data, res, flags, tx);
   }
 }
 
@@ -381,6 +582,10 @@ size_t UringTransport::PollBatch(int queue, std::span<Segment> out,
   if (!pq.ring.valid() || out.empty()) {
     return 0;
   }
+  // Buffer-ring slots consumed in earlier passes become reusable once the runtime
+  // drops its views (between passes): return them to the kernel before draining, so
+  // a hot multishot flow never starves itself into -ENOBUFS round trips.
+  RecycleBufRing(pq);
   // Newborn connections: announce the open and arm the first recv. The recv SQE is
   // submitted at the end of this pass, so the flow's first segment can only surface
   // in a later batch — the open strictly precedes it.
@@ -423,7 +628,9 @@ size_t UringTransport::PollBatch(int queue, std::span<Segment> out,
   pq.pending_count.store(pq.pending.size(), std::memory_order_relaxed);
   // ONE enter flushes everything this pass armed (first recvs, re-arms, cancels) —
   // and none at all on a quiet pass: the uring data path's idle cost is zero
-  // syscalls, vs one epoll_wait per pass for the epoll engine.
+  // syscalls, vs one epoll_wait per pass for the epoll engine. Under multishot the
+  // steady state arms nothing (the standing SQEs persist), and under SQPOLL even a
+  // busy pass costs at most a poller wakeup.
   if (pq.ring.Submit() == -EBUSY) {
     pq.ring.FlushOverflow();
     pq.ring.Submit();
@@ -444,9 +651,9 @@ size_t UringTransport::TransmitBatch(int queue, std::span<TxSegment> batch) {
   ctx.batch = batch;
   ctx.state = &state;
   ctx.token_base = base;
-  // One SEND SQE per response; the whole batch leaves with a single submit-and-wait
-  // enter below. Responses to dead/closing flows hit the floor like a TX on a downed
-  // link (completion still fires — the request retired).
+  // One SEND (or SEND_ZC) SQE per response; the whole batch leaves with a single
+  // submit-and-wait enter below. Responses to dead/closing flows hit the floor like
+  // a TX on a downed link (completion still fires — the request retired).
   for (size_t i = 0; i < batch.size(); ++i) {
     auto it = pq.conns.find(batch[i].flow_id);
     UConn* conn =
@@ -457,14 +664,15 @@ size_t UringTransport::TransmitBatch(int queue, std::span<TxSegment> batch) {
       continue;
     }
     std::string_view frame = batch[i].frame.view();
-    io_uring_sqe* sqe = GetSqe(pq);
-    PrepSend(sqe, conn->fd, frame.data(), static_cast<unsigned>(frame.size()),
-             MakeUd(kUdSend, base + i));
+    PrepTxSqe(pq, conn, frame.data(), static_cast<unsigned>(frame.size()),
+              base + i);
     ctx.outstanding++;
   }
   // Reap every completion before returning (the runtime's shutdown accounting needs
   // completions to fire inside TransmitBatch), with the same bounded-stall
   // discipline as the epoll backend: past the deadline, cancel the laggards.
+  // (SEND_ZC NOTIF CQEs are NOT waited for — the parked frame refs outlive the
+  // batch and drain in later passes.)
   Nanos deadline =
       NowNanos() + std::max<Nanos>(options_.stall_drop_deadline, kMillisecond);
   bool cancelled = false;
@@ -555,7 +763,8 @@ bool UringTransport::ApproxNonEmpty(int queue) const {
     return true;
   }
   // CQ occupancy is the uring analogue of the epoll backend's zero-timeout
-  // epoll_wait peek — and unlike it, costs no syscall: the rings are shared memory.
+  // epoll_wait peek — and unlike it, costs no syscall: the rings are shared memory
+  // in every mode, SQPOLL included.
   return pq.ring.CqReady();
 }
 
@@ -579,6 +788,22 @@ uint64_t UringTransport::PooledRecvs() const {
   uint64_t total = 0;
   for (const auto& pq : queues_) {
     total += pq->pooled_recvs;
+  }
+  return total;
+}
+
+uint64_t UringTransport::MultishotRecvs() const {
+  uint64_t total = 0;
+  for (const auto& pq : queues_) {
+    total += pq->ms_recvs;
+  }
+  return total;
+}
+
+uint64_t UringTransport::ZcSends() const {
+  uint64_t total = 0;
+  for (const auto& pq : queues_) {
+    total += pq->zc_sends;
   }
   return total;
 }

@@ -1,50 +1,86 @@
-// io_uring transport: the batched-syscall Transport backend (ISSUE 7 tentpole).
+// io_uring transport: the batched-syscall Transport backend (ISSUE 7 tentpole,
+// feature ladder ISSUE 10).
 //
 // Same accept path, flow-id freelist and drop accounting as the epoll backend
 // (SocketTransportBase); what changes is the per-queue I/O engine. Each worker queue
 // owns one io_uring (src/runtime/uring_ring.h — raw-syscall shim, no liburing):
 //
-//   RX  every registered connection keeps one recv armed. Completions land in the
-//       queue's CQ and are drained — not per-fd syscalls but shared-memory reads —
-//       at the top of PollBatch; each completed recv re-arms immediately and all
-//       re-arm SQEs of a pass are submitted with ONE io_uring_enter. Recv targets
-//       come from a per-queue REGISTERED-BUFFER ARENA: BufferPool large-class slabs
-//       pinned once via IORING_REGISTER_BUFFERS and read with IORING_OP_READ_FIXED
-//       (read(2) semantics on a socket), so the kernel skips per-op page pinning and
-//       the bytes still flow zero-copy into FrameParser views — the Segment's IoBuf
-//       is a refcounted alias of the arena slot, and the slot is re-armed only once
-//       no view references it (IoBuf::unique). When the arena is exhausted (or
-//       fixed-buffer reads fail at runtime), recvs fall back to plain IORING_OP_RECV
-//       into ordinary pooled buffers — never a stall, just a cheaper optimization
-//       lost (PooledRecvs counts the misses).
-//   TX  TransmitBatch queues one IORING_OP_SEND SQE per TxSegment and submits the
-//       whole batch with a single io_uring_enter (submit-and-wait): N responses cost
-//       ~1 syscall instead of N sends. Short sends are resubmitted; a peer that
-//       stops reading past stall_drop_deadline gets its SQE cancelled
+//   RX  rung 0 (always available): every registered connection keeps one recv
+//       armed. Completions land in the queue's CQ and are drained — not per-fd
+//       syscalls but shared-memory reads — at the top of PollBatch; each completed
+//       recv re-arms immediately and all re-arm SQEs of a pass are submitted with
+//       ONE io_uring_enter. Recv targets come from a per-queue REGISTERED-BUFFER
+//       ARENA: BufferPool large-class slabs pinned once via IORING_REGISTER_BUFFERS
+//       and read with IORING_OP_READ_FIXED (read(2) semantics on a socket), so the
+//       kernel skips per-op page pinning and the bytes still flow zero-copy into
+//       FrameParser views — the Segment's IoBuf is a refcounted alias of the arena
+//       slot, and the slot is re-armed only once no view references it
+//       (IoBuf::unique). When the arena is exhausted (or fixed-buffer reads fail at
+//       runtime), recvs fall back to plain IORING_OP_RECV into ordinary pooled
+//       buffers — never a stall, just a cheaper optimization lost (PooledRecvs
+//       counts the misses).
+//       rung 1 (UringTransportOptions::multishot): a STANDING multishot
+//       IORING_OP_RECV per connection over a provided-buffer ring
+//       (IORING_REGISTER_PBUF_RING) — one SQE yields completions indefinitely
+//       (IORING_CQE_F_MORE), so the steady state stops paying even the re-arm SQE +
+//       submit. Each completion names a buffer-ring slot (CQE flags >>
+//       IORING_CQE_BUFFER_SHIFT) backed by a permanent BufferPool slab; the Segment
+//       aliases it refcounted and the slot returns to the kernel's ring once the
+//       runtime drops the last view (unique()), published in batches with one
+//       release-store. A dry ring surfaces as a terminal -ENOBUFS completion: the
+//       connection takes one single-shot recv (rung 0 path) and retries multishot on
+//       the next arm — backpressure degrades, never stalls.
+//   TX  rung 0: TransmitBatch queues one IORING_OP_SEND SQE per TxSegment and
+//       submits the whole batch with a single io_uring_enter (submit-and-wait): N
+//       responses cost ~1 syscall instead of N sends. Short sends are resubmitted; a
+//       peer that stops reading past stall_drop_deadline gets its SQE cancelled
 //       (IORING_OP_ASYNC_CANCEL), the response dropped and the connection severed —
 //       the same bounded-stall discipline as the epoll backend. TX completions are
 //       reaped before returning (the runtime's Shutdown accounting requires
 //       completions to fire synchronously inside TransmitBatch).
+//       rung 3 (UringTransportOptions::send_zc): IORING_OP_SEND_ZC pins the frame
+//       pages instead of copying them into skbs. Lifetime is TWO CQEs: the
+//       completion (normal accounting; IORING_CQE_F_MORE promises a follow-up) and
+//       a notification (IORING_CQE_F_NOTIF) once the NIC is done with the pages —
+//       the frame's IoBuf ref is parked per send token until its NOTIF count
+//       drains, so the slab can never be recycled under the kernel. A socket that
+//       answers -EOPNOTSUPP falls back to plain SEND for its lifetime (zc_ok).
+//
+//   SQ  rung 2 (UringTransportOptions::sqpoll): IORING_SETUP_SQPOLL hands SQ
+//       consumption to a kernel poller thread; publishing the tail IS the
+//       submission, and io_uring_enter happens only to wake a parked poller
+//       (IORING_SQ_NEED_WAKEUP → IORING_ENTER_SQ_WAKEUP, still counted in
+//       IoSyscalls — see uring_ring.h's honest-counting policy). Opt-in because the
+//       poller burns a kernel thread that timeshares with workers on small hosts.
+//
+// Every rung is requested via UringTransportOptions, AND-ed with the once-per-
+// process functional probe (ProbeUring), and degrades per-feature at runtime if the
+// kernel rejects it at completion time — asking for a denied rung can never fail a
+// Start that rung 0 would have survived.
 //
 // Control-event ordering (the PR 5 contract) is preserved through a per-queue FIFO:
 // CQ completions append segments and closes in arrival order, and PollBatch stops
 // draining the FIFO rather than deliver a kFlowClosed in the same batch as one of
 // that flow's segments (the runtime processes all control events before a batch's
 // segments, so co-delivery would drop them). A sever with a recv in flight is
-// deferred — cancel first, close the fd only after the recv's CQE is reaped — so the
-// kernel can never complete into a closed connection's buffer.
+// deferred — cancel first, close the fd only after the recv's terminal CQE is
+// reaped — so the kernel can never complete into a closed connection's buffer. A
+// standing multishot SQE is cancelled the same way; data completions racing the
+// cancel are delivered (or purged on sever) and only the terminal CQE finalizes.
 //
 // The headline metric: the epoll engine pays one epoll_wait per poll pass plus one
 // recv per segment and one send per response (≈2+ data-path syscalls/request at
-// small payloads); this engine pays one io_uring_enter per PollBatch pass that armed
+// small payloads); rung 0 pays one io_uring_enter per PollBatch pass that armed
 // anything plus one per TransmitBatch — well under 1 syscall/request once batches
-// reach ~4. IoSyscalls() reports the measured count (io_uring_enter only; CQ/SQ
-// traffic is shared memory).
+// reach ~4; multishot removes the re-arm enters and SQPOLL removes the submit
+// enters, leaving only poller wakeups (~0). IoSyscalls() reports the measured count
+// (io_uring_enter only; CQ/SQ/buffer-ring traffic is shared memory).
 //
 // Capability: io_uring may be denied wholesale (seccomp/sandbox). Check
 // UringTransport::Available() BEFORE constructing; Start aborts with the probe's
 // reason otherwise. Registered buffers failing (RLIMIT_MEMLOCK) degrades to pooled
-// recvs, not an error.
+// recvs, not an error; a per-feature rung denied by the probe is silently dropped
+// from the effective set (query MultishotEnabled/SqpollEnabled/SendZcEnabled).
 #ifndef ZYGOS_RUNTIME_URING_TRANSPORT_H_
 #define ZYGOS_RUNTIME_URING_TRANSPORT_H_
 
@@ -64,9 +100,25 @@
 
 namespace zygos {
 
+// TcpTransportOptions plus the io_uring feature ladder. Defaults request the
+// syscall-free RX/TX rungs (they degrade cleanly when denied); SQPOLL stays opt-in
+// because its kernel poller thread competes for CPU on small hosts.
+struct UringTransportOptions : TcpTransportOptions {
+  UringTransportOptions() = default;
+  explicit UringTransportOptions(TcpTransportOptions base)
+      : TcpTransportOptions(std::move(base)) {}
+
+  bool multishot = true;  // rung 1: standing multishot RECV over a buffer ring
+  bool sqpoll = false;    // rung 2: kernel SQ poller (opt-in)
+  bool send_zc = true;    // rung 3: zero-copy TX with two-CQE lifetime
+  unsigned sq_thread_idle_ms = 50;  // SQPOLL park threshold (see UringRingOptions)
+};
+
 class UringTransport final : public SocketTransportBase {
  public:
-  explicit UringTransport(TcpTransportOptions options);
+  explicit UringTransport(UringTransportOptions options);
+  explicit UringTransport(TcpTransportOptions options)
+      : UringTransport(UringTransportOptions(std::move(options))) {}
   ~UringTransport() override;
 
   // Process-wide capability probe (io_uring_setup may be denied by seccomp).
@@ -86,9 +138,19 @@ class UringTransport final : public SocketTransportBase {
   // per-call syscalls) because here the ring shim already counts every enter.
   uint64_t IoSyscalls() const override;
 
-  // RX observability: recvs served from the registered arena vs pooled fallbacks.
+  // Effective feature set after Start: requested AND probe-granted AND not degraded
+  // at runtime. (SendZc/Multishot may flip off per-queue/per-socket later; these
+  // report the Start-time grant.)
+  bool MultishotEnabled() const { return ms_enabled_; }
+  bool SqpollEnabled() const { return sqpoll_enabled_; }
+  bool SendZcEnabled() const { return zc_enabled_; }
+
+  // RX observability: recvs served from the registered arena vs pooled fallbacks vs
+  // multishot buffer-ring completions; TX: sends that went zero-copy.
   uint64_t FixedBufferRecvs() const;
   uint64_t PooledRecvs() const;
+  uint64_t MultishotRecvs() const;
+  uint64_t ZcSends() const;
 
  private:
   struct UConn {
@@ -96,8 +158,10 @@ class UringTransport final : public SocketTransportBase {
     uint64_t flow_id = 0;
     int home_queue = 0;
     bool rx_inflight = false;  // a recv SQE is in flight; its CQE must be reaped
+    bool ms_armed = false;     // the in-flight recv is a standing multishot SQE
     bool closing = false;      // sever/hangup seen; finalize once rx_inflight clears
     bool purge_on_close = false;  // sever: drop this flow's undelivered segments
+    bool zc_ok = true;         // SEND_ZC allowed (cleared on -EOPNOTSUPP)
     int rx_slot = -1;          // registered-arena slot of the armed recv; -1 = pooled
     IoBuf rx_buf;              // pooled recv target (unused for arena recvs)
   };
@@ -131,6 +195,14 @@ class UringTransport final : public SocketTransportBase {
     size_t outstanding = 0;
   };
 
+  // SEND_ZC pages the kernel still holds for one send token: the frame ref plus how
+  // many IORING_CQE_F_NOTIF completions are owed (a short zc send resubmitted as zc
+  // owes one per op on the same token).
+  struct ZcParked {
+    IoBuf frame;
+    int notifs = 0;
+  };
+
   struct alignas(kCacheLineSize) PerQueue {
     UringRing ring;
     // Home-worker-only (plus Stop at quiescence).
@@ -148,6 +220,16 @@ class UringTransport final : public SocketTransportBase {
     bool fixed_ok = false;  // arena registered and READ_FIXED working
     uint64_t fixed_recvs = 0;
     uint64_t pooled_recvs = 0;
+    // Provided-buffer ring backing (multishot RX): bring_bufs[bid] keeps each slab
+    // alive for the transport's lifetime; bids in bring_out were handed to Segments
+    // and return to the kernel's ring once no view aliases them (unique()).
+    std::vector<IoBuf> bring_bufs;
+    std::vector<uint16_t> bring_out;
+    bool ms_ok = false;  // buffer ring registered and multishot accepted
+    uint64_t ms_recvs = 0;
+    // SEND_ZC two-CQE lifetime: frame refs parked until their NOTIF count drains.
+    std::unordered_map<uint64_t, ZcParked> zc_parked;
+    uint64_t zc_sends = 0;
     // Sends abandoned after a cancel outwaited its grace period: the frame ref is
     // parked here, keyed by send token, so the slab cannot be recycled while the
     // kernel op may still read it. Reaped when the straggler CQE finally lands.
@@ -158,17 +240,26 @@ class UringTransport final : public SocketTransportBase {
   };
 
   io_uring_sqe* GetSqe(PerQueue& pq);
-  void ArmRecv(PerQueue& pq, UConn* conn);
+  void ArmRecv(PerQueue& pq, UConn* conn, bool allow_multishot = true);
   int AcquireSlot(PerQueue& pq);
+  // Returns consumed buffer-ring slots (now unique) to the kernel's ring.
+  void RecycleBufRing(PerQueue& pq);
+  void PrepTxSqe(PerQueue& pq, UConn* conn, const char* data, unsigned len,
+                 uint64_t token);
   // Drains every available CQE through HandleCqe. tx may be null.
   void DrainCq(PerQueue& pq, TxContext* tx);
-  void HandleCqe(PerQueue& pq, uint64_t user_data, int res, TxContext* tx);
-  void HandleRecvCqe(PerQueue& pq, uint64_t flow_id, int res);
+  void HandleCqe(PerQueue& pq, uint64_t user_data, int res, uint32_t flags,
+                 TxContext* tx);
+  void HandleRecvCqe(PerQueue& pq, uint64_t flow_id, int res, uint32_t flags);
   // Sever/hangup: cancel an in-flight recv and defer, or finalize immediately.
   void CloseConn(PerQueue& pq, UConn* conn, bool purge_pending);
   void FinalizeClose(PerQueue& pq, UConn* conn);
   void PushPending(PerQueue& pq, PendingItem item);
 
+  UringTransportOptions uring_options_;
+  bool ms_enabled_ = false;
+  bool sqpoll_enabled_ = false;
+  bool zc_enabled_ = false;
   std::vector<std::unique_ptr<PerQueue>> queues_;
   bool started_ = false;
 };

@@ -2,9 +2,14 @@
 // ordering, sever, stall-drop and slot-recycling assertions through every Transport
 // backend — LoopbackTransport (in-process rings), TcpTransport (epoll sockets) and
 // UringTransport (batched io_uring) — so a new backend cannot pass by implementing a
-// private dialect of the contract (src/runtime/transport.h). The uring instantiation
-// skips itself via the runtime capability probe when the kernel/sandbox denies
-// io_uring_setup (ci.sh surfaces the skip); everything else must pass everywhere.
+// private dialect of the contract (src/runtime/transport.h). The uring backend is
+// instantiated across its full feature matrix (multishot × sqpoll × send_zc,
+// ISSUE 10): every rung combination must satisfy the identical contract, including
+// severance with a standing multishot SQE in flight. The uring instantiations skip
+// themselves via the runtime capability probe when the kernel/sandbox denies
+// io_uring_setup or a requested rung (ci.sh surfaces the skip); everything else must
+// pass everywhere. A dedicated forced-fallback test pins byte-identical echo when
+// every rung is explicitly denied.
 //
 // All assertions are functional (counts, orderings, invariants), never timing-based —
 // the host may have a single hardware thread.
@@ -37,16 +42,30 @@ namespace {
 
 enum class Backend { kLoopback, kTcp, kUring };
 
-const char* BackendName(Backend backend) {
-  switch (backend) {
-    case Backend::kLoopback:
-      return "loopback";
-    case Backend::kTcp:
-      return "tcp";
-    case Backend::kUring:
-      return "uring";
-  }
-  return "?";
+// One instantiation of the suite: a backend plus (for uring) a requested rung set
+// from the ISSUE 10 feature ladder. The contract must hold for every combination.
+struct BackendVariant {
+  Backend backend;
+  bool multishot = false;
+  bool sqpoll = false;
+  bool send_zc = false;
+  const char* name = "?";
+};
+
+std::vector<BackendVariant> AllVariants() {
+  return {
+      {Backend::kLoopback, false, false, false, "loopback"},
+      {Backend::kTcp, false, false, false, "tcp"},
+      // Full uring feature matrix: rung 0, each rung alone, each pair, all three.
+      {Backend::kUring, false, false, false, "uring"},
+      {Backend::kUring, true, false, false, "uring_ms"},
+      {Backend::kUring, false, true, false, "uring_sqp"},
+      {Backend::kUring, false, false, true, "uring_zc"},
+      {Backend::kUring, true, true, false, "uring_ms_sqp"},
+      {Backend::kUring, true, false, true, "uring_ms_zc"},
+      {Backend::kUring, false, true, true, "uring_sqp_zc"},
+      {Backend::kUring, true, true, true, "uring_ms_sqp_zc"},
+  };
 }
 
 RequestHandler EchoHandler() {
@@ -216,26 +235,31 @@ bool RunEchoExchange(TestTcpClient& client, uint64_t requests, int window,
   return true;
 }
 
-// Builds the runtime + transport pair for one backend. For socket backends,
+// Builds the runtime + transport pair for one backend variant. For socket backends,
 // `sock_out` exposes the shared SocketTransportBase surface (port, drop counters);
 // for loopback, `loop_out` exposes the test-drivable control surface.
-std::unique_ptr<Runtime> MakeRuntime(Backend backend, RuntimeOptions options,
+std::unique_ptr<Runtime> MakeRuntime(const BackendVariant& variant,
+                                     RuntimeOptions options,
                                      TcpTransportOptions tcp,
                                      CompletionHandler on_complete,
                                      SocketTransportBase** sock_out,
                                      LoopbackTransport** loop_out) {
   std::unique_ptr<Transport> transport;
-  if (backend == Backend::kLoopback) {
+  if (variant.backend == Backend::kLoopback) {
     auto loop = std::make_unique<LoopbackTransport>(
         options.num_workers, options.num_flow_groups, options.ring_capacity);
     *loop_out = loop.get();
     transport = std::move(loop);
-  } else if (backend == Backend::kTcp) {
+  } else if (variant.backend == Backend::kTcp) {
     auto tcp_transport = std::make_unique<TcpTransport>(tcp);
     *sock_out = tcp_transport.get();
     transport = std::move(tcp_transport);
   } else {
-    auto uring = std::make_unique<UringTransport>(tcp);
+    UringTransportOptions uopts(tcp);
+    uopts.multishot = variant.multishot;
+    uopts.sqpoll = variant.sqpoll;
+    uopts.send_zc = variant.send_zc;
+    auto uring = std::make_unique<UringTransport>(uopts);
     *sock_out = uring.get();
     transport = std::move(uring);
   }
@@ -243,16 +267,34 @@ std::unique_ptr<Runtime> MakeRuntime(Backend backend, RuntimeOptions options,
   return std::make_unique<Runtime>(options, std::move(transport), EchoHandler());
 }
 
-class TransportConformance : public ::testing::TestWithParam<Backend> {
+class TransportConformance : public ::testing::TestWithParam<BackendVariant> {
  protected:
   void SetUp() override {
-    if (GetParam() == Backend::kUring && !UringTransport::Available()) {
+    const BackendVariant& v = GetParam();
+    if (v.backend != Backend::kUring) {
+      return;
+    }
+    if (!UringTransport::Available()) {
       GTEST_SKIP() << "io_uring unavailable on this host: "
                    << UringTransport::UnavailableReason();
     }
+    // A combo whose rung the kernel denies is skipped, not silently degraded: a
+    // degraded run would retest rung 0 under a misleading name.
+    const UringProbe& probe = ProbeUring();
+    if (v.multishot && !(probe.buf_ring && probe.multishot)) {
+      GTEST_SKIP() << "multishot/buffer-ring rung denied by kernel probe";
+    }
+    if (v.sqpoll && !probe.sqpoll) {
+      GTEST_SKIP() << "SQPOLL rung denied by kernel probe";
+    }
+    if (v.send_zc && !probe.send_zc) {
+      GTEST_SKIP() << "SEND_ZC rung denied by kernel probe";
+    }
   }
 
-  bool IsSocketBackend() const { return GetParam() != Backend::kLoopback; }
+  bool IsSocketBackend() const {
+    return GetParam().backend != Backend::kLoopback;
+  }
 
   RuntimeOptions Options(int workers, int flows) {
     RuntimeOptions options;
@@ -485,11 +527,15 @@ TEST_P(TransportConformance, StalledPeerIsDroppedAfterDeadline) {
     ASSERT_TRUE(WaitFor([&] { return sock->StallDrops() >= 1; }))
         << "TX to a deaf peer never tripped the stall deadline";
   }
+  // Teardown after a stall drop is asynchronous (uring defers the close behind
+  // ASYNC_CANCEL; under SQPOLL the final CQE additionally waits on the poller
+  // thread's next quantum) — wait for the kFlowClosed to land before stopping.
+  ASSERT_TRUE(
+      WaitFor([&] { return runtime->TotalStats().flows_closed >= 1; }))
+      << "the stall drop must tear the connection down";
   runtime->Shutdown();
   EXPECT_GE(sock->StallDrops(), 1u);
   EXPECT_EQ(sock->CapacityRefusals(), 0u);
-  EXPECT_GE(runtime->TotalStats().flows_closed, 1u)
-      << "the stall drop must tear the connection down";
 }
 
 TEST_P(TransportConformance, EveryRxSegmentCarriesATransportArrivalStamp) {
@@ -519,14 +565,99 @@ TEST_P(TransportConformance, EveryRxSegmentCarriesATransportArrivalStamp) {
   WorkerStats total = runtime->TotalStats();
   EXPECT_GT(total.rx_segments, 0u);
   EXPECT_EQ(total.rx_unstamped, 0u)
-      << BackendName(GetParam()) << " delivered segments with rx_nanos == 0";
+      << GetParam().name << " delivered segments with rx_nanos == 0";
+}
+
+// Uring-only: the rungs a variant requested (and the probe granted — SetUp skips
+// otherwise) must actually engage, visible in the transport's own counters. This
+// catches a rung silently degrading to rung 0 and the matrix retesting nothing.
+TEST_P(TransportConformance, RequestedFeatureRungsActuallyEngage) {
+  const BackendVariant& v = GetParam();
+  if (v.backend != Backend::kUring) {
+    GTEST_SKIP() << "feature rungs are a uring concept";
+  }
+  RuntimeOptions options = Options(/*workers=*/2, /*flows=*/8);
+  CompletionLog log;
+  SocketTransportBase* sock = nullptr;
+  LoopbackTransport* loop = nullptr;
+  auto runtime = MakeRuntime(GetParam(), options, TcpOptionsFor(options),
+                             log.Handler(), &sock, &loop);
+  auto* uring = static_cast<UringTransport*>(sock);
+  runtime->Start();
+  EXPECT_EQ(uring->MultishotEnabled(), v.multishot);
+  EXPECT_EQ(uring->SqpollEnabled(), v.sqpoll);
+  EXPECT_EQ(uring->SendZcEnabled(), v.send_zc);
+  {
+    TestTcpClient client(sock->port());
+    ASSERT_TRUE(client.ok());
+    EXPECT_TRUE(RunEchoExchange(client, /*requests=*/50, /*window=*/4, "f"));
+  }
+  if (v.multishot) {
+    EXPECT_GT(uring->MultishotRecvs(), 0u)
+        << "multishot requested+granted but no buffer-ring completion landed";
+  } else {
+    EXPECT_EQ(uring->MultishotRecvs(), 0u);
+  }
+  if (v.send_zc) {
+    EXPECT_GT(uring->ZcSends(), 0u)
+        << "send_zc requested+granted but every TX took the plain-SEND path";
+  } else {
+    EXPECT_EQ(uring->ZcSends(), 0u);
+  }
+  runtime->Shutdown();
+}
+
+// Forced fallback: every rung explicitly denied must reproduce rung 0 exactly —
+// byte-identical echo across binary payloads covering all 256 byte values, and no
+// rung counter may tick.
+TEST(UringForcedFallback, AllRungsDeniedEchoesByteIdentically) {
+  if (!UringTransport::Available()) {
+    GTEST_SKIP() << "io_uring unavailable on this host: "
+                 << UringTransport::UnavailableReason();
+  }
+  RuntimeOptions options;
+  options.num_workers = 2;
+  options.mode = RuntimeMode::kZygos;
+  options.num_flows = 8;
+  options.yield_when_idle = true;
+  UringTransportOptions uopts(TcpOptionsFor(options));
+  uopts.multishot = false;
+  uopts.sqpoll = false;
+  uopts.send_zc = false;
+  auto uring = std::make_unique<UringTransport>(uopts);
+  UringTransport* sock = uring.get();
+  auto runtime =
+      std::make_unique<Runtime>(options, std::move(uring), EchoHandler());
+  runtime->Start();
+  EXPECT_FALSE(sock->MultishotEnabled());
+  EXPECT_FALSE(sock->SqpollEnabled());
+  EXPECT_FALSE(sock->SendZcEnabled());
+  {
+    TestTcpClient client(sock->port());
+    ASSERT_TRUE(client.ok());
+    std::string all_bytes(256, '\0');
+    for (int b = 0; b < 256; ++b) {
+      all_bytes[static_cast<size_t>(b)] = static_cast<char>(b);
+    }
+    for (uint64_t i = 0; i < 40; ++i) {
+      std::string payload = all_bytes + std::to_string(i);
+      ASSERT_TRUE(client.SendRequest(i, payload));
+      Message response;
+      ASSERT_TRUE(client.RecvMessage(&response));
+      EXPECT_EQ(response.request_id, i);
+      ASSERT_EQ(response.payload, "echo:" + payload)
+          << "fallback path corrupted bytes at request " << i;
+    }
+  }
+  EXPECT_EQ(sock->MultishotRecvs(), 0u);
+  EXPECT_EQ(sock->ZcSends(), 0u);
+  runtime->Shutdown();
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllBackends, TransportConformance,
-    ::testing::Values(Backend::kLoopback, Backend::kTcp, Backend::kUring),
-    [](const ::testing::TestParamInfo<Backend>& info) {
-      return BackendName(info.param);
+    AllBackends, TransportConformance, ::testing::ValuesIn(AllVariants()),
+    [](const ::testing::TestParamInfo<BackendVariant>& info) {
+      return info.param.name;
     });
 
 }  // namespace
